@@ -1,0 +1,44 @@
+// Command bookgen generates a synthetic Book dataset (the substitute for
+// the paper's lunadong.com benchmark) and writes it as JSON.
+//
+// Usage:
+//
+//	bookgen -books 100 -sources 40 -seed 1 -out books.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crowdfusion/internal/bookdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bookgen: ")
+
+	cfg := bookdata.DefaultConfig()
+	flag.IntVar(&cfg.Books, "books", cfg.Books, "number of books")
+	flag.IntVar(&cfg.Sources, "sources", cfg.Sources, "number of bookstore sources")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generation seed")
+	flag.Float64Var(&cfg.Coverage, "coverage", cfg.Coverage, "probability a source claims a book")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	d, err := bookdata.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		if err := d.Save(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := d.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"generated %d books, %d sources, %d statements, %d claims (gold claim rate %.3f)\n",
+		len(d.Books), len(d.Sources), d.StatementCount(), len(d.Claims), d.GoldRate())
+}

@@ -1,0 +1,107 @@
+package crowdfusion_test
+
+import (
+	"fmt"
+
+	"crowdfusion"
+)
+
+// The paper's running example: select the two most informative questions
+// about four facts for a crowd with accuracy 0.8.
+func ExampleNewGreedySelector() {
+	joint, err := crowdfusion.DenseJoint(4, []float64{
+		0.03, 0.04, 0.09, 0.06, 0.07, 0.04, 0.11, 0.07,
+		0.06, 0.04, 0.01, 0.09, 0.04, 0.05, 0.09, 0.11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	selector := crowdfusion.NewGreedySelector(crowdfusion.GreedyOptions{Prune: true})
+	tasks, err := selector.Select(joint, 2, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	h, err := crowdfusion.TaskEntropy(joint, tasks, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ask f%d and f%d (H(T) = %.3f bits)\n", tasks[0]+1, tasks[1]+1, h)
+	// Output: ask f1 and f4 (H(T) = 1.997 bits)
+}
+
+// Merging a crowd answer updates the output distribution with Bayes' rule
+// (the paper's Section III-A example).
+func ExampleMergeAnswers() {
+	joint, err := crowdfusion.DenseJoint(4, []float64{
+		0.03, 0.04, 0.09, 0.06, 0.07, 0.04, 0.11, 0.07,
+		0.06, 0.04, 0.01, 0.09, 0.04, 0.05, 0.09, 0.11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The crowd answers "yes" to "Is Hong Kong in Asia?" (fact 0).
+	posterior, err := crowdfusion.MergeAnswers(joint, []int{0}, []bool{true}, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	p, err := posterior.Marginal(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(f1) after a yes: %.2f\n", p)
+	// Output: P(f1) after a yes: 0.80
+}
+
+// A complete refinement loop against a simulated crowd.
+func ExampleEngine() {
+	prior, err := crowdfusion.IndependentJoint([]float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		panic(err)
+	}
+	var truth crowdfusion.World
+	truth = truth.Set(0, true).Set(2, true)
+	sim, err := crowdfusion.NewCrowdSimulator(truth, 0.99, 7)
+	if err != nil {
+		panic(err)
+	}
+	engine := crowdfusion.Engine{
+		Prior:    prior,
+		Selector: crowdfusion.NewGreedySelector(crowdfusion.GreedyOptions{Prune: true}),
+		Crowd:    sim,
+		Pc:       0.99,
+		K:        2,
+		Budget:   12,
+	}
+	result, err := engine.Run()
+	if err != nil {
+		panic(err)
+	}
+	judgments := result.Judgments()
+	correct := 0
+	for i, v := range judgments {
+		if v == truth.Has(i) {
+			correct++
+		}
+	}
+	fmt.Printf("%d/4 facts judged correctly\n", correct)
+	// Output: 4/4 facts judged correctly
+}
+
+// Machine-only fusion scores claims before the crowd is involved.
+func ExampleFusionMethod() {
+	claims := []crowdfusion.Claim{
+		{Source: "storeA", Object: "book1", Value: "Ada Lovelace"},
+		{Source: "storeB", Object: "book1", Value: "Ada Lovelace"},
+		{Source: "storeC", Object: "book1", Value: "Ada Byron"},
+	}
+	truths, err := crowdfusion.NewMajorityVote().Fuse(claims)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range truths {
+		fmt.Printf("%s: %.2f\n", t.Value, t.Confidence)
+	}
+	// Output:
+	// Ada Byron: 0.33
+	// Ada Lovelace: 0.67
+}

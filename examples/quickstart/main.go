@@ -1,0 +1,92 @@
+// Quickstart: the CrowdFusion paper's running example through the public
+// API — four uncertain facts about Hong Kong, a crowd with accuracy 0.8,
+// and a budget of two questions per round.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdfusion"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The Table II joint distribution over four facts, in dense world
+	// order (bit 0 = f1 "Hong Kong is in Asia", bit 1 = f2 "population
+	// >= 500,000", bit 2 = f3 "major ethnic group Chinese", bit 3 = f4
+	// "Hong Kong is in Europe").
+	joint, err := crowdfusion.DenseJoint(4, []float64{
+		0.03, 0.04, 0.09, 0.06, 0.07, 0.04, 0.11, 0.07,
+		0.06, 0.04, 0.01, 0.09, 0.04, 0.05, 0.09, 0.11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("prior marginals (Table I):")
+	for i, p := range joint.Marginals() {
+		fmt.Printf("  P(f%d) = %.2f\n", i+1, p)
+	}
+	fmt.Printf("prior utility Q = -H = %.3f bits\n\n", joint.Utility())
+
+	// Select the two most informative questions for a crowd with
+	// accuracy 0.8 — the paper's greedy walkthrough picks f1 and f4.
+	const pc = 0.8
+	selector := crowdfusion.NewGreedySelector(crowdfusion.GreedyOptions{Prune: true})
+	tasks, err := selector.Select(joint, 2, pc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := crowdfusion.TaskEntropy(joint, tasks, pc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected tasks: f%d and f%d (H(T) = %.3f bits)\n", tasks[0]+1, tasks[1]+1, h)
+
+	// Simulate a crowd whose hidden truth is: Hong Kong is in Asia, has
+	// more than 500k people, is majority Chinese, and is not in Europe.
+	var truth crowdfusion.World
+	truth = truth.Set(0, true).Set(1, true).Set(2, true)
+	sim, err := crowdfusion.NewCrowdSimulator(truth, pc, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the full select-ask-merge loop with a budget of 8 questions.
+	engine := crowdfusion.Engine{
+		Prior:    joint,
+		Selector: selector,
+		Crowd:    sim,
+		Pc:       pc,
+		K:        2,
+		Budget:   8,
+	}
+	result, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nasked %d questions over %d rounds:\n", result.Cost, len(result.Rounds))
+	for _, r := range result.Rounds {
+		fmt.Printf("  round %d: asked %v got %v -> utility %.3f\n",
+			r.Round, r.Tasks, r.Answers, r.Utility)
+	}
+
+	fmt.Println("\nposterior marginals and judgments:")
+	judgments := result.Judgments()
+	for i, p := range result.Final.Marginals() {
+		mark := "false"
+		if judgments[i] {
+			mark = "true"
+		}
+		correct := ""
+		if judgments[i] == truth.Has(i) {
+			correct = "  (correct)"
+		}
+		fmt.Printf("  P(f%d) = %.3f -> %s%s\n", i+1, p, mark, correct)
+	}
+}

@@ -1,0 +1,111 @@
+// Workeraudit: operating a crowdsourcing platform the way the paper's
+// deployment section implies — tasks are posted with redundancy, individual
+// worker answers are logged, and the log is audited with EM (Dawid-Skene
+// style) to estimate each worker's accuracy without any gold labels. The
+// estimated pool accuracy then drives a CrowdFusion engine.
+//
+//	go run ./examples/workeraudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"crowdfusion"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A pool with a wide quality spread: some near-experts, some barely
+	// better than coin flips.
+	pool, err := crowdfusion.NewWorkerPool(16, 0.55, 0.97, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hidden ground truth over 12 facts.
+	var truth crowdfusion.World
+	for _, f := range []int{0, 1, 4, 6, 9, 10} {
+		truth = truth.Set(f, true)
+	}
+	platform, err := crowdfusion.NewPlatform(crowdfusion.PlatformConfig{
+		Truth:      truth,
+		Pool:       pool,
+		Seed:       29,
+		Redundancy: 5, // five workers per task, majority aggregated
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Post a calibration batch: every fact 40 times.
+	var batch []int
+	for round := 0; round < 40; round++ {
+		for f := 0; f < 12; f++ {
+			batch = append(batch, f)
+		}
+	}
+	platform.Answers(batch)
+
+	// Audit the raw answer log with EM — no gold labels used.
+	estimate, err := crowdfusion.EstimateWorkerAccuracies(platform.Log(), crowdfusion.EMOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("worker audit (EM estimate vs true accuracy):")
+	workers := pool.Workers()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Accuracy > workers[j].Accuracy })
+	for _, w := range workers {
+		est, ok := estimate.WorkerAccuracy[w.ID]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-6s true=%.3f estimated=%.3f\n", w.ID, w.Accuracy, est)
+	}
+	fmt.Printf("estimated pool accuracy: %.3f (true mean %.3f)\n\n",
+		estimate.PoolAccuracy(), pool.MeanAccuracy())
+
+	// Drive the engine with the audited accuracy. Majority-of-5 boosts
+	// the effective per-task accuracy above the raw pool mean.
+	prior, err := crowdfusion.IndependentJoint([]float64{
+		0.5, 0.55, 0.45, 0.5, 0.6, 0.4, 0.55, 0.5, 0.45, 0.6, 0.5, 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := crowdfusion.Engine{
+		Prior:    prior,
+		Selector: crowdfusion.NewGreedySelector(crowdfusion.GreedyOptions{Prune: true}),
+		Crowd:    platform,
+		Pc:       estimate.PoolAccuracy(),
+		K:        3,
+		Budget:   36,
+	}
+	res, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i, v := range res.Judgments() {
+		if v == truth.Has(i) {
+			correct++
+		}
+	}
+	fmt.Printf("refinement with audited Pc: %d/%d facts correct after %d tasks\n",
+		correct, prior.N(), res.Cost)
+
+	// Platform-side statistics for the operations dashboard.
+	fmt.Println("\nbusiest workers:")
+	stats := platform.Stats()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Answered > stats[j].Answered })
+	for i, s := range stats {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-6s answered=%-5d empirical accuracy=%.3f\n",
+			s.Worker, s.Answered, s.Accuracy())
+	}
+}

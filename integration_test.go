@@ -1,0 +1,267 @@
+package crowdfusion
+
+import (
+	"math"
+	"testing"
+)
+
+// Integration tests exercising complete cross-module flows through the
+// public API, the way a downstream user would compose the system.
+
+// TestIntegrationFullPipelineAllInitializers: dataset -> each fusion
+// method -> instances -> budgeted crowd refinement -> scoring. The crowd
+// must improve (or at least not damage) every initializer's F1.
+func TestIntegrationFullPipelineAllInitializers(t *testing.T) {
+	cfg := DefaultBookConfig()
+	cfg.Books = 15
+	cfg.Sources = 15
+	cfg.Seed = 3
+	d, err := GenerateBooks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []FusionMethod{
+		NewMajorityVote(), NewCRH(), NewTruthFinder(), NewAccuVote(),
+	} {
+		t.Run(method.Name(), func(t *testing.T) {
+			res, err := Pipeline{
+				Dataset:  d,
+				Fusion:   method,
+				Options:  DefaultWorldOptions(),
+				Selector: SelApproxPrune,
+				K:        2,
+				Budget:   20,
+				Pc:       0.9,
+				Seed:     7,
+			}.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sweep.Final.F1() < res.Prior.F1()-1e-9 {
+				t.Errorf("%s: crowd refinement hurt F1: %.4f -> %.4f",
+					method.Name(), res.Prior.F1(), res.Sweep.Final.F1())
+			}
+			if res.Sweep.Final.F1() < 0.85 {
+				t.Errorf("%s: final F1 %.4f below 0.85 with a 0.9 crowd",
+					method.Name(), res.Sweep.Final.F1())
+			}
+		})
+	}
+}
+
+// TestIntegrationPlatformToEM: post tasks through the platform with
+// redundancy, audit the log with EM, and verify the audited accuracy is
+// close to the pool's true mean.
+func TestIntegrationPlatformToEM(t *testing.T) {
+	pool, err := NewWorkerPool(12, 0.65, 0.95, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth World
+	for f := 0; f < 10; f += 2 {
+		truth = truth.Set(f, true)
+	}
+	p, err := NewPlatform(PlatformConfig{Truth: truth, Pool: pool, Seed: 11, Redundancy: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []int
+	for round := 0; round < 60; round++ {
+		for f := 0; f < 10; f++ {
+			batch = append(batch, f)
+		}
+	}
+	p.Answers(batch)
+	est, err := EstimateWorkerAccuracies(p.Log(), EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.PoolAccuracy()-pool.MeanAccuracy()) > 0.06 {
+		t.Errorf("EM pool accuracy %.3f vs true %.3f", est.PoolAccuracy(), pool.MeanAccuracy())
+	}
+	// And the per-task posteriors recover the hidden truth.
+	for f := 0; f < 10; f++ {
+		if (est.TaskPosterior[f] >= 0.5) != truth.Has(f) {
+			t.Errorf("EM posterior wrong for fact %d: %v", f, est.TaskPosterior[f])
+		}
+	}
+}
+
+// TestIntegrationGlobalAllocationBeatsWaste: a corpus mixing tiny certain
+// books with one large uncertain book; global allocation must route budget
+// to the big book.
+func TestIntegrationGlobalAllocation(t *testing.T) {
+	cfg := DefaultBookConfig()
+	cfg.Books = 12
+	cfg.Sources = 20
+	cfg.Seed = 9
+	d, err := GenerateBooks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths, err := NewCRH().Fuse(d.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := BuildInstances(d, truths, DefaultWorldOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAllocation(AllocationConfig{
+		Instances:   instances,
+		TotalBudget: 72,
+		Pc:          0.85,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == 0 || res.Cost > 72 {
+		t.Fatalf("cost = %d", res.Cost)
+	}
+	// Larger books (more facts) should receive more budget on average.
+	var smallCost, largeCost, smallN, largeN int
+	for i, in := range instances {
+		if in.N() >= 10 {
+			largeCost += res.PerBook[i]
+			largeN++
+		} else {
+			smallCost += res.PerBook[i]
+			smallN++
+		}
+	}
+	if smallN > 0 && largeN > 0 {
+		avgSmall := float64(smallCost) / float64(smallN)
+		avgLarge := float64(largeCost) / float64(largeN)
+		if avgLarge <= avgSmall {
+			t.Errorf("large books got %.1f tasks/book, small books %.1f", avgLarge, avgSmall)
+		}
+	}
+}
+
+// TestIntegrationQueryNeedsFewerTasks: through the facade, the Section IV
+// selector reaches its final FOI quality in fewer rounds than the general
+// selector on the same corpus.
+func TestIntegrationQueryNeedsFewerTasks(t *testing.T) {
+	cfg := DefaultBookConfig()
+	cfg.Books = 10
+	cfg.Sources = 12
+	cfg.Seed = 15
+	d, err := GenerateBooks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths, err := NewCRH().Fuse(d.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := BuildInstances(d, truths, DefaultWorldOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundsTo := func(useQuery bool, target float64) int {
+		res, err := RunQuerySweep(QuerySweepConfig{
+			Instances:        instances,
+			FOIFraction:      0.3,
+			UseQuerySelector: useQuery,
+			K:                2,
+			Budget:           20,
+			Pc:               0.9,
+			Seed:             17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Trace {
+			if p.F1 >= target {
+				return p.Round
+			}
+		}
+		return 1 << 30
+	}
+	const target = 0.95
+	q, g := roundsTo(true, target), roundsTo(false, target)
+	if q > g {
+		t.Errorf("query selector needed %d rounds to reach F1 %.2f, general needed %d",
+			q, target, g)
+	}
+}
+
+// TestIntegrationSemiSupervisedBaseline: labeling a handful of statements
+// improves the machine-only prior, the comparison the paper draws against
+// expert supervision.
+func TestIntegrationSemiSupervised(t *testing.T) {
+	cfg := DefaultBookConfig()
+	cfg.Books = 12
+	cfg.Sources = 14
+	cfg.Seed = 19
+	d, err := GenerateBooks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label every statement of the first three books with its gold flag.
+	labels := make(map[[2]string]bool)
+	for i, b := range d.Books {
+		if i >= 3 {
+			break
+		}
+		for _, s := range d.Statements[b.ISBN] {
+			labels[[2]string{b.ISBN, s.Text}] = s.Gold
+		}
+	}
+	scoreOf := func(m FusionMethod) float64 {
+		truths, err := m.Fuse(d.Claims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances, err := BuildInstances(d, truths, DefaultWorldOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, metrics, err := PriorQuality(instances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.F1()
+	}
+	plain := scoreOf(NewTruthFinder())
+	semi := scoreOf(NewSemiSupervised(labels))
+	if semi < plain-1e-9 {
+		t.Errorf("supervision hurt the prior: %.4f -> %.4f", plain, semi)
+	}
+}
+
+// TestIntegrationDeterministicEndToEnd: the entire pipeline is
+// reproducible bit-for-bit under a fixed seed.
+func TestIntegrationDeterministicEndToEnd(t *testing.T) {
+	run := func() (float64, int) {
+		cfg := DefaultBookConfig()
+		cfg.Books = 8
+		cfg.Sources = 10
+		cfg.Seed = 23
+		d, err := GenerateBooks(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Pipeline{
+			Dataset:  d,
+			Fusion:   NewCRH(),
+			Options:  DefaultWorldOptions(),
+			Selector: SelApproxFull,
+			K:        3,
+			Budget:   15,
+			Pc:       0.8,
+			Seed:     29,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res.Sweep.Trace[len(res.Sweep.Trace)-1]
+		return res.Sweep.Final.F1(), last.Cost
+	}
+	f1a, costA := run()
+	f1b, costB := run()
+	if f1a != f1b || costA != costB {
+		t.Errorf("pipeline not deterministic: (%v, %d) vs (%v, %d)", f1a, costA, f1b, costB)
+	}
+}

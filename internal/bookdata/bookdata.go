@@ -1,0 +1,205 @@
+// Package bookdata generates a synthetic substitute for the Book dataset
+// used in the CrowdFusion paper's evaluation (the lunadong.com data-fusion
+// benchmark): books with gold author lists, online bookstores (sources)
+// claiming author-list statements with realistic error types, and gold
+// labels per statement.
+//
+// The generator reproduces the structural properties the paper's
+// experiments rely on:
+//
+//   - roughly half of all raw claims are incorrect (Section V-A reports
+//     "only around 50% of Web data facts is correct");
+//   - a book can have several true statements (order and format variants of
+//     the same author list);
+//   - sources are reliable in some domains and poor in others (the
+//     eCampus.com textbook/non-textbook example from the introduction);
+//   - hard statement classes — wrong order, additional organization info,
+//     misspellings — match the error taxonomy of Section V-D, including
+//     their depressed crowd accuracy.
+package bookdata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/fusion"
+)
+
+// Domain labels for books; sources have per-domain reliability.
+const (
+	DomainTextbook    = "textbook"
+	DomainNonTextbook = "non-textbook"
+)
+
+// Author is a single author identity.
+type Author struct {
+	First string `json:"first"`
+	Last  string `json:"last"`
+}
+
+// Key returns the canonical form of the author identity: case-insensitive
+// "first last".
+func (a Author) Key() string {
+	return strings.ToLower(a.First) + " " + strings.ToLower(a.Last)
+}
+
+// Book is one entity with a gold author list.
+type Book struct {
+	ISBN    string   `json:"isbn"`
+	Title   string   `json:"title"`
+	Domain  string   `json:"domain"`
+	Authors []Author `json:"authors"`
+}
+
+// CanonicalKey returns the canonical author-set key of the gold list.
+func (b Book) CanonicalKey() string {
+	keys := make([]string, len(b.Authors))
+	for i, a := range b.Authors {
+		keys[i] = a.Key()
+	}
+	return CanonicalizeKeys(keys)
+}
+
+// Statement is one distinct author-list assertion about a book. Its fact
+// triple, in the paper's formulation, is {book, complete full name author
+// list, statement}.
+type Statement struct {
+	ID    string           `json:"id"`
+	ISBN  string           `json:"isbn"`
+	Text  string           `json:"text"`  // rendered author list
+	Names []string         `json:"names"` // individual rendered author names
+	Class crowd.ErrorClass `json:"class"` // difficulty class (Section V-D)
+	Gold  bool             `json:"gold"`  // true iff the canonical set matches the cover
+}
+
+// CanonicalKey returns the canonical author-set key of the statement's
+// rendered names. Order and format differences disappear; misspellings and
+// appended organizations do not.
+func (s Statement) CanonicalKey() string {
+	return CanonicalizeKeys(append([]string(nil), s.Names...))
+}
+
+// CanonicalizeKeys lowercases, sorts and joins name keys; two author lists
+// with the same canonical key denote the same set of people.
+func CanonicalizeKeys(keys []string) string {
+	for i := range keys {
+		keys[i] = strings.ToLower(strings.TrimSpace(keys[i]))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// Source is one online bookstore with per-domain reliability: the
+// probability that a claim it emits in that domain is a faithful rendering
+// of the cover author list.
+type Source struct {
+	Name        string             `json:"name"`
+	Reliability map[string]float64 `json:"reliability"`
+}
+
+// Dataset bundles everything the experiments need.
+type Dataset struct {
+	Books      []Book                 `json:"books"`
+	Sources    []Source               `json:"sources"`
+	Statements map[string][]Statement `json:"statements"` // per ISBN, sorted by ID
+	Claims     []fusion.Claim         `json:"claims"`     // source assertions (Value = statement text)
+}
+
+var errUnknownISBN = errors.New("bookdata: unknown ISBN")
+
+// BookByISBN returns the book with the given ISBN.
+func (d *Dataset) BookByISBN(isbn string) (Book, error) {
+	for _, b := range d.Books {
+		if b.ISBN == isbn {
+			return b, nil
+		}
+	}
+	return Book{}, fmt.Errorf("%w: %s", errUnknownISBN, isbn)
+}
+
+// StatementCount returns the total number of distinct statements.
+func (d *Dataset) StatementCount() int {
+	n := 0
+	for _, ss := range d.Statements {
+		n += len(ss)
+	}
+	return n
+}
+
+// GoldRate returns the fraction of claims whose statement is gold-true —
+// the "about 50% of raw web data is correct" statistic.
+func (d *Dataset) GoldRate() float64 {
+	if len(d.Claims) == 0 {
+		return 0
+	}
+	gold := make(map[string]bool)
+	for _, ss := range d.Statements {
+		for _, s := range ss {
+			gold[s.ISBN+"\x00"+s.Text] = s.Gold
+		}
+	}
+	correct := 0
+	for _, c := range d.Claims {
+		if gold[c.Object+"\x00"+c.Value] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.Claims))
+}
+
+// SmallestBooks returns the ISBNs of the n books with the fewest
+// statements (ties by ISBN), matching the paper's Figure 2 setup of the 40
+// books "which contains the least number of statements".
+func (d *Dataset) SmallestBooks(n int) []string {
+	type bc struct {
+		isbn  string
+		count int
+	}
+	all := make([]bc, 0, len(d.Books))
+	for _, b := range d.Books {
+		all = append(all, bc{b.ISBN, len(d.Statements[b.ISBN])})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count < all[j].count
+		}
+		return all[i].isbn < all[j].isbn
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].isbn
+	}
+	return out
+}
+
+// BooksWithAtLeast returns the ISBNs of books with at least minStatements
+// distinct statements, matching Table V's focus on "books with facts more
+// than 20".
+func (d *Dataset) BooksWithAtLeast(minStatements int) []string {
+	var out []string
+	for _, b := range d.Books {
+		if len(d.Statements[b.ISBN]) >= minStatements {
+			out = append(out, b.ISBN)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoldJudgments returns the gold true/false labels of a book's statements,
+// in statement order — the ground truth for F1 scoring and for the
+// simulated crowd.
+func (d *Dataset) GoldJudgments(isbn string) []bool {
+	ss := d.Statements[isbn]
+	out := make([]bool, len(ss))
+	for i, s := range ss {
+		out[i] = s.Gold
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package bookdata
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"crowdfusion/internal/crowd"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Books = 30
+	cfg.Sources = 25
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Books = 0 },
+		func(c *Config) { c.Sources = 0 },
+		func(c *Config) { c.Coverage = 0 },
+		func(c *Config) { c.Coverage = 1.5 },
+		func(c *Config) { c.MinAuthors = 0 },
+		func(c *Config) { c.MaxAuthors = 0 },
+		func(c *Config) { c.TextbookShare = -1 },
+		func(c *Config) { c.ReliabilityLo = 0.9; c.ReliabilityHi = 0.1 },
+		func(c *Config) { c.WeakDomainFactor = 2 },
+		func(c *Config) { c.ReorderRate = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Books) != 30 {
+		t.Fatalf("books = %d", len(d.Books))
+	}
+	if len(d.Sources) != 25 {
+		t.Fatalf("sources = %d", len(d.Sources))
+	}
+	if len(d.Claims) == 0 {
+		t.Fatal("no claims generated")
+	}
+	for _, b := range d.Books {
+		ss := d.Statements[b.ISBN]
+		if len(ss) == 0 {
+			t.Errorf("book %s has no statements", b.ISBN)
+		}
+		goldSeen := false
+		ids := make(map[string]bool)
+		for _, s := range ss {
+			if s.ISBN != b.ISBN {
+				t.Errorf("statement %s attached to wrong book", s.ID)
+			}
+			if ids[s.ID] {
+				t.Errorf("duplicate statement ID %s", s.ID)
+			}
+			ids[s.ID] = true
+			if s.Gold {
+				goldSeen = true
+			}
+			if s.Text == "" || len(s.Names) == 0 {
+				t.Errorf("statement %s empty", s.ID)
+			}
+		}
+		if !goldSeen {
+			t.Errorf("book %s has no gold-true statement", b.ISBN)
+		}
+		if b.Domain != DomainTextbook && b.Domain != DomainNonTextbook {
+			t.Errorf("book %s has unknown domain %q", b.ISBN, b.Domain)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Claims) != len(b.Claims) {
+		t.Fatalf("claim counts differ: %d vs %d", len(a.Claims), len(b.Claims))
+	}
+	for i := range a.Claims {
+		if a.Claims[i] != b.Claims[i] {
+			t.Fatalf("claims diverge at %d: %+v vs %+v", i, a.Claims[i], b.Claims[i])
+		}
+	}
+	// A different seed must give different data.
+	cfg := testConfig()
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Claims) == len(c.Claims)
+	if same {
+		for i := range a.Claims {
+			if a.Claims[i] != c.Claims[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+// TestGoldRateNearHalf: the paper reports roughly 50% of raw web claims
+// are correct; the default generator must land in that neighborhood.
+func TestGoldRateNearHalf(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Books = 60
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := d.GoldRate()
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("gold claim rate = %v, want ~0.5", rate)
+	}
+}
+
+// TestGoldConsistency: a statement is gold-true iff its canonical author
+// set equals the book's — including order and format variants.
+func TestGoldConsistency(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for isbn, ss := range d.Statements {
+		b, err := d.BookByISBN(isbn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range ss {
+			want := s.CanonicalKey() == b.CanonicalKey()
+			if s.Gold != want {
+				t.Errorf("statement %s gold=%v, canonical says %v", s.ID, s.Gold, want)
+			}
+		}
+	}
+}
+
+// TestErrorClassesPresent: the generator must produce all four Section V-D
+// statement classes at reasonable rates.
+func TestErrorClassesPresent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Books = 60
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[crowd.ErrorClass]int)
+	for _, ss := range d.Statements {
+		for _, s := range ss {
+			counts[s.Class]++
+		}
+	}
+	for _, class := range crowd.ErrorClasses {
+		if counts[class] == 0 {
+			t.Errorf("no statements of class %v generated", class)
+		}
+	}
+	// Wrong-order statements must be gold-true; misspellings and
+	// additional-info must be gold-false.
+	for _, ss := range d.Statements {
+		for _, s := range ss {
+			switch s.Class {
+			case crowd.WrongOrder:
+				if !s.Gold {
+					t.Errorf("wrong-order statement %s is gold-false", s.ID)
+				}
+			case crowd.Misspelling, crowd.AdditionalInfo:
+				if s.Gold {
+					t.Errorf("%v statement %s is gold-true: %q", s.Class, s.ID, s.Text)
+				}
+			}
+		}
+	}
+}
+
+// TestLargeBooksExist: Table V needs books with more than 20 statements.
+func TestLargeBooksExist(t *testing.T) {
+	cfg := DefaultConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.BooksWithAtLeast(21)) == 0 {
+		max := 0
+		for _, ss := range d.Statements {
+			if len(ss) > max {
+				max = len(ss)
+			}
+		}
+		t.Errorf("no books with > 20 statements (max %d); Table V cannot run", max)
+	}
+}
+
+func TestSmallestBooks(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := d.SmallestBooks(5)
+	if len(small) != 5 {
+		t.Fatalf("SmallestBooks returned %d", len(small))
+	}
+	// They must be sorted by statement count.
+	for i := 1; i < len(small); i++ {
+		if len(d.Statements[small[i-1]]) > len(d.Statements[small[i]]) {
+			t.Error("SmallestBooks not ordered by count")
+		}
+	}
+	// Every other book has at least as many statements as the largest of
+	// the smallest.
+	limit := len(d.Statements[small[len(small)-1]])
+	chosen := make(map[string]bool)
+	for _, isbn := range small {
+		chosen[isbn] = true
+	}
+	for _, b := range d.Books {
+		if !chosen[b.ISBN] && len(d.Statements[b.ISBN]) < limit {
+			t.Errorf("book %s (%d statements) smaller than selected %d",
+				b.ISBN, len(d.Statements[b.ISBN]), limit)
+		}
+	}
+	// Requesting more than available returns everything.
+	if got := d.SmallestBooks(1000); len(got) != len(d.Books) {
+		t.Errorf("SmallestBooks(1000) = %d", len(got))
+	}
+}
+
+func TestGoldJudgments(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	isbn := d.Books[0].ISBN
+	gj := d.GoldJudgments(isbn)
+	ss := d.Statements[isbn]
+	if len(gj) != len(ss) {
+		t.Fatalf("judgment count %d != statement count %d", len(gj), len(ss))
+	}
+	for i := range gj {
+		if gj[i] != ss[i].Gold {
+			t.Errorf("judgment %d mismatch", i)
+		}
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	a := CanonicalizeKeys([]string{"Kathy Baxter", "Catherine Courage"})
+	b := CanonicalizeKeys([]string{"catherine courage", "KATHY BAXTER"})
+	if a != b {
+		t.Errorf("order/case changed canonical key: %q vs %q", a, b)
+	}
+	c := CanonicalizeKeys([]string{"Kathy Baxter"})
+	if a == c {
+		t.Error("different author sets share a canonical key")
+	}
+}
+
+func TestMisspellChangesName(t *testing.T) {
+	for pick := 0; pick < 3; pick++ {
+		for pos := 0; pos < 6; pos++ {
+			name := "Loshin"
+			got := misspell(name, pick, pos)
+			if got == name {
+				t.Errorf("misspell(%q, %d, %d) unchanged", name, pick, pos)
+			}
+		}
+	}
+	if got := misspell("X", 0, 0); got == "X" {
+		t.Error("single-letter name not perturbed")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least two distinct formats must appear among gold-true
+	// statements of some book (the multi-truth property).
+	multiTrue := false
+	for _, ss := range d.Statements {
+		goldCount := 0
+		for _, s := range ss {
+			if s.Gold {
+				goldCount++
+			}
+		}
+		if goldCount >= 2 {
+			multiTrue = true
+			break
+		}
+	}
+	if !multiTrue {
+		t.Error("no book has multiple gold-true statements; format variants missing")
+	}
+}
+
+func TestBookByISBN(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.BookByISBN(d.Books[3].ISBN)
+	if err != nil || b.ISBN != d.Books[3].ISBN {
+		t.Errorf("BookByISBN failed: %v %v", b, err)
+	}
+	if _, err := d.BookByISBN("nope"); err == nil {
+		t.Error("unknown ISBN accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Books) != len(d.Books) || len(got.Claims) != len(d.Claims) {
+		t.Fatalf("round trip changed shape: %d/%d books, %d/%d claims",
+			len(got.Books), len(d.Books), len(got.Claims), len(d.Claims))
+	}
+	if got.StatementCount() != d.StatementCount() {
+		t.Errorf("round trip changed statements: %d vs %d",
+			got.StatementCount(), d.StatementCount())
+	}
+	// Spot-check a statement survives with class and gold intact.
+	isbn := d.Books[0].ISBN
+	if got.Statements[isbn][0].Gold != d.Statements[isbn][0].Gold {
+		t.Error("gold flag lost in round trip")
+	}
+	if _, err := Load(strings.NewReader("{invalid")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/books.json"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatementCount() != d.StatementCount() {
+		t.Error("file round trip changed statement count")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestDomainReliabilitySkew: sources must be measurably better in their
+// strong domain, echoing the eCampus.com observation.
+func TestDomainReliabilitySkew(t *testing.T) {
+	d, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Sources {
+		tb, ntb := s.Reliability[DomainTextbook], s.Reliability[DomainNonTextbook]
+		if math.Abs(tb-ntb) < 1e-9 {
+			t.Errorf("source %s has flat reliability %v", s.Name, tb)
+		}
+		if tb < 0 || tb > 1 || ntb < 0 || ntb > 1 {
+			t.Errorf("source %s reliability out of range: %v %v", s.Name, tb, ntb)
+		}
+	}
+}

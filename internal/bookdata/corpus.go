@@ -1,0 +1,82 @@
+package bookdata
+
+// Embedded name/title corpora for the synthetic Book dataset. The real
+// dataset (lunadong.com) contains bookstore claims about computer-science
+// books; the corpora below skew the generated titles the same way.
+
+var firstNames = []string{
+	"Ada", "Alan", "Alice", "Andrew", "Barbara", "Bjarne", "Brian", "Carol",
+	"Catherine", "Charles", "Claude", "Dana", "David", "Dennis", "Donald",
+	"Dorothy", "Edsger", "Edward", "Elaine", "Eleanor", "Eric", "Frances",
+	"Grace", "Guido", "Harold", "Hector", "Irene", "James", "Jane",
+	"Jeffrey", "Jennifer", "John", "Judith", "Julia", "Karen", "Kathleen",
+	"Kenneth", "Kurt", "Laura", "Leslie", "Linda", "Margaret", "Martin",
+	"Mary", "Maurice", "Michael", "Nancy", "Niklaus", "Patricia", "Paul",
+	"Peter", "Rachel", "Raymond", "Richard", "Robert", "Ronald", "Ruth",
+	"Sandra", "Sarah", "Stephen", "Susan", "Thomas", "Tony", "Virginia",
+	"Walter", "William",
+}
+
+var lastNames = []string{
+	"Abrahams", "Adams", "Aho", "Allen", "Anderson", "Backus", "Baxter",
+	"Bell", "Bentley", "Bloch", "Brooks", "Carter", "Clark", "Cocke",
+	"Codd", "Cook", "Courage", "Davis", "Dean", "Diffie", "Dijkstra",
+	"Edwards", "Evans", "Fisher", "Floyd", "Foster", "Garcia", "Gray",
+	"Hamilton", "Harris", "Hartmanis", "Hennessy", "Hoare", "Hopcroft",
+	"Hopper", "Howard", "Hughes", "Iverson", "Jackson", "Johnson", "Karp",
+	"Kay", "Kernighan", "Knuth", "Lamport", "Lampson", "Lee", "Lewis",
+	"Liskov", "Loshin", "Martin", "McCarthy", "Miller", "Milner", "Mitchell",
+	"Moore", "Morgan", "Murphy", "Naur", "Nelson", "Newell", "Nygaard",
+	"Parker", "Patterson", "Perlis", "Peterson", "Phillips", "Rabin",
+	"Reynolds", "Ritchie", "Rivest", "Roberts", "Robinson", "Rogers",
+	"Scollard", "Scott", "Shamir", "Simon", "Smith", "Stearns", "Stroustrup",
+	"Sutherland", "Tarjan", "Taylor", "Thompson", "Turner", "Walker",
+	"Wilkes", "Wilkinson", "Williams", "Wilson", "Wirth", "Wright", "Young",
+}
+
+var organizations = []string{
+	"SAN JOSE STATE UNIVERSITY, USA", "MIT PRESS", "STANFORD UNIVERSITY",
+	"CARNEGIE MELLON UNIVERSITY", "BELL LABS", "IBM RESEARCH",
+	"UNIVERSITY OF CAMBRIDGE", "ETH ZURICH", "HKUST",
+	"OXFORD UNIVERSITY PRESS",
+}
+
+var titleHeads = []string{
+	"Introduction to", "Principles of", "Foundations of", "Advanced",
+	"Practical", "The Art of", "A Guide to", "Essentials of",
+	"Understanding", "Modern", "Effective", "Mastering",
+}
+
+var titleTopics = []string{
+	"Data Fusion", "Database Systems", "Crowdsourcing", "Information Theory",
+	"Distributed Computing", "Query Processing", "Truth Discovery",
+	"Data Integration", "Machine Learning", "Web Data Management",
+	"Operating Systems", "Compiler Design", "Computer Networks",
+	"Probabilistic Databases", "Entity Resolution", "Data Cleaning",
+	"Algorithm Design", "Programming Languages", "Software Engineering",
+	"Human Computation",
+}
+
+// misspell deterministically perturbs a name: it duplicates, drops, or
+// substitutes one letter, driven by the given picks. The result is always
+// different from the input for names of length >= 2.
+func misspell(name string, pick, pos int) string {
+	if len(name) < 2 {
+		return name + "e"
+	}
+	i := 1 + pos%(len(name)-1)
+	switch pick % 3 {
+	case 0: // duplicate a letter: Loshin -> Losshin
+		return name[:i] + string(name[i-1]) + name[i:]
+	case 1: // drop a letter: Loshin -> Lohin
+		return name[:i] + name[i+1:]
+	default: // shift a letter: Loshin -> Losgin
+		c := name[i]
+		if c == 'z' {
+			c = 'a'
+		} else {
+			c++
+		}
+		return name[:i] + string(c) + name[i+1:]
+	}
+}

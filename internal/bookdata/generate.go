@@ -1,0 +1,295 @@
+package bookdata
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/fusion"
+)
+
+// Config parameterizes dataset generation. The zero value is not valid;
+// use DefaultConfig and adjust.
+type Config struct {
+	Books   int   // number of books (the paper uses 100)
+	Sources int   // number of bookstore sources
+	Seed    int64 // RNG seed; identical configs generate identical datasets
+
+	// Coverage is the probability that a source emits a claim for a
+	// given book.
+	Coverage float64
+	// MinAuthors and MaxAuthors bound the gold author-list length.
+	MinAuthors, MaxAuthors int
+	// TextbookShare is the fraction of books in the textbook domain.
+	TextbookShare float64
+	// ReliabilityLo/Hi bound source reliability (probability a claim
+	// faithfully renders the cover list) in its strong domain; the weak
+	// domain gets a fraction of it, echoing the paper's eCampus.com
+	// observation (55% on textbooks, 0% elsewhere).
+	ReliabilityLo, ReliabilityHi float64
+	// WeakDomainFactor scales reliability in a source's weak domain.
+	WeakDomainFactor float64
+	// ReorderRate is the probability a faithful claim permutes the
+	// author order (gold-true but hard for the crowd: WrongOrder).
+	ReorderRate float64
+}
+
+// DefaultConfig mirrors the paper's dataset scale: 100 books, enough
+// sources that large books exceed 20 distinct statements, and an overall
+// gold-claim rate of roughly one half.
+func DefaultConfig() Config {
+	return Config{
+		Books:            100,
+		Sources:          40,
+		Seed:             1,
+		Coverage:         0.6,
+		MinAuthors:       1,
+		MaxAuthors:       4,
+		TextbookShare:    0.4,
+		ReliabilityLo:    0.45,
+		ReliabilityHi:    0.75,
+		WeakDomainFactor: 0.35,
+		ReorderRate:      0.3,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Books <= 0:
+		return errors.New("bookdata: Books must be positive")
+	case c.Sources <= 0:
+		return errors.New("bookdata: Sources must be positive")
+	case c.Coverage <= 0 || c.Coverage > 1:
+		return errors.New("bookdata: Coverage must be in (0, 1]")
+	case c.MinAuthors < 1 || c.MaxAuthors < c.MinAuthors:
+		return errors.New("bookdata: author bounds invalid")
+	case c.TextbookShare < 0 || c.TextbookShare > 1:
+		return errors.New("bookdata: TextbookShare must be in [0, 1]")
+	case c.ReliabilityLo < 0 || c.ReliabilityHi > 1 || c.ReliabilityLo > c.ReliabilityHi:
+		return errors.New("bookdata: reliability bounds invalid")
+	case c.WeakDomainFactor < 0 || c.WeakDomainFactor > 1:
+		return errors.New("bookdata: WeakDomainFactor must be in [0, 1]")
+	case c.ReorderRate < 0 || c.ReorderRate > 1:
+		return errors.New("bookdata: ReorderRate must be in [0, 1]")
+	}
+	return nil
+}
+
+// Generate builds a deterministic synthetic dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Statements: make(map[string][]Statement)}
+
+	// Books with gold author lists.
+	for i := 0; i < cfg.Books; i++ {
+		nAuthors := cfg.MinAuthors + rng.Intn(cfg.MaxAuthors-cfg.MinAuthors+1)
+		authors := make([]Author, nAuthors)
+		used := make(map[string]bool)
+		for a := 0; a < nAuthors; a++ {
+			for {
+				au := Author{
+					First: firstNames[rng.Intn(len(firstNames))],
+					Last:  lastNames[rng.Intn(len(lastNames))],
+				}
+				if !used[au.Key()] {
+					used[au.Key()] = true
+					authors[a] = au
+					break
+				}
+			}
+		}
+		domain := DomainNonTextbook
+		if rng.Float64() < cfg.TextbookShare {
+			domain = DomainTextbook
+		}
+		d.Books = append(d.Books, Book{
+			ISBN: fmt.Sprintf("978%07d", i),
+			Title: fmt.Sprintf("%s %s",
+				titleHeads[rng.Intn(len(titleHeads))],
+				titleTopics[rng.Intn(len(titleTopics))]),
+			Domain:  domain,
+			Authors: authors,
+		})
+	}
+
+	// Sources with per-domain reliability; every source is strong in one
+	// domain and weak in the other.
+	for s := 0; s < cfg.Sources; s++ {
+		strong := cfg.ReliabilityLo + rng.Float64()*(cfg.ReliabilityHi-cfg.ReliabilityLo)
+		weak := strong * cfg.WeakDomainFactor
+		rel := map[string]float64{}
+		if s%2 == 0 {
+			rel[DomainTextbook], rel[DomainNonTextbook] = strong, weak
+		} else {
+			rel[DomainTextbook], rel[DomainNonTextbook] = weak, strong
+		}
+		d.Sources = append(d.Sources, Source{
+			Name:        fmt.Sprintf("store%02d.example", s),
+			Reliability: rel,
+		})
+	}
+
+	// Claims: each covered (source, book) pair emits one statement.
+	type stmtKey struct{ isbn, text string }
+	stmtIndex := make(map[stmtKey]int) // position within d.Statements[isbn]
+	addStatement := func(b Book, names []string, class crowd.ErrorClass) Statement {
+		text := renderList(names, rng)
+		key := stmtKey{b.ISBN, text}
+		if idx, ok := stmtIndex[key]; ok {
+			return d.Statements[b.ISBN][idx]
+		}
+		s := Statement{
+			ID:    fmt.Sprintf("%s#%03d", b.ISBN, len(d.Statements[b.ISBN])),
+			ISBN:  b.ISBN,
+			Text:  text,
+			Names: names,
+			Class: class,
+			Gold:  CanonicalizeKeys(append([]string(nil), names...)) == b.CanonicalKey(),
+		}
+		stmtIndex[key] = len(d.Statements[b.ISBN])
+		d.Statements[b.ISBN] = append(d.Statements[b.ISBN], s)
+		return s
+	}
+
+	for _, b := range d.Books {
+		goldSeen := false
+		for _, src := range d.Sources {
+			if rng.Float64() >= cfg.Coverage {
+				continue
+			}
+			names, class := makeClaimNames(b, src, cfg, rng)
+			s := addStatement(b, names, class)
+			if s.Gold {
+				goldSeen = true
+			}
+			d.Claims = append(d.Claims, fusion.Claim{
+				Source: src.Name,
+				Object: b.ISBN,
+				Value:  s.Text,
+			})
+		}
+		if !goldSeen {
+			// Guarantee at least one faithful statement per book (the
+			// real dataset's gold standard always has one); attribute
+			// it to a random source.
+			names := coverNames(b)
+			s := addStatement(b, names, crowd.Easy)
+			src := d.Sources[rng.Intn(len(d.Sources))]
+			d.Claims = append(d.Claims, fusion.Claim{
+				Source: src.Name,
+				Object: b.ISBN,
+				Value:  s.Text,
+			})
+		}
+	}
+
+	sort.Slice(d.Claims, func(i, j int) bool {
+		a, b := d.Claims[i], d.Claims[j]
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Value < b.Value
+	})
+	return d, nil
+}
+
+// coverNames renders the gold author list in cover order.
+func coverNames(b Book) []string {
+	names := make([]string, len(b.Authors))
+	for i, a := range b.Authors {
+		names[i] = a.First + " " + a.Last
+	}
+	return names
+}
+
+// makeClaimNames produces the author names one source claims for one book,
+// with the difficulty class of the produced statement.
+func makeClaimNames(b Book, src Source, cfg Config, rng *rand.Rand) ([]string, crowd.ErrorClass) {
+	names := coverNames(b)
+	if rng.Float64() < src.Reliability[b.Domain] {
+		// Faithful claim; possibly in a different order.
+		if len(names) >= 2 && rng.Float64() < cfg.ReorderRate {
+			perm := rng.Perm(len(names))
+			identity := true
+			shuffled := make([]string, len(names))
+			for i, p := range perm {
+				shuffled[i] = names[p]
+				if p != i {
+					identity = false
+				}
+			}
+			if !identity {
+				return shuffled, crowd.WrongOrder
+			}
+		}
+		return names, crowd.Easy
+	}
+	// Corrupted claim.
+	out := append([]string(nil), names...)
+	target := rng.Intn(len(out))
+	switch roll := rng.Float64(); {
+	case roll < 0.30: // misspelling
+		parts := strings.SplitN(out[target], " ", 2)
+		if len(parts) == 2 {
+			parts[1] = misspell(parts[1], rng.Intn(3), rng.Intn(8))
+			out[target] = parts[0] + " " + parts[1]
+		} else {
+			out[target] = misspell(out[target], rng.Intn(3), rng.Intn(8))
+		}
+		return out, crowd.Misspelling
+	case roll < 0.55: // appended organization info
+		org := organizations[rng.Intn(len(organizations))]
+		out[target] = out[target] + " (" + org + ")"
+		return out, crowd.AdditionalInfo
+	case roll < 0.80 && len(out) >= 2: // dropped author
+		out = append(out[:target], out[target+1:]...)
+		return out, crowd.Easy
+	default: // substituted author
+		out[target] = firstNames[rng.Intn(len(firstNames))] + " " +
+			lastNames[rng.Intn(len(lastNames))]
+		return out, crowd.Easy
+	}
+}
+
+// renderList renders author names in one of the formats observed in the
+// real dataset: "First Last; ...", "Last, First; ...", "First Last and ..."
+// or the uppercase "LAST, FIRST LAST, FIRST" form from the paper's
+// wrong-order example.
+func renderList(names []string, rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return strings.Join(names, "; ")
+	case 1:
+		return strings.Join(mapNames(names, lastFirst), "; ")
+	case 2:
+		return strings.Join(names, " and ")
+	default:
+		return strings.ToUpper(strings.Join(mapNames(names, lastFirst), " "))
+	}
+}
+
+func lastFirst(name string) string {
+	parts := strings.SplitN(name, " ", 2)
+	if len(parts) != 2 {
+		return name
+	}
+	// Keep any appended organization with the first name part.
+	return parts[1] + ", " + parts[0]
+}
+
+func mapNames(names []string, f func(string) string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = f(n)
+	}
+	return out
+}

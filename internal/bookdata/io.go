@@ -1,0 +1,54 @@
+package bookdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the dataset as indented JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("bookdata: encoding dataset: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the dataset to a JSON file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bookdata: %w", err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from JSON.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("bookdata: decoding dataset: %w", err)
+	}
+	if d.Statements == nil {
+		d.Statements = make(map[string][]Statement)
+	}
+	return &d, nil
+}
+
+// LoadFile reads a dataset from a JSON file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bookdata: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCostSelectorValidation(t *testing.T) {
+	j := paperJoint(t)
+	s := NewCostSelector(nil)
+	if _, _, err := s.SelectBudget(j, 0, 0.8); err != ErrNoTasks {
+		t.Errorf("zero budget err = %v", err)
+	}
+	if _, _, err := s.SelectBudget(j, 2, 0.3); err != ErrBadAccuracy {
+		t.Errorf("bad pc err = %v", err)
+	}
+	bad := NewCostSelector(map[int]float64{0: -1})
+	if _, _, err := bad.SelectBudget(j, 2, 0.8); err == nil {
+		t.Error("negative cost accepted")
+	}
+	oob := NewCostSelector(map[int]float64{9: 1})
+	if _, _, err := oob.SelectBudget(j, 2, 0.8); err == nil {
+		t.Error("out-of-range cost accepted")
+	}
+}
+
+// TestCostSelectorUnitCostsMatchGreedy: with all costs 1 and budget k, the
+// cost-aware selection achieves the same entropy as Algorithm 1's greedy.
+func TestCostSelectorUnitCostsMatchGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(4)
+		j := randomJoint(rng, n, 2+rng.Intn(10))
+		pc := 0.6 + rng.Float64()*0.4
+		k := 2 + rng.Intn(2)
+
+		plain, err := NewGreedy().Select(j, k, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hPlain, err := TaskEntropy(j, plain, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costed, spent, err := NewCostSelector(nil).SelectBudget(j, float64(k), pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hCost, err := TaskEntropy(j, costed, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spent > float64(k)+1e-9 {
+			t.Fatalf("spent %v over budget %d", spent, k)
+		}
+		// Ratio greedy with equal costs = gain greedy; allow tiny slack
+		// for the noise-floor stopping interplay.
+		if hCost < hPlain-0.2 {
+			t.Errorf("unit-cost selection H=%v far below greedy H=%v", hCost, hPlain)
+		}
+	}
+}
+
+// TestCostSelectorPrefersCheapInformation: two near-identical facts where
+// one costs 5x as much — the cheap one must be chosen first.
+func TestCostSelectorPrefersCheapInformation(t *testing.T) {
+	j := paperJoint(t)
+	// f1 (index 0) has the highest single-task entropy; price it out.
+	s := NewCostSelector(map[int]float64{0: 5})
+	tasks, spent, err := s.SelectBudget(j, 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tasks {
+		if f == 0 {
+			t.Errorf("selected the overpriced fact 0 (tasks %v, spent %v)", tasks, spent)
+		}
+	}
+	if len(tasks) < 2 {
+		t.Errorf("budget 3 with unit alternatives bought only %v", tasks)
+	}
+}
+
+// TestCostSelectorCELFGuard: when one expensive task dominates everything
+// affordable by ratio, the single-best guard still picks it if its
+// absolute gain wins.
+func TestCostSelectorCELFGuard(t *testing.T) {
+	// Two facts: fact 0 uncertain (high gain, cost 4), fact 1 nearly
+	// certain (tiny gain, cost 1). Budget 4: ratio greedy would buy the
+	// cheap dribble first and could then not afford fact 0.
+	j := mustJoint(t, 2, []uint64{0b00, 0b01, 0b11}, []float64{0.49, 0.49, 0.02})
+	s := NewCostSelector(map[int]float64{0: 4, 1: 1})
+	tasks, spent, err := s.SelectBudget(j, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hGot, err := TaskEntropy(j, tasks, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSingle, err := TaskEntropy(j, []int{0}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hGot < hSingle-1e-9 {
+		t.Errorf("selection %v (H=%v, spent %v) worse than the single big task (H=%v)",
+			tasks, hGot, spent, hSingle)
+	}
+}
+
+// TestCostSelectorRespectsNoiseFloor: certain facts are never bought at
+// any price.
+func TestCostSelectorRespectsNoiseFloor(t *testing.T) {
+	j := mustJoint(t, 3, []uint64{0b101}, []float64{1})
+	tasks, spent, err := NewCostSelector(nil).SelectBudget(j, 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 || spent != 0 {
+		t.Errorf("bought %v (spent %v) from a certain distribution", tasks, spent)
+	}
+}
+
+// TestCostSelectorBudgetBinding: total spend never exceeds the budget even
+// with fractional costs.
+func TestCostSelectorBudgetBinding(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(4)
+		j := randomJoint(rng, n, 2+rng.Intn(8))
+		costs := make(map[int]float64, n)
+		for f := 0; f < n; f++ {
+			costs[f] = 0.5 + 2*rng.Float64()
+		}
+		budget := 1 + 4*rng.Float64()
+		tasks, spent, err := NewCostSelector(costs).SelectBudget(j, budget, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spent > budget+1e-9 {
+			t.Fatalf("spent %v over budget %v (tasks %v)", spent, budget, tasks)
+		}
+		var check float64
+		for _, f := range tasks {
+			check += costs[f]
+		}
+		if math.Abs(check-spent) > 1e-9 {
+			t.Fatalf("reported spend %v != actual %v", spent, check)
+		}
+	}
+}

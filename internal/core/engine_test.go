@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+)
+
+func TestEngineValidate(t *testing.T) {
+	j := paperJoint(t)
+	truth := dist.World(0b0111)
+	sim, err := crowd.NewSimulator(truth, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.8, K: 2, Budget: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid engine rejected: %v", err)
+	}
+	bad := []Engine{
+		{Selector: NewGreedy(), Crowd: sim, Pc: 0.8, K: 2, Budget: 10},
+		{Prior: j, Crowd: sim, Pc: 0.8, K: 2, Budget: 10},
+		{Prior: j, Selector: NewGreedy(), Pc: 0.8, K: 2, Budget: 10},
+		{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.2, K: 2, Budget: 10},
+		{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.8, K: 0, Budget: 10},
+		{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.8, K: 2, Budget: 0},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("invalid engine %d accepted", i)
+		}
+		if _, err := e.Run(); err == nil {
+			t.Errorf("invalid engine %d ran", i)
+		}
+	}
+}
+
+// TestEnginePerfectCrowdConverges: with Pc = 1 the engine pins every fact
+// to the hidden truth and utility climbs to its maximum of 0.
+func TestEnginePerfectCrowdConverges(t *testing.T) {
+	j := paperJoint(t)
+	truth := dist.World(0b0101) // f1 true, f2 false, f3 true, f4 false
+	sim, err := crowd.NewSimulator(truth, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 1.0, K: 2, Budget: 8}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	judgments := res.Judgments()
+	for i, v := range judgments {
+		if v != truth.Has(i) {
+			t.Errorf("fact %d judged %v, truth %v", i, v, truth.Has(i))
+		}
+	}
+	if u := -res.Final.Entropy(); math.Abs(u) > 1e-9 {
+		t.Errorf("final utility = %v, want 0 with a perfect crowd", u)
+	}
+	// With all facts certain, selection stops before the budget runs out.
+	if res.Cost >= 8 {
+		t.Errorf("cost = %d; expected early stop before budget 8", res.Cost)
+	}
+}
+
+// TestEngineBudgetAccounting: rounds consume exactly K tasks except a
+// smaller final round, and never exceed the budget.
+func TestEngineBudgetAccounting(t *testing.T) {
+	j := paperJoint(t)
+	truth := dist.World(0b0101)
+	sim, err := crowd.NewSimulator(truth, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Prior: j, Selector: NewRandom(5), Crowd: sim, Pc: 0.7, K: 3, Budget: 7}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 7 {
+		t.Errorf("cost %d exceeded budget 7", res.Cost)
+	}
+	var total int
+	for i, r := range res.Rounds {
+		if len(r.Tasks) != len(r.Answers) {
+			t.Errorf("round %d: %d tasks, %d answers", r.Round, len(r.Tasks), len(r.Answers))
+		}
+		total += len(r.Tasks)
+		if r.CumCost != total {
+			t.Errorf("round %d: CumCost %d, want %d", r.Round, r.CumCost, total)
+		}
+		if r.Round != i+1 {
+			t.Errorf("round numbering off: %d at index %d", r.Round, i)
+		}
+		if r.Selected != "Random" {
+			t.Errorf("round %d: Selected = %q", r.Round, r.Selected)
+		}
+	}
+	if total != res.Cost {
+		t.Errorf("trace total %d != cost %d", total, res.Cost)
+	}
+	// K=3 with budget 7: rounds of 3, 3, 1.
+	if len(res.Rounds) != 3 || len(res.Rounds[2].Tasks) != 1 {
+		t.Errorf("rounds = %d (last size %d), want 3 rounds ending with 1 task",
+			len(res.Rounds), len(res.Rounds[len(res.Rounds)-1].Tasks))
+	}
+}
+
+// TestEngineImprovesUtilityOnAverage: across seeds, running CrowdFusion
+// with a reasonably accurate crowd must increase expected utility over the
+// prior — the system's core promise.
+func TestEngineImprovesUtilityOnAverage(t *testing.T) {
+	j := paperJoint(t)
+	prior := -j.Entropy()
+	var sum float64
+	const runs = 40
+	for seed := int64(0); seed < runs; seed++ {
+		truth := dist.World(0b1011)
+		sim, err := crowd.NewSimulator(truth, 0.8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.8, K: 2, Budget: 6}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += -res.Final.Entropy()
+	}
+	avg := sum / runs
+	if avg <= prior {
+		t.Errorf("average utility %v did not improve over prior %v", avg, prior)
+	}
+}
+
+// TestEngineMismatchedProvider: a provider returning the wrong number of
+// answers is an error, not a panic.
+type brokenProvider struct{}
+
+func (brokenProvider) Answers(tasks []int) []bool { return nil }
+
+func TestEngineMismatchedProvider(t *testing.T) {
+	j := paperJoint(t)
+	eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: brokenProvider{}, Pc: 0.8, K: 2, Budget: 4}
+	if _, err := eng.Run(); err == nil {
+		t.Error("mismatched provider accepted")
+	}
+}
+
+func TestMergeAnswers(t *testing.T) {
+	j := paperJoint(t)
+	post, err := MergeAnswers(j, []int{0}, []bool{true}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := post.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Posterior P(f1) = 0.8·0.5 / 0.5 = 0.8.
+	if math.Abs(m-0.8) > 1e-9 {
+		t.Errorf("posterior P(f1) = %v, want 0.8", m)
+	}
+	if _, err := MergeAnswers(j, []int{0, 0}, []bool{true, true}, 0.8); err == nil {
+		t.Error("duplicate tasks accepted")
+	}
+}
+
+// TestEngineQuerySelector: the engine runs end-to-end with the query-based
+// selector and refines the facts of interest.
+func TestEngineQuerySelector(t *testing.T) {
+	j := paperJoint(t)
+	truth := dist.World(0b0111)
+	sim, err := crowd.NewSimulator(truth, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := &QueryGreedySelector{FOI: []int{1, 2}}
+	eng := Engine{Prior: j, Selector: sel, Crowd: sim, Pc: 0.9, K: 2, Budget: 8}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == 0 {
+		t.Fatal("query engine asked nothing")
+	}
+	priorH, err := j.FactEntropy([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postH, err := res.Final.FactEntropy([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postH >= priorH {
+		t.Errorf("FOI entropy did not drop: %v -> %v", priorH, postH)
+	}
+}
+
+// TestEngineDeterminism: identical seeds and configuration give identical
+// traces.
+func TestEngineDeterminism(t *testing.T) {
+	j := paperJoint(t)
+	run := func() *Result {
+		sim, err := crowd.NewSimulator(dist.World(0b0101), 0.8, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := Engine{Prior: j, Selector: NewGreedyPrunePre(), Crowd: sim, Pc: 0.8, K: 2, Budget: 10}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cost != b.Cost || len(a.Rounds) != len(b.Rounds) {
+		t.Fatal("deterministic runs diverged in shape")
+	}
+	for i := range a.Rounds {
+		if math.Abs(a.Rounds[i].Utility-b.Rounds[i].Utility) > 1e-12 {
+			t.Fatalf("round %d utilities diverged", i)
+		}
+	}
+}
+
+// TestEngineNoisyCrowdNotMonotone documents the paper's Figure 2
+// observation: with a noisy crowd, utility is not necessarily monotone in
+// the number of answers — wrong answers can lower it. We only require that
+// some run exhibits a non-monotone step, proving the engine does not
+// artificially smooth the trace.
+func TestEngineNoisyCrowdNotMonotone(t *testing.T) {
+	j := paperJoint(t)
+	sawDrop := false
+	for seed := int64(0); seed < 60 && !sawDrop; seed++ {
+		sim, err := crowd.NewSimulator(dist.World(0b0101), 0.7, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.7, K: 1, Budget: 12}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -j.Entropy()
+		for _, r := range res.Rounds {
+			if r.Utility < prev-1e-9 {
+				sawDrop = true
+				break
+			}
+			prev = r.Utility
+		}
+	}
+	if !sawDrop {
+		t.Error("no seed produced a utility drop; noisy merging looks suspiciously monotone")
+	}
+}
+
+// fixedProvider returns scripted answers, for deterministic engine tests.
+type fixedProvider struct {
+	script [][]bool
+	call   int
+}
+
+func (f *fixedProvider) Answers(tasks []int) []bool {
+	if f.call >= len(f.script) {
+		return make([]bool, len(tasks))
+	}
+	a := f.script[f.call]
+	f.call++
+	if len(a) > len(tasks) {
+		a = a[:len(tasks)]
+	}
+	for len(a) < len(tasks) {
+		a = append(a, false)
+	}
+	return a
+}
+
+func TestEngineScriptedRun(t *testing.T) {
+	j := paperJoint(t)
+	prov := &fixedProvider{script: [][]bool{{true, false}, {true, false}}}
+	eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: prov, Pc: 0.8, K: 2, Budget: 4}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 4 || len(res.Rounds) != 2 {
+		t.Fatalf("cost=%d rounds=%d, want 4 and 2", res.Cost, len(res.Rounds))
+	}
+	// Repeated confirmations of f1=true push its marginal up each round.
+	m0, _ := j.Marginal(0)
+	m1, _ := res.Final.Marginal(0)
+	if m1 <= m0 {
+		t.Errorf("P(f1) did not increase: %v -> %v", m0, m1)
+	}
+}
+
+func TestResultJudgments(t *testing.T) {
+	j, err := dist.New(3, []dist.World{0b011, 0b001}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Final: j}
+	got := res.Judgments()
+	want := []bool{true, true, false} // P = 1.0, 0.7, 0.0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("judgment %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Benchmark-ish sanity: the engine over many random instances never errors.
+func TestEngineFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		j := randomJoint(rng, n, 2+rng.Intn(10))
+		var truth dist.World
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				truth = truth.Set(i, true)
+			}
+		}
+		pc := 0.6 + rng.Float64()*0.4
+		sim, err := crowd.NewSimulator(truth, pc, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := Engine{
+			Prior:    j,
+			Selector: NewGreedyPrunePre(),
+			Crowd:    sim,
+			Pc:       pc,
+			K:        1 + rng.Intn(3),
+			Budget:   1 + rng.Intn(12),
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatalf("engine fuzz trial %d: %v", trial, err)
+		}
+	}
+}

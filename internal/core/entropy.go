@@ -1,0 +1,155 @@
+// Package core implements the CrowdFusion system of Section III of the
+// paper: computing the entropy H(T) of the crowd-answer distribution for a
+// candidate task set, selecting task sets (brute-force OPT, the greedy
+// (1-1/e)-approximation of Algorithm 1, its pruning and preprocessing
+// accelerations, and a random baseline), merging crowd answers back into the
+// output distribution (Equation 3), the query-based variant of Section IV,
+// and the NP-hardness reduction of Theorem 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/info"
+)
+
+// MaxTasksPerRound bounds the size k of a selected task set. The answer
+// space has 2^k patterns, so selection cost grows exponentially in k; the
+// paper's experiments stop at k = 10.
+const MaxTasksPerRound = 20
+
+var (
+	// ErrTooManyTasks is returned when k exceeds MaxTasksPerRound.
+	ErrTooManyTasks = errors.New("core: task set too large (limit 20 per round)")
+	// ErrBadAccuracy is returned for crowd accuracies outside [0.5, 1].
+	ErrBadAccuracy = errors.New("core: crowd accuracy must be in [0.5, 1]")
+	// ErrNoTasks is returned when a selector is asked for k <= 0 tasks.
+	ErrNoTasks = errors.New("core: requested task count must be positive")
+)
+
+// bscWeights returns the per-disagreement-count channel weights
+// w[d] = pc^(k-d) * (1-pc)^d for d = 0..k: the probability that a crowd with
+// accuracy pc produces an answer vector at Hamming distance d from the true
+// judgments of k independent tasks (Equation 2's Pc^#Same (1-Pc)^#Diff).
+func bscWeights(k int, pc float64) []float64 {
+	w := make([]float64, k+1)
+	w[0] = 1
+	for i := 0; i < k; i++ {
+		w[0] *= pc
+	}
+	if pc == 0 {
+		// Degenerate: only the all-wrong vector is possible.
+		for d := 0; d < k; d++ {
+			w[d+1] = 0
+		}
+		if k > 0 {
+			w[k] = 1
+		}
+		return w
+	}
+	ratio := (1 - pc) / pc
+	for d := 1; d <= k; d++ {
+		w[d] = w[d-1] * ratio
+	}
+	return w
+}
+
+// patternMasses groups the support of j by the judgments of the given tasks
+// and returns the distinct patterns with their total probabilities — the
+// task-set marginal of the output distribution, sparsely.
+func patternMasses(j *dist.Joint, tasks []int) (patterns []uint64, masses []float64) {
+	worlds := j.Worlds()
+	probs := j.Probs()
+	acc := make(map[uint64]float64, len(worlds))
+	order := make([]uint64, 0, len(worlds))
+	for i, w := range worlds {
+		p := w.Pattern(tasks)
+		if _, seen := acc[p]; !seen {
+			order = append(order, p)
+		}
+		acc[p] += probs[i]
+	}
+	masses = make([]float64, len(order))
+	for i, p := range order {
+		masses[i] = acc[p]
+	}
+	return order, masses
+}
+
+// answerDistribution computes the exact probability of every crowd answer
+// pattern for the given task-set marginal: the k-fold binary symmetric
+// channel applied to the pattern masses.
+//
+//	P(a) = sum_q masses[q] * pc^(k - d(a, q)) * (1-pc)^d(a, q)
+//
+// where d is the Hamming distance between answer pattern a and world pattern
+// q over the k selected tasks. The result is a dense vector of length 2^k.
+func answerDistribution(patterns []uint64, masses []float64, k int, pc float64) []float64 {
+	weights := bscWeights(k, pc)
+	out := make([]float64, 1<<uint(k))
+	for qi, q := range patterns {
+		m := masses[qi]
+		if m == 0 {
+			continue
+		}
+		for a := uint64(0); a < uint64(len(out)); a++ {
+			d := bits.OnesCount64(a ^ q)
+			out[a] += m * weights[d]
+		}
+	}
+	return out
+}
+
+// TaskEntropy returns H(T): the Shannon entropy, in bits, of the joint
+// distribution of crowd answers to the given tasks (Section III-B). It is
+// the quantity Algorithm 1 greedily maximizes, since
+// ΔQ(F) = H(T) - k·H(Crowd) and the crowd term is constant for fixed k.
+//
+// With pc = 1 it degenerates to the fact entropy H({f_i | f_i in T}), the
+// special case the paper discusses after Equation 4.
+func TaskEntropy(j *dist.Joint, tasks []int, pc float64) (float64, error) {
+	if err := checkTasks(j, tasks, pc); err != nil {
+		return 0, err
+	}
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	patterns, masses := patternMasses(j, tasks)
+	return info.Entropy(answerDistribution(patterns, masses, len(tasks), pc)), nil
+}
+
+// UtilityGain returns ΔQ(F) = H(T) - |T|·H(Crowd), the expected utility
+// improvement of asking the task set T (Definition 5 rearranged). A
+// negative value means the crowd's noise outweighs the information gained.
+func UtilityGain(j *dist.Joint, tasks []int, pc float64) (float64, error) {
+	h, err := TaskEntropy(j, tasks, pc)
+	if err != nil {
+		return 0, err
+	}
+	return h - float64(len(tasks))*info.Binary(pc), nil
+}
+
+// checkTasks validates a task set against a joint distribution.
+func checkTasks(j *dist.Joint, tasks []int, pc float64) error {
+	if pc < 0.5 || pc > 1 || math.IsNaN(pc) {
+		return ErrBadAccuracy
+	}
+	if len(tasks) > MaxTasksPerRound {
+		return ErrTooManyTasks
+	}
+	seen := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		if t < 0 || t >= j.N() {
+			return fmt.Errorf("core: task %d out of range [0, %d)", t, j.N())
+		}
+		if seen[t] {
+			return fmt.Errorf("core: duplicate task %d in set", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+)
+
+func TestFixedKPolicy(t *testing.T) {
+	if got := FixedK(3).NextK(PolicyStats{Round: 5, Entropy: 2}); got != 3 {
+		t.Errorf("FixedK = %d", got)
+	}
+}
+
+func TestEntropyAdaptiveK(t *testing.T) {
+	p := EntropyAdaptiveK{MinK: 1, MaxK: 5}
+	// Full uncertainty: max rounds.
+	if got := p.NextK(PolicyStats{Entropy: 4, InitialEntropy: 4}); got != 5 {
+		t.Errorf("full entropy k = %d, want 5", got)
+	}
+	// Resolved: min rounds.
+	if got := p.NextK(PolicyStats{Entropy: 0, InitialEntropy: 4}); got != 1 {
+		t.Errorf("zero entropy k = %d, want 1", got)
+	}
+	// Halfway: middle.
+	if got := p.NextK(PolicyStats{Entropy: 2, InitialEntropy: 4}); got != 3 {
+		t.Errorf("half entropy k = %d, want 3", got)
+	}
+	// Degenerate configurations clamp sanely.
+	bad := EntropyAdaptiveK{MinK: 0, MaxK: -3}
+	if got := bad.NextK(PolicyStats{Entropy: 1, InitialEntropy: 1}); got != 1 {
+		t.Errorf("degenerate policy k = %d, want 1", got)
+	}
+	if got := p.NextK(PolicyStats{Entropy: 9, InitialEntropy: 0}); got != 1 {
+		t.Errorf("zero initial entropy k = %d, want MinK", got)
+	}
+	// Entropy above initial (possible after contradictory answers) clamps.
+	if got := p.NextK(PolicyStats{Entropy: 8, InitialEntropy: 4}); got != 5 {
+		t.Errorf("overshoot entropy k = %d, want MaxK", got)
+	}
+}
+
+func TestHalvingK(t *testing.T) {
+	p := HalvingK{InitialK: 8, FullRounds: 2}
+	want := map[int]int{1: 8, 2: 8, 3: 4, 4: 4, 5: 2, 6: 2, 7: 1, 8: 1, 20: 1}
+	for round, k := range want {
+		if got := p.NextK(PolicyStats{Round: round}); got != k {
+			t.Errorf("round %d: k = %d, want %d", round, got, k)
+		}
+	}
+	deg := HalvingK{InitialK: 0, FullRounds: 0}
+	if got := deg.NextK(PolicyStats{Round: 3}); got != 1 {
+		t.Errorf("degenerate halving k = %d", got)
+	}
+}
+
+func TestRunWithPolicyNilFallsBack(t *testing.T) {
+	j := paperJoint(t)
+	sim, err := crowd.NewSimulator(dist.World(0b0101), 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.9, K: 2, Budget: 6}
+	res, err := eng.RunWithPolicy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == 0 {
+		t.Error("nil policy run asked nothing")
+	}
+}
+
+// TestRunWithPolicyAdaptiveShrinks: with an adaptive policy on a quickly
+// resolving instance, later rounds must be no larger than the first.
+func TestRunWithPolicyAdaptiveShrinks(t *testing.T) {
+	marginals := make([]float64, 8)
+	for i := range marginals {
+		marginals[i] = 0.5
+	}
+	j, err := dist.Independent(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := crowd.NewSimulator(dist.World(0b10110100), 0.95, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Prior: j, Selector: NewGreedyPrune(), Crowd: sim, Pc: 0.95, Budget: 24}
+	res, err := eng.RunWithPolicy(EntropyAdaptiveK{MinK: 1, MaxK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("only %d rounds", len(res.Rounds))
+	}
+	first := len(res.Rounds[0].Tasks)
+	last := len(res.Rounds[len(res.Rounds)-1].Tasks)
+	if first < last {
+		t.Errorf("rounds grew: first %d, last %d", first, last)
+	}
+	if first != 6 {
+		t.Errorf("first round size %d, want MaxK 6 at full uncertainty", first)
+	}
+	if res.Cost > 24 {
+		t.Errorf("cost %d exceeds budget", res.Cost)
+	}
+}
+
+// TestRunWithPolicyBudgetClamp: the policy's request never overruns the
+// remaining budget.
+func TestRunWithPolicyBudgetClamp(t *testing.T) {
+	j := paperJoint(t)
+	sim, err := crowd.NewSimulator(dist.World(0b0101), 0.8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Prior: j, Selector: NewGreedy(), Crowd: sim, Pc: 0.8, Budget: 5}
+	res, err := eng.RunWithPolicy(FixedK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 5 {
+		t.Errorf("cost %d exceeds budget 5", res.Cost)
+	}
+	// 4 then 1.
+	if len(res.Rounds) >= 2 && len(res.Rounds[1].Tasks) > 1 {
+		t.Errorf("second round size %d, want <= 1", len(res.Rounds[1].Tasks))
+	}
+}
+
+func TestRunWithPolicyValidates(t *testing.T) {
+	eng := Engine{} // invalid
+	if _, err := eng.RunWithPolicy(FixedK(2)); err == nil {
+		t.Error("invalid engine accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/info"
+)
+
+// Preprocessed holds the precomputed answer joint distribution of Section
+// III-F: for every support world r (interpreted as a full answer vector over
+// all n facts), the probability A[r] that the crowd, asked every fact,
+// returns exactly that vector:
+//
+//	A[r] = sum_i P(o_i) * pc^(n - d(w_r, w_i)) * (1-pc)^d(w_r, w_i).
+//
+// The paper restricts the answer joint to the ids of the output support
+// (its Table IV over the full 2^n cube is the special case of a dense
+// support), which makes the precomputation O(|O|^2). Marginalizing A over a
+// task set T with Algorithm 2 then costs O(|O|) per evaluation instead of
+// O(2^|T|·|O|).
+//
+// When the support covers the whole cube the marginalization is exact
+// (crowd noise on unselected facts sums out); on a sparse support it is an
+// approximation whose quality the ablation benchmarks measure.
+type Preprocessed struct {
+	joint   *dist.Joint
+	pc      float64
+	answerP []float64 // A[r], parallel to joint.Worlds()
+	total   float64   // sum of A[r]; < 1 on sparse supports
+}
+
+// Preprocess computes the answer joint distribution for the given output
+// distribution and crowd accuracy. Cost: O(|O|^2) with O(1) work per pair
+// (popcount). The result may be reused for any number of task-set
+// evaluations and selections, but is invalidated by answer merging (the
+// posterior is a different distribution); each selection round preprocesses
+// once, as the paper notes.
+func Preprocess(j *dist.Joint, pc float64) (*Preprocessed, error) {
+	if pc < 0.5 || pc > 1 || math.IsNaN(pc) {
+		return nil, ErrBadAccuracy
+	}
+	worlds := j.Worlds()
+	probs := j.Probs()
+	n := j.N()
+	weights := bscWeights(n, pc)
+	a := make([]float64, len(worlds))
+	var total float64
+	for r, wr := range worlds {
+		var acc float64
+		for i, wi := range worlds {
+			d := bits.OnesCount64(uint64(wr ^ wi))
+			acc += probs[i] * weights[d]
+		}
+		a[r] = acc
+		total += acc
+	}
+	return &Preprocessed{joint: j, pc: pc, answerP: a, total: total}, nil
+}
+
+// Joint returns the output distribution the preprocessing was built from.
+func (p *Preprocessed) Joint() *dist.Joint { return p.joint }
+
+// Pc returns the crowd accuracy the preprocessing was built for.
+func (p *Preprocessed) Pc() float64 { return p.pc }
+
+// AnswerProb returns A[r] for the r-th support world: the probability that
+// asking all facts yields that world's judgments as the answer vector. This
+// regenerates the rows of the paper's Table IV when the support is dense.
+func (p *Preprocessed) AnswerProb(r int) float64 { return p.answerP[r] }
+
+// CoveredMass returns sum_r A[r] — the probability that the full crowd
+// answer vector coincides with some support world. 1 for dense supports;
+// the shortfall on sparse supports is exactly the mass the approximation
+// ignores.
+func (p *Preprocessed) CoveredMass() float64 { return p.total }
+
+// TaskEntropy approximates H(T) by marginalizing the precomputed answer
+// joint over the task set with Algorithm 2: partition the support by the
+// judgments of T, sum A within each part, and take the entropy of the
+// normalized part masses. Cost O(|O|) plus the grouping map.
+func (p *Preprocessed) TaskEntropy(tasks []int) (float64, error) {
+	if err := checkTasks(p.joint, tasks, p.pc); err != nil {
+		return 0, err
+	}
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	masses := p.marginalize(tasks)
+	return info.EntropyNormalized(masses), nil
+}
+
+// marginalize implements Algorithm 2 (Compute Marginal Distribution): the
+// support is separated into parts by the judgments of the selected facts
+// and the answer-joint probabilities are summed within each part. The
+// part masses are returned in first-seen order.
+func (p *Preprocessed) marginalize(tasks []int) []float64 {
+	worlds := p.joint.Worlds()
+	acc := make(map[uint64]float64, len(worlds))
+	order := make([]uint64, 0, len(worlds))
+	for r, w := range worlds {
+		pat := w.Pattern(tasks)
+		if _, seen := acc[pat]; !seen {
+			order = append(order, pat)
+		}
+		acc[pat] += p.answerP[r]
+	}
+	masses := make([]float64, len(order))
+	for i, pat := range order {
+		masses[i] = acc[pat]
+	}
+	return masses
+}
+
+// partition is the incremental state used by the greedy selector with
+// preprocessing: the current grouping of support indices by the judgments of
+// the already-selected tasks. Refining by one more fact splits each group in
+// two with a single linear scan, the "separate each part ... into two new
+// parts" step of Algorithm 2.
+type partition struct {
+	groups [][]int // support indices, grouped by pattern on selected tasks
+}
+
+// newPartition returns the trivial partition with all support indices in
+// one group ("initially, answer set has one part as a whole").
+func newPartition(size int) *partition {
+	all := make([]int, size)
+	for i := range all {
+		all[i] = i
+	}
+	return &partition{groups: [][]int{all}}
+}
+
+// refine splits every group by whether the world at each support index
+// judges fact f true, returning a new partition and leaving the receiver
+// unchanged.
+func (pt *partition) refine(worlds []dist.World, f int) *partition {
+	next := make([][]int, 0, 2*len(pt.groups))
+	for _, g := range pt.groups {
+		var yes, no []int
+		for _, idx := range g {
+			if worlds[idx].Has(f) {
+				yes = append(yes, idx)
+			} else {
+				no = append(no, idx)
+			}
+		}
+		if len(no) > 0 {
+			next = append(next, no)
+		}
+		if len(yes) > 0 {
+			next = append(next, yes)
+		}
+	}
+	return &partition{groups: next}
+}
+
+// entropyAfter returns the Algorithm-2 entropy of the partition refined by
+// fact f, without materializing the refined partition: each group's
+// answer-joint mass is split by the judgment of f and the entropy of the
+// normalized split masses is computed directly.
+func (p *Preprocessed) entropyAfter(pt *partition, f int) float64 {
+	worlds := p.joint.Worlds()
+	masses := make([]float64, 0, 2*len(pt.groups))
+	for _, g := range pt.groups {
+		var yes, no float64
+		for _, idx := range g {
+			if worlds[idx].Has(f) {
+				yes += p.answerP[idx]
+			} else {
+				no += p.answerP[idx]
+			}
+		}
+		if no > 0 {
+			masses = append(masses, no)
+		}
+		if yes > 0 {
+			masses = append(masses, yes)
+		}
+	}
+	return info.EntropyNormalized(masses)
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdfusion/internal/dist"
+)
+
+func TestQueryUtilityBasics(t *testing.T) {
+	j := paperJoint(t)
+	foi := []int{1} // f2, the population fact
+
+	// With no tasks, Q(I|{}) = -H(I).
+	q0, err := QueryUtility(j, foi, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hI, err := j.FactEntropy(foi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q0-(-hI)) > 1e-9 {
+		t.Errorf("Q(I|{}) = %v, want -H(I) = %v", q0, -hI)
+	}
+
+	// Query utility is never positive (it is -H(I | Ans_T)).
+	for _, tasks := range [][]int{{0}, {1}, {0, 2}, {0, 1, 2, 3}} {
+		q, err := QueryUtility(j, foi, tasks, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > 1e-9 {
+			t.Errorf("Q(I|%v) = %v > 0", tasks, q)
+		}
+		if q < q0-1e-9 {
+			t.Errorf("Q(I|%v) = %v below the no-task utility %v", tasks, q, q0)
+		}
+	}
+}
+
+// TestQueryUtilityMonotoneInTasks verifies Section IV's inequality (7):
+// Q(I|T) >= Q(I|T') is stated for T ⊆ T' in the paper with the opposite
+// orientation; information-theoretically Q(I|T) = -H(I|Ans_T) can only
+// improve (weakly) as more answers arrive, so supersets have utility at
+// least as high.
+func TestQueryUtilityMonotoneInTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(4)
+		j := randomJoint(rng, n, 2+rng.Intn(10))
+		pc := 0.5 + rng.Float64()*0.5
+		perm := rng.Perm(n)
+		foi := perm[:1+rng.Intn(2)]
+		rest := perm[len(foi):]
+		small := rest[:1]
+		large := rest[:2]
+		qSmall, err := QueryUtility(j, foi, small, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qLarge, err := QueryUtility(j, foi, large, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qLarge < qSmall-1e-9 {
+			t.Fatalf("Q(I|T) decreased when adding a task: %v -> %v (foi=%v small=%v large=%v)",
+				qSmall, qLarge, foi, small, large)
+		}
+	}
+}
+
+// TestQueryGainIsConditionalMI: the gain of one more task equals
+// I(Ans_f ; I | Ans_T) >= 0, so it must vanish when the task is independent
+// of the facts of interest.
+func TestQueryGainIsConditionalMI(t *testing.T) {
+	// Two independent fact groups: facts {0,1} correlated with each
+	// other, fact 2 independent of both.
+	j, err := dist.Independent([]float64{0.5, 0.5, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foi := []int{0}
+	q0, err := QueryUtility(j, foi, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking the independent fact 2 yields exactly zero gain.
+	q2, err := QueryUtility(j, foi, []int{2}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q2-q0) > 1e-9 {
+		t.Errorf("independent task changed query utility: %v -> %v", q0, q2)
+	}
+	// Asking the fact of interest itself yields positive gain.
+	qf, err := QueryUtility(j, foi, []int{0}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qf <= q0+1e-9 {
+		t.Errorf("asking the FOI itself gave no gain: %v -> %v", q0, qf)
+	}
+}
+
+// TestQueryCorrelatedOutsideFOI reproduces the paper's motivating point for
+// Section IV: a task outside the facts of interest is worth asking when it
+// is correlated with them (the continent/population example).
+func TestQueryCorrelatedOutsideFOI(t *testing.T) {
+	// Fact 0 ("continent") and fact 1 ("population") are strongly
+	// correlated; fact 0 is easier to separate because the crowd sees it
+	// directly. FOI = {1} only.
+	worlds := []dist.World{0b00, 0b11}
+	j, err := dist.New(2, worlds, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foi := []int{1}
+	q0, err := QueryUtility(j, foi, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qOutside, err := QueryUtility(j, foi, []int{0}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qOutside <= q0+1e-6 {
+		t.Errorf("correlated non-FOI task gave no gain: %v -> %v", q0, qOutside)
+	}
+	// With perfect correlation, asking fact 0 is as good as asking fact 1.
+	qInside, err := QueryUtility(j, foi, []int{1}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qOutside-qInside) > 1e-9 {
+		t.Errorf("perfectly correlated tasks differ: outside %v inside %v", qOutside, qInside)
+	}
+}
+
+func TestQueryGreedySelect(t *testing.T) {
+	j := paperJoint(t)
+	sel := &QueryGreedySelector{FOI: []int{1, 2}}
+	got, err := sel.Select(j, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) > 2 {
+		t.Fatalf("selected %v", got)
+	}
+	// The selection must beat or match any single task on query utility.
+	qSel, err := QueryUtility(j, sel.FOI, got, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		qf, err := QueryUtility(j, sel.FOI, []int{f}, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qSel < qf-1e-9 {
+			t.Errorf("greedy query selection %v (Q=%v) worse than single task %d (Q=%v)",
+				got, qSel, f, qf)
+		}
+	}
+	if sel.Name() != "QueryApprox" {
+		t.Errorf("Name() = %q", sel.Name())
+	}
+}
+
+// TestQueryGreedySkipsUninformativeTasks: with an independent joint, the
+// query selector asks only about facts of interest — uncorrelated tasks
+// carry zero gain and must not consume budget.
+func TestQueryGreedySkipsUninformativeTasks(t *testing.T) {
+	j, err := dist.Independent([]float64{0.5, 0.4, 0.6, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := &QueryGreedySelector{FOI: []int{0}}
+	got, err := sel.Select(j, 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("selected %v, want just the FOI fact [0]", got)
+	}
+}
+
+func TestQueryGreedyValidation(t *testing.T) {
+	j := paperJoint(t)
+	cases := []*QueryGreedySelector{
+		{FOI: nil},
+		{FOI: []int{9}},
+		{FOI: []int{0, 0}},
+	}
+	for i, sel := range cases {
+		if _, err := sel.Select(j, 2, 0.8); err == nil {
+			t.Errorf("case %d: invalid FOI accepted", i)
+		}
+	}
+	ok := &QueryGreedySelector{FOI: []int{0}}
+	if _, err := ok.Select(j, 0, 0.8); err != ErrNoTasks {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := ok.Select(j, 2, 0.1); err != ErrBadAccuracy {
+		t.Errorf("bad pc err = %v", err)
+	}
+}
+
+// TestQueryReducesToGeneralCase: Section IV notes query-based CrowdFusion
+// with I = F is the original problem. The greedy selections under both
+// objectives must then achieve the same utility improvement.
+func TestQueryReducesToGeneralCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		j := randomJoint(rng, n, 2+rng.Intn(8))
+		pc := 0.6 + rng.Float64()*0.4
+		foi := make([]int, n)
+		for i := range foi {
+			foi[i] = i
+		}
+		qSel := &QueryGreedySelector{FOI: foi}
+		qTasks, err := qSel.Select(j, 2, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gTasks, err := NewGreedy().Select(j, 2, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With I = F, Q(I|T) = H(T) - H(F, T) and maximizing it is
+		// equivalent to maximizing H(T) - H(F|Ans_T)... both selectors
+		// maximize information about the full fact set; compare the
+		// achieved posterior-entropy reduction.
+		qq, err := QueryUtility(j, foi, qTasks, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qg, err := QueryUtility(j, foi, gTasks, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(qq-qg) > 0.15 {
+			t.Errorf("trial %d: query-greedy Q=%v vs greedy Q=%v diverge beyond tolerance",
+				trial, qq, qg)
+		}
+		if qq < qg-1e-9 {
+			t.Errorf("trial %d: query-greedy underperformed the H(T) greedy on its own objective: %v < %v",
+				trial, qq, qg)
+		}
+	}
+}
+
+func TestJointFactAnswerEntropyEdges(t *testing.T) {
+	j := paperJoint(t)
+	// No tasks: H(I, {}) = H(I).
+	h, err := JointFactAnswerEntropy(j, []int{0, 1}, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := j.FactEntropy([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("H(I,{}) = %v, want %v", h, want)
+	}
+	// FOI and tasks may overlap.
+	if _, err := JointFactAnswerEntropy(j, []int{0}, []int{0}, 0.8); err != nil {
+		t.Errorf("overlapping FOI/tasks rejected: %v", err)
+	}
+	// Oversized FOI is rejected.
+	bigFOI := make([]int, MaxTasksPerRound+1)
+	for i := range bigFOI {
+		bigFOI[i] = i
+	}
+	big, err := dist.New(32, []dist.World{0, 1}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JointFactAnswerEntropy(big, bigFOI, nil, 0.8); err == nil {
+		t.Error("oversized FOI accepted")
+	}
+}

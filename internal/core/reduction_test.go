@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReducePartitionValidation(t *testing.T) {
+	if _, err := ReducePartition(nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := ReducePartition(make([]uint64, MaxPartitionItems+1)); err != ErrPartitionSize {
+		t.Errorf("oversized instance err = %v", err)
+	}
+	if _, err := ReducePartition([]uint64{1, 0, 2}); err == nil {
+		t.Error("zero element accepted")
+	}
+}
+
+func TestReducePartitionStructure(t *testing.T) {
+	c := []uint64{3, 1, 2}
+	j, err := ReducePartition(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 2^3 = 8 facts, 3 support worlds with probabilities c_i / 6.
+	if j.N() != 8 {
+		t.Errorf("N = %d, want 8", j.N())
+	}
+	if j.SupportSize() != 3 {
+		t.Errorf("support = %d, want 3", j.SupportSize())
+	}
+	// Fact f_I is true in world i iff bit i of I is set, so the marginal
+	// of f_I is the subset sum divided by the total.
+	for fact := 0; fact < 8; fact++ {
+		var want float64
+		for i, ci := range c {
+			if fact&(1<<uint(i)) != 0 {
+				want += float64(ci) / 6
+			}
+		}
+		got, err := j.Marginal(fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(f_%d) = %v, want %v", fact, got, want)
+		}
+	}
+}
+
+// TestReductionYesInstances: instances with an equal partition must map to
+// DTaskSelect instances reaching H = 1, and the witness must decode to a
+// valid partition.
+func TestReductionYesInstances(t *testing.T) {
+	yes := [][]uint64{
+		{1, 1},
+		{3, 1, 2},
+		{2, 2, 2, 2},
+		{5, 3, 2, 4, 6}, // half = 10: {4,6} or {5,3,2}...
+		{1, 2, 3, 4, 10},
+	}
+	for _, c := range yes {
+		ok, subset, err := HasEqualPartition(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !ok {
+			t.Errorf("%v: reduction says no partition, but one exists", c)
+			continue
+		}
+		if !VerifyPartition(c, subset) {
+			t.Errorf("%v: witness %v is not a valid partition", c, subset)
+		}
+	}
+}
+
+// TestReductionNoInstances: instances with no equal partition must come
+// back negative.
+func TestReductionNoInstances(t *testing.T) {
+	no := [][]uint64{
+		{1},
+		{1, 2},
+		{1, 1, 1},    // odd total
+		{2, 4, 8},    // total 14, half 7 unreachable
+		{1, 2, 4, 8}, // total 15, odd
+		{10, 1, 2, 3},
+	}
+	for _, c := range no {
+		ok, subset, err := HasEqualPartition(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if ok {
+			t.Errorf("%v: reduction found a 'partition' %v", c, subset)
+		}
+	}
+}
+
+// TestReductionMatchesBruteForce: randomized agreement between the
+// reduction-based decision procedure and direct subset enumeration.
+func TestReductionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 100; trial++ {
+		s := 2 + rng.Intn(4)
+		c := make([]uint64, s)
+		for i := range c {
+			c[i] = uint64(1 + rng.Intn(12))
+		}
+		viaReduction, _, err := HasEqualPartition(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		viaBrute, subset := BruteForcePartition(c)
+		if viaReduction != viaBrute {
+			t.Fatalf("%v: reduction=%v brute=%v", c, viaReduction, viaBrute)
+		}
+		if viaBrute && !VerifyPartition(c, subset) {
+			t.Fatalf("%v: brute force returned invalid witness %v", c, subset)
+		}
+	}
+}
+
+func TestPartitionEntropy(t *testing.T) {
+	c := []uint64{1, 1}
+	// Fact 0b01 selects {c_0}: mass 0.5 -> entropy 1.
+	h, err := PartitionEntropy(c, 0b01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Errorf("H = %v, want 1", h)
+	}
+	// Fact 0 selects nothing: entropy 0.
+	h, err = PartitionEntropy(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("H(empty subset) = %v", h)
+	}
+	// And it agrees with TaskEntropy on the reduced instance at Pc = 1.
+	j, err := ReducePartition([]uint64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fact := 0; fact < 8; fact++ {
+		want, err := PartitionEntropy([]uint64{3, 1, 2}, fact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TaskEntropy(j, []int{fact}, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("fact %d: TaskEntropy %v != PartitionEntropy %v", fact, got, want)
+		}
+	}
+	if _, err := PartitionEntropy(c, 99); err == nil {
+		t.Error("out-of-range fact accepted")
+	}
+	if _, err := PartitionEntropy(nil, 0); err == nil {
+		t.Error("empty instance accepted")
+	}
+}
+
+func TestVerifyPartition(t *testing.T) {
+	c := []uint64{3, 1, 2}
+	if !VerifyPartition(c, []int{0}) {
+		t.Error("valid partition {3} vs {1,2} rejected")
+	}
+	if VerifyPartition(c, []int{1}) {
+		t.Error("invalid partition accepted")
+	}
+	if VerifyPartition(c, []int{0, 0}) {
+		t.Error("duplicate indices accepted")
+	}
+	if VerifyPartition(c, []int{5}) {
+		t.Error("out-of-range index accepted")
+	}
+	if VerifyPartition([]uint64{1, 2}, []int{0}) {
+		t.Error("odd-total instance accepted")
+	}
+}
+
+func TestDTaskSelectThreshold(t *testing.T) {
+	j := paperJoint(t)
+	// H({f1}) = 1 at Pc = 1 since P(f1) = 0.5; target 1 is reachable.
+	ok, witness, err := DTaskSelect(j, 1, 1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(witness) != 1 || witness[0] != 0 {
+		t.Errorf("DTaskSelect = %v %v, want true [0]", ok, witness)
+	}
+	// An unreachable target.
+	ok, _, err = DTaskSelect(j, 1, 1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("DTaskSelect reached an impossible target")
+	}
+}

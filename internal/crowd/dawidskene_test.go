@@ -1,0 +1,139 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// plantAsymmetric simulates workers with distinct sensitivity/specificity.
+// Truth is a []bool (task counts exceed the 64-fact World limit).
+func plantAsymmetric(tb testing.TB, sens, spec []float64, nTasks int, seed int64) ([]Answer, []bool) {
+	tb.Helper()
+	if len(sens) != len(spec) {
+		tb.Fatal("sens/spec length mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]bool, nTasks)
+	for f := range truth {
+		truth[f] = rng.Intn(2) == 0
+	}
+	var log []Answer
+	for f := 0; f < nTasks; f++ {
+		for wi := range sens {
+			var v bool
+			if truth[f] {
+				v = rng.Float64() < sens[wi]
+			} else {
+				v = rng.Float64() >= spec[wi]
+			}
+			log = append(log, Answer{Fact: f, Value: v, Worker: fmt.Sprintf("w%02d", wi)})
+		}
+	}
+	return log, truth
+}
+
+func TestDawidSkeneRecoversConfusion(t *testing.T) {
+	sens := []float64{0.95, 0.70, 0.85, 0.60, 0.90}
+	spec := []float64{0.90, 0.95, 0.65, 0.85, 0.75}
+	log, _ := plantAsymmetric(t, sens, spec, 600, 3)
+	est, err := EstimateDawidSkene(log, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi := range sens {
+		id := fmt.Sprintf("w%02d", wi)
+		if math.Abs(est.Sensitivity[id]-sens[wi]) > 0.06 {
+			t.Errorf("%s sensitivity %.3f, true %.3f", id, est.Sensitivity[id], sens[wi])
+		}
+		if math.Abs(est.Specificity[id]-spec[wi]) > 0.06 {
+			t.Errorf("%s specificity %.3f, true %.3f", id, est.Specificity[id], spec[wi])
+		}
+	}
+	if len(est.Workers()) != 5 {
+		t.Errorf("workers = %v", est.Workers())
+	}
+}
+
+// TestDawidSkeneIdentifiesBias: a yes-biased worker (high sensitivity, low
+// specificity) must show positive Bias; a balanced worker near zero.
+func TestDawidSkeneIdentifiesBias(t *testing.T) {
+	sens := []float64{0.95, 0.85, 0.85}
+	spec := []float64{0.55, 0.85, 0.85}
+	log, _ := plantAsymmetric(t, sens, spec, 500, 7)
+	est, err := EstimateDawidSkene(log, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := est.Bias("w00"); b < 0.2 {
+		t.Errorf("yes-biased worker bias = %.3f, want >= 0.2", b)
+	}
+	if b := math.Abs(est.Bias("w01")); b > 0.1 {
+		t.Errorf("balanced worker |bias| = %.3f, want < 0.1", b)
+	}
+	// Balanced accuracy of the biased worker is the mean.
+	want := (sens[0] + spec[0]) / 2
+	if math.Abs(est.Accuracy("w00")-want) > 0.06 {
+		t.Errorf("balanced accuracy %.3f, want ~%.3f", est.Accuracy("w00"), want)
+	}
+}
+
+// TestDawidSkeneBeatsSymmetricOnBiasedCrowd: when every worker answers
+// "true" far too eagerly (specificity near a coin flip), the symmetric
+// model mistakes the agreement on false facts for accuracy and labels
+// nearly everything true; the asymmetric model knows yes-votes are weak
+// evidence. Aggregated over seeds for stability.
+func TestDawidSkeneBeatsSymmetricOnBiasedCrowd(t *testing.T) {
+	sens := []float64{0.98, 0.97, 0.96, 0.98}
+	spec := []float64{0.50, 0.52, 0.48, 0.51}
+	asymTotal, symTotal := 0, 0
+	for seed := int64(11); seed < 14; seed++ {
+		log, truth := plantAsymmetric(t, sens, spec, 800, seed)
+		asym, err := EstimateDawidSkene(log, EMOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym, err := EstimateEM(log, EMOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 800; f++ {
+			if (asym.TaskPosterior[f] >= 0.5) == truth[f] {
+				asymTotal++
+			}
+			if (sym.TaskPosterior[f] >= 0.5) == truth[f] {
+				symTotal++
+			}
+		}
+	}
+	if asymTotal <= symTotal {
+		t.Errorf("asymmetric model %d correct <= symmetric %d", asymTotal, symTotal)
+	}
+}
+
+func TestDawidSkeneValidation(t *testing.T) {
+	if _, err := EstimateDawidSkene(nil, EMOptions{}); err != ErrNoAnswers {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := EstimateDawidSkene([]Answer{{Fact: 0}}, EMOptions{}); err == nil {
+		t.Error("anonymous answer accepted")
+	}
+}
+
+func TestDawidSkeneDegenerate(t *testing.T) {
+	log := []Answer{{Fact: 0, Value: true, Worker: "solo"}}
+	est, err := EstimateDawidSkene(log, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := est.Sensitivity["solo"]
+	if math.IsNaN(s) || s < 0.05 || s > 0.99 {
+		t.Errorf("degenerate sensitivity %v", s)
+	}
+	// Specificity had no false-task evidence; must stay at init/clamps.
+	sp := est.Specificity["solo"]
+	if math.IsNaN(sp) || sp < 0.05 || sp > 0.99 {
+		t.Errorf("degenerate specificity %v", sp)
+	}
+}

@@ -1,0 +1,86 @@
+package crowd
+
+import "fmt"
+
+// ErrorClass categorizes why a statement is hard for crowd workers to judge,
+// following the residual-error taxonomy of Section V-D of the paper.
+type ErrorClass int
+
+const (
+	// Easy statements carry no special difficulty; workers answer with
+	// their base accuracy.
+	Easy ErrorClass = iota
+	// WrongOrder statements list the correct authors in a different order
+	// than the cover page; the paper reports these cause high answer
+	// diversity and many false negatives.
+	WrongOrder
+	// AdditionalInfo statements append organization or publisher text to
+	// an author name; the paper found over 40% of workers judge such a
+	// statement true although the gold standard marks it false.
+	AdditionalInfo
+	// Misspelling statements contain a subtly misspelled author name; the
+	// paper observed correct rates below 50% for some of them.
+	Misspelling
+)
+
+// String implements fmt.Stringer.
+func (c ErrorClass) String() string {
+	switch c {
+	case Easy:
+		return "easy"
+	case WrongOrder:
+		return "wrong-order"
+	case AdditionalInfo:
+		return "additional-info"
+	case Misspelling:
+		return "misspelling"
+	default:
+		return fmt.Sprintf("ErrorClass(%d)", int(c))
+	}
+}
+
+// ErrorClasses lists all classes, for iteration in reports.
+var ErrorClasses = []ErrorClass{Easy, WrongOrder, AdditionalInfo, Misspelling}
+
+// DifficultyProfile maps a statement's error class to the effective accuracy
+// crowd workers achieve on it, given the crowd's base accuracy on easy
+// statements. The default profile reproduces the qualitative rates the
+// paper reports in its error analysis.
+type DifficultyProfile struct {
+	// Multipliers scale the base accuracy's edge over random guessing:
+	// effective = 0.5 + multiplier * (base - 0.5). A multiplier of 1
+	// leaves the task at base accuracy; 0 makes the crowd guess; negative
+	// values model systematically wrong crowds (misspellings).
+	Multipliers map[ErrorClass]float64
+}
+
+// DefaultDifficulty is the profile used by the experiments: wrong-order
+// statements are close to coin flips, additional-info statements are judged
+// wrongly by a large minority, and misspellings push the crowd slightly
+// below chance.
+func DefaultDifficulty() DifficultyProfile {
+	return DifficultyProfile{Multipliers: map[ErrorClass]float64{
+		Easy:           1.0,
+		WrongOrder:     0.25,
+		AdditionalInfo: 0.4,
+		Misspelling:    -0.15,
+	}}
+}
+
+// EffectiveAccuracy returns the accuracy workers achieve on a statement of
+// the given class when their accuracy on easy statements is base. The
+// result is clamped into [0, 1].
+func (p DifficultyProfile) EffectiveAccuracy(class ErrorClass, base float64) float64 {
+	mult, ok := p.Multipliers[class]
+	if !ok {
+		mult = 1
+	}
+	eff := 0.5 + mult*(base-0.5)
+	if eff < 0 {
+		eff = 0
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"container/heap"
+	"fmt"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/info"
+	"crowdfusion/internal/worlds"
+)
+
+// Global budget allocation across books — the extension the paper's error
+// analysis calls for (Section V-D: books with many statements run out of
+// per-book budget while small books waste theirs; "if a proper strategy
+// can be designed to distribute budgets among all subsets of facts, this
+// can be solved").
+//
+// The allocator treats the whole corpus as one submodular maximization:
+// at every step it funds the single task, in whichever book, with the
+// highest net utility gain ΔQ = H(T∪{f}) - H(T) - H(Crowd). Because a
+// book's gains only change when that book receives an answer, the
+// per-book best gains are kept in a max-heap and only the funded book is
+// re-evaluated — the cross-book analogue of the lazy-greedy prune.
+
+// AllocationConfig configures a globally budgeted run.
+type AllocationConfig struct {
+	Instances []*worlds.Instance
+	// TotalBudget is the corpus-wide number of tasks (compare with
+	// SweepConfig.Budget × #books).
+	TotalBudget int
+	// Pc is the crowd accuracy assumed by selection and merging.
+	Pc float64
+	// CrowdPc is the simulated crowd's actual accuracy (defaults to Pc).
+	CrowdPc float64
+	// UseDifficulty routes statement difficulty into the simulation.
+	UseDifficulty bool
+	Seed          int64
+}
+
+// AllocationResult reports where the budget went and what it bought.
+type AllocationResult struct {
+	Config   AllocationConfig
+	PerBook  []int // tasks funded per instance, parallel to Instances
+	Joints   []*dist.Joint
+	Final    Metrics
+	Utility  float64
+	Cost     int
+	StopFull bool // true when the budget ran out (vs all books certain)
+}
+
+type allocBook struct {
+	idx      int
+	joint    *dist.Joint
+	sim      *crowd.Simulator
+	bestFact int
+	bestGain float64
+}
+
+type allocHeap []*allocBook
+
+func (h allocHeap) Len() int            { return len(h) }
+func (h allocHeap) Less(i, j int) bool  { return h[i].bestGain > h[j].bestGain }
+func (h allocHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *allocHeap) Push(x interface{}) { *h = append(*h, x.(*allocBook)) }
+func (h *allocHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunAllocation executes the globally budgeted refinement.
+func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
+	if len(cfg.Instances) == 0 {
+		return nil, ErrInstanceCount
+	}
+	if cfg.TotalBudget <= 0 {
+		return nil, fmt.Errorf("eval: TotalBudget must be positive")
+	}
+	crowdPc := cfg.CrowdPc
+	if crowdPc == 0 {
+		crowdPc = cfg.Pc
+	}
+	noise := info.Binary(cfg.Pc)
+
+	res := &AllocationResult{
+		Config:  cfg,
+		PerBook: make([]int, len(cfg.Instances)),
+		Joints:  make([]*dist.Joint, len(cfg.Instances)),
+	}
+	h := make(allocHeap, 0, len(cfg.Instances))
+	for i, in := range cfg.Instances {
+		seed := cfg.Seed + int64(i)*1009
+		var sim *crowd.Simulator
+		var err error
+		if cfg.UseDifficulty {
+			sim, err = in.Simulator(crowdPc, crowd.DefaultDifficulty(), seed)
+		} else {
+			sim, err = in.UniformSimulator(crowdPc, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		book := &allocBook{idx: i, joint: in.Joint.Clone(), sim: sim}
+		if err := book.refreshBest(cfg.Pc, noise); err != nil {
+			return nil, err
+		}
+		res.Joints[i] = book.joint
+		if book.bestFact >= 0 {
+			h = append(h, book)
+		}
+	}
+	heap.Init(&h)
+
+	for res.Cost < cfg.TotalBudget && h.Len() > 0 {
+		book := heap.Pop(&h).(*allocBook)
+		if book.bestGain <= 1e-12 {
+			break // every remaining book is certain
+		}
+		answers := book.sim.Answers([]int{book.bestFact})
+		post, err := book.joint.Condition([]int{book.bestFact}, answers, cfg.Pc)
+		if err != nil {
+			return nil, err
+		}
+		book.joint = post
+		res.Joints[book.idx] = post
+		res.PerBook[book.idx]++
+		res.Cost++
+		if err := book.refreshBest(cfg.Pc, noise); err != nil {
+			return nil, err
+		}
+		if book.bestFact >= 0 {
+			heap.Push(&h, book)
+		}
+	}
+	res.StopFull = res.Cost >= cfg.TotalBudget
+
+	var total Metrics
+	for i, in := range cfg.Instances {
+		res.Utility += -res.Joints[i].Entropy()
+		judgments := make([]bool, res.Joints[i].N())
+		for fi, m := range res.Joints[i].Marginals() {
+			judgments[fi] = m >= 0.5
+		}
+		m, err := Score(judgments, in.Gold)
+		if err != nil {
+			return nil, err
+		}
+		total = total.Add(m)
+	}
+	res.Final = total
+	return res, nil
+}
+
+// refreshBest finds the book's current best single task and its net gain.
+func (b *allocBook) refreshBest(pc, noise float64) error {
+	b.bestFact = -1
+	b.bestGain = 0
+	for f := 0; f < b.joint.N(); f++ {
+		h, err := core.TaskEntropy(b.joint, []int{f}, pc)
+		if err != nil {
+			return err
+		}
+		gain := h - noise
+		if gain > b.bestGain {
+			b.bestGain = gain
+			b.bestFact = f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package eval implements the evaluation harness of Section V of the
+// CrowdFusion paper: F1 scoring against gold labels, summed utility across
+// data instances, budgeted quality sweeps (Figures 2, 3 and 4), one-round
+// selection timing (Table V), the residual-error taxonomy (Section V-D),
+// and text/CSV rendering of results.
+package eval
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Metrics is a binary confusion matrix over statement judgments.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Score compares judgments against gold labels.
+func Score(judgments, gold []bool) (Metrics, error) {
+	if len(judgments) != len(gold) {
+		return Metrics{}, fmt.Errorf("eval: %d judgments vs %d gold labels",
+			len(judgments), len(gold))
+	}
+	var m Metrics
+	for i := range gold {
+		switch {
+		case judgments[i] && gold[i]:
+			m.TP++
+		case judgments[i] && !gold[i]:
+			m.FP++
+		case !judgments[i] && gold[i]:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	return m, nil
+}
+
+// Add returns the element-wise sum of two confusion matrices.
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{TP: m.TP + o.TP, FP: m.FP + o.FP, TN: m.TN + o.TN, FN: m.FN + o.FN}
+}
+
+// Total returns the number of scored items.
+func (m Metrics) Total() int { return m.TP + m.FP + m.TN + m.FN }
+
+// Precision returns TP / (TP + FP), or 0 when nothing was judged true.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when nothing is gold-true.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct judgments.
+func (m Metrics) Accuracy() float64 {
+	if m.Total() == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(m.Total())
+}
+
+// ErrInstanceCount is returned by runners invoked without instances.
+var ErrInstanceCount = errors.New("eval: no instances")

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestRunQuerySweepValidation(t *testing.T) {
+	if _, err := RunQuerySweep(QuerySweepConfig{}); err != ErrInstanceCount {
+		t.Errorf("empty config err = %v", err)
+	}
+	ins := testInstances(t, 3, 8, 40)
+	if _, err := RunQuerySweep(QuerySweepConfig{
+		Instances: ins, FOIFraction: 0.5, Pc: 0.8,
+	}); err == nil {
+		t.Error("zero K/Budget accepted")
+	}
+	if _, err := RunQuerySweep(QuerySweepConfig{
+		Instances: ins, FOIFraction: 2, K: 1, Budget: 5, Pc: 0.8,
+	}); err == nil {
+		t.Error("FOIFraction > 1 accepted")
+	}
+}
+
+func TestRunQuerySweepShape(t *testing.T) {
+	ins := testInstances(t, 6, 10, 41)
+	res, err := RunQuerySweep(QuerySweepConfig{
+		Instances:        ins,
+		FOIFraction:      0.4,
+		UseQuerySelector: true,
+		K:                2,
+		Budget:           10,
+		Pc:               0.8,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	prev := 0
+	for _, p := range res.Trace {
+		if p.Cost <= prev {
+			t.Errorf("cost not increasing: %d -> %d", prev, p.Cost)
+		}
+		prev = p.Cost
+	}
+	if res.Final.Total() == 0 {
+		t.Error("no FOI facts scored")
+	}
+}
+
+// TestQuerySelectorAsksFewerTasks: the Section IV claim — with only a
+// subset of facts of interest, the query-based selector stops earlier than
+// the general selector while matching its FOI quality.
+func TestQuerySelectorAsksFewerTasks(t *testing.T) {
+	ins := testInstances(t, 10, 12, 42)
+	var qCost, gCost int
+	var qF1, gF1 float64
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		q, err := RunQuerySweep(QuerySweepConfig{
+			Instances:        ins,
+			FOIFraction:      0.3,
+			UseQuerySelector: true,
+			K:                2,
+			Budget:           20,
+			Pc:               0.9,
+			Seed:             50 + 7*s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := RunQuerySweep(QuerySweepConfig{
+			Instances:        ins,
+			FOIFraction:      0.3,
+			UseQuerySelector: false,
+			K:                2,
+			Budget:           20,
+			Pc:               0.9,
+			Seed:             50 + 7*s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qCost += q.Trace[len(q.Trace)-1].Cost
+		gCost += g.Trace[len(g.Trace)-1].Cost
+		qF1 += q.Final.F1()
+		gF1 += g.Final.F1()
+	}
+	if qCost >= gCost {
+		t.Errorf("query selector cost %d >= general %d", qCost/seeds, gCost/seeds)
+	}
+	if qF1 < gF1-0.05*seeds {
+		t.Errorf("query selector FOI F1 %v far below general %v", qF1/seeds, gF1/seeds)
+	}
+}
+
+func TestRunQuerySweepDeterministic(t *testing.T) {
+	ins := testInstances(t, 4, 8, 43)
+	cfg := QuerySweepConfig{
+		Instances: ins, FOIFraction: 0.5, UseQuerySelector: true,
+		K: 1, Budget: 6, Pc: 0.8, Seed: 9,
+	}
+	a, err := RunQuerySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQuerySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final != b.Final || len(a.Trace) != len(b.Trace) {
+		t.Error("query sweeps diverged")
+	}
+}

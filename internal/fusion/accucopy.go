@@ -1,0 +1,247 @@
+package fusion
+
+import "math"
+
+// AccuCopy adds copying detection to the Bayesian accuracy model, in the
+// spirit of Dong, Berti-Equille and Srivastava (VLDB 2009) — reference
+// [10] of the CrowdFusion paper, which motivates modelling relationships
+// between sources: "errors in the data may propagate with copying and
+// referring between sources". Two sources that share many *false* values
+// are likely dependent (sharing true values is expected — the truth is
+// one; sharing mistakes is the fingerprint of copying), and a copier's
+// votes should count less.
+//
+// The implementation follows the published intuition with a simplified
+// dependence score: for each ordered source pair the fraction of their
+// common claims that agree on values currently believed false, smoothed
+// and mapped to an independence weight in (0, 1]. Posteriors are computed
+// as in AccuVote but with each source's log-likelihood contribution scaled
+// by its independence weight; accuracies, beliefs and dependence scores
+// iterate to a fixpoint.
+//
+// Scope: detection needs the shared values to be *recognizably* false —
+// i.e. contradicted by corroborated sources elsewhere. A clique that forms
+// the believed majority everywhere cannot be unmasked by this simplified
+// score (the full Dong et al. model reasons about agreement likelihoods
+// instead); what the clique costs here is vote weight and attribution
+// (SourceWeights), hardening the fusion against partially exposed
+// copiers.
+type AccuCopy struct {
+	// CopyThreshold is the shared-false-value rate above which a pair is
+	// considered fully dependent (default 0.6).
+	CopyThreshold float64
+	// MinCommon is the minimum number of common objects before
+	// dependence is scored at all (default 3).
+	MinCommon int
+	// MaxIter bounds the outer iterations (default 20).
+	MaxIter int
+	// InitialAccuracy seeds sources (default 0.8).
+	InitialAccuracy float64
+}
+
+// NewAccuCopy returns an AccuCopy with defaults.
+func NewAccuCopy() *AccuCopy { return &AccuCopy{} }
+
+// Name implements Method.
+func (a *AccuCopy) Name() string { return "AccuCopy" }
+
+func (a *AccuCopy) params() (thresh float64, minCommon, maxIter int, init float64) {
+	thresh = a.CopyThreshold
+	if thresh <= 0 || thresh > 1 {
+		thresh = 0.6
+	}
+	minCommon = a.MinCommon
+	if minCommon <= 0 {
+		minCommon = 3
+	}
+	maxIter = a.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	init = a.InitialAccuracy
+	if init <= 0 || init >= 1 {
+		init = 0.8
+	}
+	return thresh, minCommon, maxIter, init
+}
+
+// Fuse implements Method.
+func (a *AccuCopy) Fuse(claims []Claim) ([]Truth, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	thresh, minCommon, maxIter, init := a.params()
+
+	nS := len(ix.sources)
+	acc := make([]float64, nS)
+	indep := make([]float64, nS) // independence weight per source
+	for si := range acc {
+		acc[si] = init
+		indep[si] = 1
+	}
+	post := make([][]float64, len(ix.objects))
+	for oi := range post {
+		post[oi] = make([]float64, len(ix.values[oi]))
+	}
+
+	// claimOf[si][oi] = value index claimed by source si for object oi.
+	claimOf := make([]map[int]int, nS)
+	for si, cs := range ix.claimsBySource {
+		claimOf[si] = make(map[int]int, len(cs))
+		for _, ov := range cs {
+			claimOf[si][ov[0]] = ov[1]
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Posterior per object with independence-weighted votes.
+		for oi := range ix.votes {
+			nv := len(ix.values[oi])
+			logp := make([]float64, nv)
+			for vi := range logp {
+				for ov := range ix.votes[oi] {
+					for _, si := range ix.votes[oi][ov] {
+						w := indep[si]
+						if ov == vi {
+							logp[vi] += w * math.Log(clamp01(acc[si]))
+						} else if nv > 1 {
+							logp[vi] += w * math.Log(clamp01((1-acc[si])/float64(nv-1)))
+						}
+					}
+				}
+			}
+			maxLog := math.Inf(-1)
+			for _, lp := range logp {
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			var z float64
+			for _, lp := range logp {
+				z += math.Exp(lp - maxLog)
+			}
+			for vi, lp := range logp {
+				post[oi][vi] = math.Exp(lp-maxLog) / z
+			}
+		}
+
+		// Accuracy re-estimation (as AccuVote).
+		for si, cs := range ix.claimsBySource {
+			if len(cs) == 0 {
+				continue
+			}
+			var sum float64
+			for _, ov := range cs {
+				sum += post[ov[0]][ov[1]]
+			}
+			acc[si] = boundAcc(sum / float64(len(cs)))
+		}
+
+		// Dependence detection: shared false values.
+		for si := 0; si < nS; si++ {
+			maxDep := 0.0
+			for sj := 0; sj < nS; sj++ {
+				if si == sj {
+					continue
+				}
+				dep := a.dependence(claimOf[si], claimOf[sj], post, minCommon)
+				if dep > maxDep {
+					maxDep = dep
+				}
+			}
+			// Map dependence in [0, thresh..] to weight in [1, 0.2].
+			w := 1 - 0.8*math.Min(maxDep/thresh, 1)
+			indep[si] = w
+		}
+	}
+	return ix.truths(func(oi, vi int) float64 { return post[oi][vi] }), nil
+}
+
+// dependence returns the smoothed fraction of common claims on which the
+// two sources agree with a currently-believed-false value.
+func (a *AccuCopy) dependence(ci, cj map[int]int, post [][]float64, minCommon int) float64 {
+	common, sharedFalse := 0, 0
+	for oi, vi := range ci {
+		vj, ok := cj[oi]
+		if !ok {
+			continue
+		}
+		common++
+		if vi == vj && post[oi][vi] < 0.5 {
+			sharedFalse++
+		}
+	}
+	if common < minCommon {
+		return 0
+	}
+	return float64(sharedFalse) / float64(common)
+}
+
+// SourceWeights exposes the converged independence weights, for reports:
+// low weight marks a probable copier.
+func (a *AccuCopy) SourceWeights(claims []Claim) (map[string]float64, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	// Re-run Fuse to convergence, reusing its internals via a second pass
+	// of dependence scoring against the final posteriors.
+	truths, err := a.Fuse(claims)
+	if err != nil {
+		return nil, err
+	}
+	conf := make(map[[2]string]float64, len(truths))
+	for _, t := range truths {
+		conf[[2]string{t.Object, t.Value}] = t.Confidence
+	}
+	post := make([][]float64, len(ix.objects))
+	for oi, obj := range ix.objects {
+		post[oi] = make([]float64, len(ix.values[oi]))
+		for vi, val := range ix.values[oi] {
+			post[oi][vi] = conf[[2]string{obj, val}]
+		}
+	}
+	thresh, minCommon, _, _ := a.params()
+	claimOf := make([]map[int]int, len(ix.sources))
+	for si, cs := range ix.claimsBySource {
+		claimOf[si] = make(map[int]int, len(cs))
+		for _, ov := range cs {
+			claimOf[si][ov[0]] = ov[1]
+		}
+	}
+	out := make(map[string]float64, len(ix.sources))
+	for si, name := range ix.sources {
+		maxDep := 0.0
+		for sj := range ix.sources {
+			if si == sj {
+				continue
+			}
+			if dep := a.dependence(claimOf[si], claimOf[sj], post, minCommon); dep > maxDep {
+				maxDep = dep
+			}
+		}
+		out[name] = 1 - 0.8*math.Min(maxDep/thresh, 1)
+	}
+	return out, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 1e-9 {
+		return 1e-9
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func boundAcc(x float64) float64 {
+	if x < 0.05 {
+		return 0.05
+	}
+	if x > 0.99 {
+		return 0.99
+	}
+	return x
+}

@@ -1,0 +1,177 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// copyScenario: three honest sources assert the truth everywhere; three
+// copiers share identical wrong values on the first half of the objects
+// (the copying fingerprint) and assert distinct junk on the second half
+// (which tanks their individual accuracy).
+func copyScenario(nObjects int) ([]Claim, map[string]string) {
+	var claims []Claim
+	truth := make(map[string]string)
+	for o := 0; o < nObjects; o++ {
+		obj := fmt.Sprintf("obj%02d", o)
+		truth[obj] = "truth"
+		for h := 0; h < 3; h++ {
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("honest%d", h), Object: obj, Value: "truth"})
+		}
+		for c := 0; c < 3; c++ {
+			value := "copied-wrong"
+			if o >= nObjects/2 {
+				value = fmt.Sprintf("junk-%d-%d", o, c)
+			}
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("copier%d", c), Object: obj, Value: value})
+		}
+	}
+	return claims, truth
+}
+
+func TestAccuCopyName(t *testing.T) {
+	if NewAccuCopy().Name() != "AccuCopy" {
+		t.Error("name")
+	}
+}
+
+func TestAccuCopyRecoversCopiedObjects(t *testing.T) {
+	claims, truth := copyScenario(20)
+	got, err := NewAccuCopy().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topValue(got)
+	for obj, want := range truth {
+		if top[obj] != want {
+			t.Errorf("object %s fused to %q, want %q", obj, top[obj], want)
+		}
+	}
+}
+
+// TestAccuCopyDetectsCopiers: the independence weights must separate the
+// copier clique from the honest sources.
+func TestAccuCopyDetectsCopiers(t *testing.T) {
+	claims, _ := copyScenario(20)
+	ac := NewAccuCopy()
+	weights, err := ac.SourceWeights(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		for c := 0; c < 3; c++ {
+			hw := weights[fmt.Sprintf("honest%d", h)]
+			cw := weights[fmt.Sprintf("copier%d", c)]
+			if cw >= hw {
+				t.Errorf("copier%d weight %.3f >= honest%d weight %.3f", c, cw, h, hw)
+			}
+		}
+	}
+}
+
+// TestAccuCopyAtLeastAsConfident: downweighting the clique must never
+// make AccuCopy less confident in the truth than AccuVote on the copied
+// objects (both may saturate; the weights are the attribution value).
+func TestAccuCopyAtLeastAsConfident(t *testing.T) {
+	claims, _ := copyScenario(20)
+	av, err := NewAccuVote().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAccuCopy().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confOf := func(truths []Truth, obj, val string) float64 {
+		for _, tr := range truths {
+			if tr.Object == obj && tr.Value == val {
+				return tr.Confidence
+			}
+		}
+		return 0
+	}
+	for o := 0; o < 10; o++ {
+		obj := fmt.Sprintf("obj%02d", o)
+		if confOf(ac, obj, "truth") < confOf(av, obj, "truth")-1e-6 {
+			t.Errorf("%s: AccuCopy %.4f below AccuVote %.4f", obj,
+				confOf(ac, obj, "truth"), confOf(av, obj, "truth"))
+		}
+	}
+}
+
+// TestAccuCopyWeightsBelowHalf: detected copiers lose more than half their
+// vote weight in this scenario.
+func TestAccuCopyWeightsBelowHalf(t *testing.T) {
+	claims, _ := copyScenario(20)
+	weights, err := NewAccuCopy().SourceWeights(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if w := weights[fmt.Sprintf("copier%d", c)]; w > 0.5 {
+			t.Errorf("copier%d weight %.3f, want <= 0.5", c, w)
+		}
+	}
+}
+
+// TestAccuCopyNoFalsePositives: without copying, weights stay high and the
+// result matches the plain scenario's truth.
+func TestAccuCopyNoFalsePositives(t *testing.T) {
+	claims, truth := scenario(5, 2, 10)
+	ac := NewAccuCopy()
+	got, err := ac.Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topValue(got)
+	for obj, want := range truth {
+		if top[obj] != want {
+			t.Errorf("object %s fused to %q, want %q", obj, top[obj], want)
+		}
+	}
+	weights, err := ac.SourceWeights(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 5; g++ {
+		w := weights[fmt.Sprintf("good%d", g)]
+		if w < 0.9 {
+			t.Errorf("independent source good%d flagged with weight %.3f", g, w)
+		}
+	}
+}
+
+func TestAccuCopyValidationAndDefaults(t *testing.T) {
+	if _, err := NewAccuCopy().Fuse(nil); err != ErrNoClaims {
+		t.Errorf("empty claims err = %v", err)
+	}
+	a := &AccuCopy{CopyThreshold: 2, MinCommon: 0, MaxIter: -1, InitialAccuracy: 5}
+	thresh, minCommon, maxIter, init := a.params()
+	if thresh != 0.6 || minCommon != 3 || maxIter != 20 || init != 0.8 {
+		t.Errorf("defaults: %v %v %v %v", thresh, minCommon, maxIter, init)
+	}
+}
+
+func TestAccuCopyConfidencesValid(t *testing.T) {
+	claims, _ := copyScenario(12)
+	got, err := NewAccuCopy().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byObj := ByObject(got)
+	for obj, trs := range byObj {
+		var sum float64
+		for _, tr := range trs {
+			if tr.Confidence < 0 || tr.Confidence > 1 || math.IsNaN(tr.Confidence) {
+				t.Fatalf("%s/%s confidence %v", obj, tr.Value, tr.Confidence)
+			}
+			sum += tr.Confidence
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s posteriors sum to %v", obj, sum)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package fusion
+
+import "math"
+
+// AccuVote is a Bayesian source-accuracy fusion model in the spirit of
+// Dong, Berti-Equille and Srivastava (VLDB 2009), without copying
+// detection: each source has an accuracy a_s; assuming one true value per
+// object and a uniform prior over the object's observed values, the
+// posterior of value v is
+//
+//	P(v | claims) ∝ Π_{s claims on o} (a_s           if s claims v,
+//	                                   (1-a_s)/(N-1) otherwise)
+//
+// computed in log space, where N is the number of distinct values claimed
+// for the object. Source accuracies are then re-estimated as the mean
+// posterior of the source's claims, and the two steps iterate.
+//
+// Although the model is single-truth, its per-value posteriors remain a
+// useful probabilistic initializer for CrowdFusion; the paper's Section VII
+// explicitly invites Bayesian fusion methods as inputs.
+type AccuVote struct {
+	// InitialAccuracy seeds every source (default 0.8).
+	InitialAccuracy float64
+	// MaxIter bounds the iterations (default 30).
+	MaxIter int
+	// Tol stops iteration when accuracies move less than this (1e-6).
+	Tol float64
+	// MinAccuracy and MaxAccuracy clamp estimates away from 0 and 1 so
+	// log-likelihoods stay finite (defaults 0.05 and 0.99).
+	MinAccuracy, MaxAccuracy float64
+}
+
+// NewAccuVote returns an AccuVote with default parameters.
+func NewAccuVote() *AccuVote { return &AccuVote{} }
+
+// Name implements Method.
+func (a *AccuVote) Name() string { return "AccuVote" }
+
+func (a *AccuVote) params() (init, tol, lo, hi float64, maxIter int) {
+	init = a.InitialAccuracy
+	if init <= 0 || init >= 1 {
+		init = 0.8
+	}
+	maxIter = a.MaxIter
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	tol = a.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	lo = a.MinAccuracy
+	if lo <= 0 {
+		lo = 0.05
+	}
+	hi = a.MaxAccuracy
+	if hi <= 0 || hi >= 1 {
+		hi = 0.99
+	}
+	return init, tol, lo, hi, maxIter
+}
+
+// Fuse implements Method.
+func (a *AccuVote) Fuse(claims []Claim) ([]Truth, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	init, tol, lo, hi, maxIter := a.params()
+
+	acc := make([]float64, len(ix.sources))
+	for si := range acc {
+		acc[si] = init
+	}
+	post := make([][]float64, len(ix.objects))
+	for oi := range post {
+		post[oi] = make([]float64, len(ix.values[oi]))
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Posterior per object in log space.
+		for oi := range ix.votes {
+			nv := len(ix.values[oi])
+			logp := make([]float64, nv)
+			for vi := range logp {
+				for _, si := range ix.votes[oi][vi] {
+					logp[vi] += math.Log(acc[si])
+				}
+				// Sources claiming other values of this object
+				// count against v.
+				for ov := range ix.votes[oi] {
+					if ov == vi {
+						continue
+					}
+					for _, si := range ix.votes[oi][ov] {
+						if nv > 1 {
+							logp[vi] += math.Log((1 - acc[si]) / float64(nv-1))
+						}
+					}
+				}
+			}
+			// Normalize with the log-sum-exp trick.
+			maxLog := math.Inf(-1)
+			for _, lp := range logp {
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			var z float64
+			for _, lp := range logp {
+				z += math.Exp(lp - maxLog)
+			}
+			for vi, lp := range logp {
+				post[oi][vi] = math.Exp(lp-maxLog) / z
+			}
+		}
+		// Accuracy re-estimation.
+		maxDelta := 0.0
+		for si, cs := range ix.claimsBySource {
+			if len(cs) == 0 {
+				continue
+			}
+			var sum float64
+			for _, ov := range cs {
+				sum += post[ov[0]][ov[1]]
+			}
+			next := sum / float64(len(cs))
+			if next < lo {
+				next = lo
+			}
+			if next > hi {
+				next = hi
+			}
+			if d := math.Abs(next - acc[si]); d > maxDelta {
+				maxDelta = d
+			}
+			acc[si] = next
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return ix.truths(func(oi, vi int) float64 { return post[oi][vi] }), nil
+}

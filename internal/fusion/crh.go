@@ -1,0 +1,203 @@
+package fusion
+
+import (
+	"math"
+)
+
+// CRH implements the Conflict Resolution on Heterogeneous data framework of
+// Li et al. (SIGMOD 2014) for categorical data, with the modification the
+// CrowdFusion paper applies for multi-truth inputs (Section V-A): because
+// vanilla CRH supports a single true value per object while a book can have
+// several true author-list statements (formats and orderings), the truth
+// set is seeded by marking the top 50% of each object's values by majority
+// vote as correct, after which CRH's weight assignment and truth
+// computation iterate as usual:
+//
+//   - Loss of a source: the fraction of its claims outside the current
+//     truth set (0/1 loss, the categorical case of CRH).
+//   - Weight assignment: w_s = log(sum of all losses / loss of s),
+//     the closed-form CRH weight for normalized losses.
+//   - Truth computation: per object, values are scored by the sum of the
+//     weights of their supporting sources, and the top half (by score) form
+//     the next truth set.
+//
+// The confidence reported for a value is its normalized weighted support
+// within its object, which is what CrowdFusion consumes as prior marginal.
+type CRH struct {
+	// MaxIter bounds the weight/truth iterations (default 20).
+	MaxIter int
+	// TruthFraction is the fraction of values per object marked true in
+	// each truth-computation step (default 0.5, the paper's "top 50%").
+	TruthFraction float64
+	// Epsilon guards the loss denominator so perfect sources do not
+	// produce infinite weights (default 1e-6).
+	Epsilon float64
+}
+
+// NewCRH returns a CRH instance with the paper's defaults.
+func NewCRH() *CRH { return &CRH{} }
+
+// Name implements Method.
+func (c *CRH) Name() string { return "CRH" }
+
+func (c *CRH) params() (maxIter int, frac, eps float64) {
+	maxIter = c.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	frac = c.TruthFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	eps = c.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	return maxIter, frac, eps
+}
+
+// Fuse implements Method.
+func (c *CRH) Fuse(claims []Claim) ([]Truth, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	maxIter, frac, eps := c.params()
+
+	// Seed: mark the top fraction of values per object by raw vote count.
+	truthSet := c.topValues(ix, frac, func(oi, vi int) float64 {
+		return float64(len(ix.votes[oi][vi]))
+	})
+
+	weights := make([]float64, len(ix.sources))
+	for iter := 0; iter < maxIter; iter++ {
+		// Weight assignment from 0/1 losses against the truth set.
+		losses := make([]float64, len(ix.sources))
+		var totalLoss float64
+		for si, cs := range ix.claimsBySource {
+			if len(cs) == 0 {
+				losses[si] = eps
+				totalLoss += eps
+				continue
+			}
+			wrong := 0
+			for _, ov := range cs {
+				if !truthSet[ov] {
+					wrong++
+				}
+			}
+			losses[si] = float64(wrong)/float64(len(cs)) + eps
+			totalLoss += losses[si]
+		}
+		for si := range weights {
+			weights[si] = math.Log(totalLoss / losses[si])
+		}
+
+		// Truth computation: weighted support, then re-mark top values.
+		next := c.topValues(ix, frac, func(oi, vi int) float64 {
+			var s float64
+			for _, si := range ix.votes[oi][vi] {
+				s += weights[si]
+			}
+			return s
+		})
+		if sameSet(truthSet, next) {
+			truthSet = next
+			break
+		}
+		truthSet = next
+	}
+
+	// Confidence: weighted support share within the object.
+	objTotal := make([]float64, len(ix.objects))
+	support := make([][]float64, len(ix.objects))
+	for oi := range ix.votes {
+		support[oi] = make([]float64, len(ix.values[oi]))
+		for vi := range ix.votes[oi] {
+			var s float64
+			for _, si := range ix.votes[oi][vi] {
+				s += weights[si]
+			}
+			support[oi][vi] = s
+			objTotal[oi] += s
+		}
+	}
+	// With degenerate inputs (e.g. a single source) every CRH weight is
+	// log(1) = 0; fall back to raw vote shares there.
+	voteTotal := make([]int, len(ix.objects))
+	for oi := range ix.votes {
+		for vi := range ix.votes[oi] {
+			voteTotal[oi] += len(ix.votes[oi][vi])
+		}
+	}
+	return ix.truths(func(oi, vi int) float64 {
+		if objTotal[oi] <= 0 {
+			if voteTotal[oi] == 0 {
+				return 0
+			}
+			return float64(len(ix.votes[oi][vi])) / float64(voteTotal[oi])
+		}
+		return support[oi][vi] / objTotal[oi]
+	}), nil
+}
+
+// topValues marks, for each object, the ceil(frac * #values) values with
+// the highest scores (ties broken toward lower value index for
+// determinism).
+func (c *CRH) topValues(ix *index, frac float64, score func(oi, vi int) float64) map[[2]int]bool {
+	truth := make(map[[2]int]bool)
+	for oi := range ix.values {
+		nv := len(ix.values[oi])
+		if nv == 0 {
+			continue
+		}
+		take := int(math.Ceil(frac * float64(nv)))
+		if take < 1 {
+			take = 1
+		}
+		if take > nv {
+			take = nv
+		}
+		order := make([]int, nv)
+		for vi := range order {
+			order[vi] = vi
+		}
+		scores := make([]float64, nv)
+		for vi := range scores {
+			scores[vi] = score(oi, vi)
+		}
+		// Stable selection: sort by score descending, then index.
+		sortByScore(order, scores)
+		for _, vi := range order[:take] {
+			truth[[2]int{oi, vi}] = true
+		}
+	}
+	return truth
+}
+
+func sortByScore(order []int, scores []float64) {
+	// Insertion sort keeps this dependency-free and stable; value counts
+	// per object are small.
+	for i := 1; i < len(order); i++ {
+		for jj := i; jj > 0; jj-- {
+			a, b := order[jj-1], order[jj]
+			if scores[b] > scores[a] || (scores[b] == scores[a] && b < a) {
+				order[jj-1], order[jj] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func sameSet(a, b map[[2]int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

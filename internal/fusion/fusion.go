@@ -1,0 +1,174 @@
+// Package fusion implements the machine-only data-fusion substrate that
+// initializes CrowdFusion (Section V-A of the paper and the truth-discovery
+// methods surveyed in Section VI-B): a source/claim data model and four
+// fusion methods producing per-value confidence scores —
+//
+//   - MajorityVote: the baseline weighted count.
+//   - CRH: the Conflict Resolution on Heterogeneous data framework
+//     (Li et al., SIGMOD 2014) with the CrowdFusion paper's modification
+//     for multi-truth data (top-50% majority-vote seeding).
+//   - TruthFinder: the iterative source-trustworthiness model of
+//     Yin, Han and Yu (TKDE 2008).
+//   - AccuVote: a Bayesian accuracy model in the spirit of Dong,
+//     Berti-Equille and Srivastava (VLDB 2009), without copying detection.
+//
+// All methods consume claims — (source, object, value) triples — and emit
+// confidences in [0, 1] per distinct (object, value) pair, the probability
+// input the CrowdFusion engine expects.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Claim is one source's assertion that an object has a value: e.g. source
+// "ecampus.com" claims book "0321304292" has author list "Adams, Tyrone;
+// Scollard, Sharon".
+type Claim struct {
+	Source string
+	Object string
+	Value  string
+}
+
+// Truth is a fused confidence for one (object, value) pair.
+type Truth struct {
+	Object     string
+	Value      string
+	Confidence float64
+}
+
+// Method is a machine-only fusion algorithm.
+type Method interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Fuse scores every distinct (object, value) pair appearing in the
+	// claims. The output is sorted by (Object, Value) for determinism.
+	Fuse(claims []Claim) ([]Truth, error)
+}
+
+// ErrNoClaims is returned when Fuse is called with no claims.
+var ErrNoClaims = errors.New("fusion: no claims")
+
+// index is the grouped view of a claim set shared by all methods.
+type index struct {
+	sources []string         // sorted source names
+	objects []string         // sorted object names
+	sourceI map[string]int   // name -> index
+	objectI map[string]int   // name -> index
+	values  [][]string       // per object: sorted distinct values
+	valueI  []map[string]int // per object: value -> index
+	// votes[o][v] lists the source indices claiming value v for object o.
+	votes [][][]int
+	// claimsBySource[s] lists (object, valueIndex) pairs claimed by s.
+	claimsBySource [][][2]int
+}
+
+func buildIndex(claims []Claim) (*index, error) {
+	if len(claims) == 0 {
+		return nil, ErrNoClaims
+	}
+	ix := &index{
+		sourceI: make(map[string]int),
+		objectI: make(map[string]int),
+	}
+	for _, c := range claims {
+		if c.Source == "" || c.Object == "" {
+			return nil, fmt.Errorf("fusion: claim with empty source or object: %+v", c)
+		}
+		if _, ok := ix.sourceI[c.Source]; !ok {
+			ix.sourceI[c.Source] = -1
+		}
+		if _, ok := ix.objectI[c.Object]; !ok {
+			ix.objectI[c.Object] = -1
+		}
+	}
+	for s := range ix.sourceI {
+		ix.sources = append(ix.sources, s)
+	}
+	sort.Strings(ix.sources)
+	for i, s := range ix.sources {
+		ix.sourceI[s] = i
+	}
+	for o := range ix.objectI {
+		ix.objects = append(ix.objects, o)
+	}
+	sort.Strings(ix.objects)
+	for i, o := range ix.objects {
+		ix.objectI[o] = i
+	}
+
+	ix.values = make([][]string, len(ix.objects))
+	ix.valueI = make([]map[string]int, len(ix.objects))
+	seen := make(map[[2]string]bool)
+	for _, c := range claims {
+		key := [2]string{c.Object, c.Value}
+		if !seen[key] {
+			seen[key] = true
+			oi := ix.objectI[c.Object]
+			ix.values[oi] = append(ix.values[oi], c.Value)
+		}
+	}
+	for oi := range ix.values {
+		sort.Strings(ix.values[oi])
+		ix.valueI[oi] = make(map[string]int, len(ix.values[oi]))
+		for vi, v := range ix.values[oi] {
+			ix.valueI[oi][v] = vi
+		}
+	}
+
+	ix.votes = make([][][]int, len(ix.objects))
+	for oi := range ix.votes {
+		ix.votes[oi] = make([][]int, len(ix.values[oi]))
+	}
+	ix.claimsBySource = make([][][2]int, len(ix.sources))
+	// Deduplicate repeated identical claims from the same source.
+	claimSeen := make(map[[3]string]bool)
+	for _, c := range claims {
+		k := [3]string{c.Source, c.Object, c.Value}
+		if claimSeen[k] {
+			continue
+		}
+		claimSeen[k] = true
+		si := ix.sourceI[c.Source]
+		oi := ix.objectI[c.Object]
+		vi := ix.valueI[oi][c.Value]
+		ix.votes[oi][vi] = append(ix.votes[oi][vi], si)
+		ix.claimsBySource[si] = append(ix.claimsBySource[si], [2]int{oi, vi})
+	}
+	return ix, nil
+}
+
+// truths converts per-object per-value scores into the sorted Truth slice.
+func (ix *index) truths(score func(oi, vi int) float64) []Truth {
+	var out []Truth
+	for oi, obj := range ix.objects {
+		for vi, val := range ix.values[oi] {
+			c := score(oi, vi)
+			if c < 0 {
+				c = 0
+			}
+			if c > 1 {
+				c = 1
+			}
+			out = append(out, Truth{Object: obj, Value: val, Confidence: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Object != out[b].Object {
+			return out[a].Object < out[b].Object
+		}
+		return out[a].Value < out[b].Value
+	})
+	return out
+}
+
+// ByObject groups fused truths by object, preserving value order.
+func ByObject(truths []Truth) map[string][]Truth {
+	m := make(map[string][]Truth)
+	for _, t := range truths {
+		m[t.Object] = append(m[t.Object], t)
+	}
+	return m
+}

@@ -1,0 +1,376 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scenario builds a claim set where good sources report the truth and bad
+// sources report a fixed wrong value, over nObjects objects.
+func scenario(nGood, nBad, nObjects int) ([]Claim, map[string]string) {
+	var claims []Claim
+	truth := make(map[string]string)
+	for o := 0; o < nObjects; o++ {
+		obj := fmt.Sprintf("book%02d", o)
+		truth[obj] = fmt.Sprintf("true-list-%02d", o)
+		for g := 0; g < nGood; g++ {
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("good%d", g),
+				Object: obj,
+				Value:  truth[obj],
+			})
+		}
+		for b := 0; b < nBad; b++ {
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("bad%d", b),
+				Object: obj,
+				Value:  fmt.Sprintf("wrong-list-%02d", o),
+			})
+		}
+	}
+	return claims, truth
+}
+
+// topValue returns the highest-confidence value per object.
+func topValue(truths []Truth) map[string]string {
+	best := make(map[string]Truth)
+	for _, t := range truths {
+		if cur, ok := best[t.Object]; !ok || t.Confidence > cur.Confidence {
+			best[t.Object] = t
+		}
+	}
+	out := make(map[string]string, len(best))
+	for o, t := range best {
+		out[o] = t.Value
+	}
+	return out
+}
+
+func allMethods() []Method {
+	return []Method{MajorityVote{}, NewCRH(), NewTruthFinder(), NewAccuVote()}
+}
+
+func TestMethodsRecoverMajorityTruth(t *testing.T) {
+	claims, truth := scenario(5, 2, 10)
+	for _, m := range allMethods() {
+		t.Run(m.Name(), func(t *testing.T) {
+			got, err := m.Fuse(claims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			top := topValue(got)
+			for obj, want := range truth {
+				if top[obj] != want {
+					t.Errorf("%s: object %s fused to %q, want %q",
+						m.Name(), obj, top[obj], want)
+				}
+			}
+		})
+	}
+}
+
+func TestMethodsRejectEmptyAndMalformed(t *testing.T) {
+	for _, m := range allMethods() {
+		if _, err := m.Fuse(nil); err != ErrNoClaims {
+			t.Errorf("%s: empty claims err = %v", m.Name(), err)
+		}
+		if _, err := m.Fuse([]Claim{{Source: "", Object: "o", Value: "v"}}); err == nil {
+			t.Errorf("%s: empty source accepted", m.Name())
+		}
+	}
+}
+
+func TestConfidencesAreProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var claims []Claim
+	for i := 0; i < 300; i++ {
+		claims = append(claims, Claim{
+			Source: fmt.Sprintf("s%d", rng.Intn(12)),
+			Object: fmt.Sprintf("o%d", rng.Intn(15)),
+			Value:  fmt.Sprintf("v%d", rng.Intn(4)),
+		})
+	}
+	for _, m := range allMethods() {
+		got, err := m.Fuse(claims)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for _, tr := range got {
+			if tr.Confidence < 0 || tr.Confidence > 1 || math.IsNaN(tr.Confidence) {
+				t.Fatalf("%s: confidence %v out of [0,1] for %s/%s",
+					m.Name(), tr.Confidence, tr.Object, tr.Value)
+			}
+		}
+	}
+}
+
+func TestFuseDeterministic(t *testing.T) {
+	claims, _ := scenario(4, 3, 6)
+	for _, m := range allMethods() {
+		a, err := m.Fuse(claims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Fuse(claims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: result lengths differ", m.Name())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic result at %d: %+v vs %+v",
+					m.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestMajorityVoteExactShares(t *testing.T) {
+	claims := []Claim{
+		{Source: "a", Object: "o", Value: "x"},
+		{Source: "b", Object: "o", Value: "x"},
+		{Source: "c", Object: "o", Value: "x"},
+		{Source: "d", Object: "o", Value: "y"},
+	}
+	got, err := MajorityVote{}.Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"x": 0.75, "y": 0.25}
+	for _, tr := range got {
+		if math.Abs(tr.Confidence-want[tr.Value]) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", tr.Value, tr.Confidence, want[tr.Value])
+		}
+	}
+}
+
+func TestDuplicateClaimsIgnored(t *testing.T) {
+	claims := []Claim{
+		{Source: "a", Object: "o", Value: "x"},
+		{Source: "a", Object: "o", Value: "x"}, // duplicate
+		{Source: "b", Object: "o", Value: "y"},
+	}
+	got, err := MajorityVote{}.Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range got {
+		if math.Abs(tr.Confidence-0.5) > 1e-12 {
+			t.Errorf("duplicate claim double-counted: P(%s) = %v", tr.Value, tr.Confidence)
+		}
+	}
+}
+
+// TestCRHWeightsReliableSources: a source that agrees with the consensus on
+// many objects must outweigh a contrarian source, letting CRH flip an
+// object where raw counts are tied.
+func TestCRHWeightsReliableSources(t *testing.T) {
+	var claims []Claim
+	// Sources r1, r2 are consistent with each other on 10 objects;
+	// sources w1, w2 disagree with them and also with each other half the
+	// time, making them lossy.
+	for o := 0; o < 10; o++ {
+		obj := fmt.Sprintf("o%d", o)
+		claims = append(claims,
+			Claim{Source: "r1", Object: obj, Value: "good"},
+			Claim{Source: "r2", Object: obj, Value: "good"},
+			Claim{Source: "w1", Object: obj, Value: fmt.Sprintf("bad%d", o%2)},
+			Claim{Source: "w2", Object: obj, Value: fmt.Sprintf("bad%d", (o+1)%2)},
+		)
+	}
+	// Tie-break object: r1 vs w1.
+	claims = append(claims,
+		Claim{Source: "r1", Object: "tie", Value: "right"},
+		Claim{Source: "w1", Object: "tie", Value: "wrong"},
+	)
+	got, err := NewCRH().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byObj := ByObject(got)
+	var right, wrong float64
+	for _, tr := range byObj["tie"] {
+		switch tr.Value {
+		case "right":
+			right = tr.Confidence
+		case "wrong":
+			wrong = tr.Confidence
+		}
+	}
+	if right <= wrong {
+		t.Errorf("CRH did not favor the reliable source: right=%v wrong=%v", right, wrong)
+	}
+}
+
+// TestCRHSupportsMultiTruth: the modified CRH marks the top 50% of values
+// per object as true, so two format variants of the same list can both
+// retain high confidence.
+func TestCRHSupportsMultiTruth(t *testing.T) {
+	var claims []Claim
+	for s := 0; s < 4; s++ {
+		claims = append(claims, Claim{Source: fmt.Sprintf("fmtA%d", s), Object: "b", Value: "A, B"})
+	}
+	for s := 0; s < 4; s++ {
+		claims = append(claims, Claim{Source: fmt.Sprintf("fmtB%d", s), Object: "b", Value: "B; A"})
+	}
+	for s := 0; s < 2; s++ {
+		claims = append(claims, Claim{Source: fmt.Sprintf("junk%d", s), Object: "b", Value: "X"})
+	}
+	got, err := NewCRH().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := make(map[string]float64)
+	for _, tr := range got {
+		conf[tr.Value] = tr.Confidence
+	}
+	if conf["A, B"] <= conf["X"] || conf["B; A"] <= conf["X"] {
+		t.Errorf("variants not both favored: %v", conf)
+	}
+}
+
+func TestCRHParamDefaults(t *testing.T) {
+	c := &CRH{MaxIter: -1, TruthFraction: 2, Epsilon: -3}
+	maxIter, frac, eps := c.params()
+	if maxIter != 20 || frac != 0.5 || eps != 1e-6 {
+		t.Errorf("params() = %v %v %v, want defaults", maxIter, frac, eps)
+	}
+}
+
+// TestTruthFinderTrustOrdering: sources that always assert consensus values
+// converge to higher trustworthiness than sources asserting singletons.
+func TestTruthFinderTrustOrdering(t *testing.T) {
+	claims, _ := scenario(4, 1, 12)
+	tf := NewTruthFinder()
+	trust, err := tf.SourceTrust(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trust["good0"] <= trust["bad0"] {
+		t.Errorf("trust(good)=%v <= trust(bad)=%v", trust["good0"], trust["bad0"])
+	}
+}
+
+func TestTruthFinderConfidenceOrdering(t *testing.T) {
+	claims, truth := scenario(5, 2, 8)
+	got, err := NewTruthFinder().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byObj := ByObject(got)
+	for obj, want := range truth {
+		var trueConf, wrongConf float64
+		for _, tr := range byObj[obj] {
+			if tr.Value == want {
+				trueConf = tr.Confidence
+			} else {
+				wrongConf = tr.Confidence
+			}
+		}
+		if trueConf <= wrongConf {
+			t.Errorf("%s: true value confidence %v <= wrong %v", obj, trueConf, wrongConf)
+		}
+	}
+}
+
+func TestTruthFinderParamDefaults(t *testing.T) {
+	tf := &TruthFinder{InitialTrust: 5, Gamma: -1, MaxIter: 0, Tol: 0}
+	init, gamma, tol, maxIter := tf.params()
+	if init != 0.9 || gamma != 0.3 || tol != 1e-6 || maxIter != 50 {
+		t.Errorf("params() = %v %v %v %v, want defaults", init, gamma, tol, maxIter)
+	}
+}
+
+// TestAccuVotePosteriorsSumToOne: the Bayesian posterior over an object's
+// values is a distribution.
+func TestAccuVotePosteriorsSumToOne(t *testing.T) {
+	claims, _ := scenario(3, 2, 6)
+	got, err := NewAccuVote().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, trs := range ByObject(got) {
+		var sum float64
+		for _, tr := range trs {
+			sum += tr.Confidence
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: posteriors sum to %v", obj, sum)
+		}
+	}
+}
+
+// TestAccuVoteSharperThanMajority: with consistent good sources, the
+// Bayesian posterior should be at least as confident in the truth as the
+// raw vote share.
+func TestAccuVoteSharperThanMajority(t *testing.T) {
+	claims, truth := scenario(4, 2, 10)
+	mv, err := MajorityVote{}.Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := NewAccuVote().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvByObj := ByObject(mv)
+	avByObj := ByObject(av)
+	for obj, want := range truth {
+		var mvConf, avConf float64
+		for _, tr := range mvByObj[obj] {
+			if tr.Value == want {
+				mvConf = tr.Confidence
+			}
+		}
+		for _, tr := range avByObj[obj] {
+			if tr.Value == want {
+				avConf = tr.Confidence
+			}
+		}
+		if avConf < mvConf-1e-9 {
+			t.Errorf("%s: AccuVote %v less confident than majority %v", obj, avConf, mvConf)
+		}
+	}
+}
+
+func TestAccuVoteParamDefaults(t *testing.T) {
+	a := &AccuVote{InitialAccuracy: 7, MaxIter: 0, Tol: -1, MinAccuracy: -2, MaxAccuracy: 3}
+	init, tol, lo, hi, maxIter := a.params()
+	if init != 0.8 || tol != 1e-6 || lo != 0.05 || hi != 0.99 || maxIter != 30 {
+		t.Errorf("params() = %v %v %v %v %v, want defaults", init, tol, lo, hi, maxIter)
+	}
+}
+
+func TestByObject(t *testing.T) {
+	truths := []Truth{
+		{Object: "a", Value: "x", Confidence: 1},
+		{Object: "b", Value: "y", Confidence: 0.5},
+		{Object: "a", Value: "z", Confidence: 0.2},
+	}
+	m := ByObject(truths)
+	if len(m) != 2 || len(m["a"]) != 2 || len(m["b"]) != 1 {
+		t.Errorf("ByObject grouping wrong: %v", m)
+	}
+}
+
+// TestSingleSourceSingleClaim: degenerate inputs must not panic or divide
+// by zero in any method.
+func TestSingleSourceSingleClaim(t *testing.T) {
+	claims := []Claim{{Source: "s", Object: "o", Value: "v"}}
+	for _, m := range allMethods() {
+		got, err := m.Fuse(claims)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("%s: %d truths", m.Name(), len(got))
+		}
+		if got[0].Confidence <= 0 || got[0].Confidence > 1 || math.IsNaN(got[0].Confidence) {
+			t.Errorf("%s: confidence %v", m.Name(), got[0].Confidence)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package fusion
+
+// MajorityVote scores each value by its share of the votes on its object:
+// confidence = (sources claiming the value) / (claims on the object). It is
+// the baseline every truth-discovery paper compares against and the seeding
+// step of the modified CRH below.
+type MajorityVote struct{}
+
+// Name implements Method.
+func (MajorityVote) Name() string { return "MajorityVote" }
+
+// Fuse implements Method.
+func (MajorityVote) Fuse(claims []Claim) ([]Truth, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]int, len(ix.objects))
+	for oi := range ix.votes {
+		for vi := range ix.votes[oi] {
+			totals[oi] += len(ix.votes[oi][vi])
+		}
+	}
+	return ix.truths(func(oi, vi int) float64 {
+		if totals[oi] == 0 {
+			return 0
+		}
+		return float64(len(ix.votes[oi][vi])) / float64(totals[oi])
+	}), nil
+}

@@ -1,0 +1,132 @@
+package fusion
+
+import "math"
+
+// SemiSupervised implements semi-supervised truth discovery in the spirit
+// of Yin and Tan (WWW 2011), the approach the CrowdFusion paper positions
+// itself against: a small set of expert-provided ground-truth labels
+// anchors the TruthFinder-style iteration. Labeled values are pinned to
+// (nearly) 0 or 1 confidence, and labeled claims count extra toward source
+// trustworthiness, so a handful of labels can overturn a deceptive
+// majority.
+//
+// The paper argues this needs continuous expert effort as the Web drifts,
+// which is why CrowdFusion replaces the experts with a priced crowd; this
+// implementation exists as the comparison baseline.
+type SemiSupervised struct {
+	// Labels maps (object, value) to the expert judgment.
+	Labels map[[2]string]bool
+	// LabelWeight multiplies labeled claims in the trust update
+	// (default 3).
+	LabelWeight float64
+	// InitialTrust, Gamma, MaxIter, Tol as in TruthFinder.
+	InitialTrust float64
+	Gamma        float64
+	MaxIter      int
+	Tol          float64
+}
+
+// NewSemiSupervised returns a semi-supervised fuser with the given labels.
+func NewSemiSupervised(labels map[[2]string]bool) *SemiSupervised {
+	return &SemiSupervised{Labels: labels}
+}
+
+// Name implements Method.
+func (s *SemiSupervised) Name() string { return "SemiSupervised" }
+
+func (s *SemiSupervised) params() (labelW, init, gamma, tol float64, maxIter int) {
+	labelW = s.LabelWeight
+	if labelW <= 0 {
+		labelW = 3
+	}
+	init = s.InitialTrust
+	if init <= 0 || init >= 1 {
+		init = 0.9
+	}
+	gamma = s.Gamma
+	if gamma <= 0 {
+		gamma = 0.3
+	}
+	maxIter = s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol = s.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	return labelW, init, gamma, tol, maxIter
+}
+
+// Fuse implements Method.
+func (s *SemiSupervised) Fuse(claims []Claim) ([]Truth, error) {
+	ix, err := buildIndex(claims)
+	if err != nil {
+		return nil, err
+	}
+	labelW, init, gamma, tol, maxIter := s.params()
+
+	const pinTrue, pinFalse = 0.98, 0.02
+	labeled := func(oi, vi int) (bool, bool) {
+		v, ok := s.Labels[[2]string{ix.objects[oi], ix.values[oi][vi]}]
+		return v, ok
+	}
+
+	trust := make([]float64, len(ix.sources))
+	for si := range trust {
+		trust[si] = init
+	}
+	conf := make([][]float64, len(ix.objects))
+	for oi := range conf {
+		conf[oi] = make([]float64, len(ix.values[oi]))
+	}
+
+	const maxTauTrust = 1 - 1e-9
+	for iter := 0; iter < maxIter; iter++ {
+		for oi := range ix.votes {
+			for vi := range ix.votes[oi] {
+				if gold, ok := labeled(oi, vi); ok {
+					if gold {
+						conf[oi][vi] = pinTrue
+					} else {
+						conf[oi][vi] = pinFalse
+					}
+					continue
+				}
+				var raw float64
+				for _, si := range ix.votes[oi][vi] {
+					ts := trust[si]
+					if ts > maxTauTrust {
+						ts = maxTauTrust
+					}
+					raw += -math.Log(1 - ts)
+				}
+				conf[oi][vi] = 1 / (1 + math.Exp(-gamma*raw))
+			}
+		}
+		maxDelta := 0.0
+		for si, cs := range ix.claimsBySource {
+			if len(cs) == 0 {
+				continue
+			}
+			var sum, weight float64
+			for _, ov := range cs {
+				w := 1.0
+				if _, ok := labeled(ov[0], ov[1]); ok {
+					w = labelW
+				}
+				sum += w * conf[ov[0]][ov[1]]
+				weight += w
+			}
+			next := sum / weight
+			if d := math.Abs(next - trust[si]); d > maxDelta {
+				maxDelta = d
+			}
+			trust[si] = next
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return ix.truths(func(oi, vi int) float64 { return conf[oi][vi] }), nil
+}

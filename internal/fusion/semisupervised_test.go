@@ -1,0 +1,138 @@
+package fusion
+
+import (
+	"fmt"
+	"testing"
+)
+
+// deceptiveScenario builds claims where a coordinated majority of bad
+// sources asserts the same wrong value, so unsupervised methods follow the
+// majority.
+func deceptiveScenario(nBad, nGood, nObjects int) ([]Claim, map[string]string) {
+	var claims []Claim
+	truth := make(map[string]string)
+	for o := 0; o < nObjects; o++ {
+		obj := fmt.Sprintf("obj%02d", o)
+		truth[obj] = "right"
+		for g := 0; g < nGood; g++ {
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("good%d", g), Object: obj, Value: "right"})
+		}
+		for b := 0; b < nBad; b++ {
+			claims = append(claims, Claim{
+				Source: fmt.Sprintf("bad%d", b), Object: obj, Value: "wrong"})
+		}
+	}
+	return claims, truth
+}
+
+func TestSemiSupervisedName(t *testing.T) {
+	if NewSemiSupervised(nil).Name() != "SemiSupervised" {
+		t.Error("name")
+	}
+}
+
+func TestSemiSupervisedPinsLabels(t *testing.T) {
+	claims, _ := deceptiveScenario(4, 2, 6)
+	labels := map[[2]string]bool{
+		{"obj00", "right"}: true,
+		{"obj00", "wrong"}: false,
+	}
+	got, err := NewSemiSupervised(labels).Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range got {
+		if tr.Object != "obj00" {
+			continue
+		}
+		if tr.Value == "right" && tr.Confidence < 0.9 {
+			t.Errorf("labeled-true value confidence %v", tr.Confidence)
+		}
+		if tr.Value == "wrong" && tr.Confidence > 0.1 {
+			t.Errorf("labeled-false value confidence %v", tr.Confidence)
+		}
+	}
+}
+
+// TestSemiSupervisedOverturnsDeceptiveMajority: with labels on a few
+// objects, the learned source trust must flip the remaining (unlabeled)
+// objects to the truth — the advantage supervision buys, which plain
+// TruthFinder cannot achieve here.
+func TestSemiSupervisedOverturnsDeceptiveMajority(t *testing.T) {
+	claims, truth := deceptiveScenario(5, 2, 12)
+
+	// Unsupervised: the 5-vs-2 majority wins everywhere.
+	plain, err := NewTruthFinder().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topValue(plain)
+	plainWrong := 0
+	for obj, want := range truth {
+		if top[obj] != want {
+			plainWrong++
+		}
+	}
+	if plainWrong == 0 {
+		t.Fatal("scenario is not deceptive; test setup broken")
+	}
+
+	// Label three objects and the trust structure flips the rest.
+	labels := map[[2]string]bool{}
+	for o := 0; o < 3; o++ {
+		obj := fmt.Sprintf("obj%02d", o)
+		labels[[2]string{obj, "right"}] = true
+		labels[[2]string{obj, "wrong"}] = false
+	}
+	semi, err := NewSemiSupervised(labels).Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top = topValue(semi)
+	semiWrong := 0
+	for obj, want := range truth {
+		if top[obj] != want {
+			semiWrong++
+		}
+	}
+	if semiWrong >= plainWrong {
+		t.Errorf("labels did not help: %d wrong with labels, %d without", semiWrong, plainWrong)
+	}
+	if semiWrong != 0 {
+		t.Errorf("%d unlabeled objects still wrong after supervision", semiWrong)
+	}
+}
+
+func TestSemiSupervisedNoLabelsMatchesTruthFinderShape(t *testing.T) {
+	claims, _ := scenario(4, 2, 6)
+	semi, err := NewSemiSupervised(nil).Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := NewTruthFinder().Fuse(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(semi) != len(tf) {
+		t.Fatalf("result sizes differ: %d vs %d", len(semi), len(tf))
+	}
+	// With no labels the two are the same algorithm.
+	for i := range semi {
+		if semi[i] != tf[i] {
+			t.Fatalf("no-label semi-supervised diverges from TruthFinder at %d: %+v vs %+v",
+				i, semi[i], tf[i])
+		}
+	}
+}
+
+func TestSemiSupervisedValidationAndDefaults(t *testing.T) {
+	if _, err := NewSemiSupervised(nil).Fuse(nil); err != ErrNoClaims {
+		t.Errorf("empty claims err = %v", err)
+	}
+	s := &SemiSupervised{LabelWeight: -1, InitialTrust: 2, Gamma: 0, MaxIter: -1, Tol: 0}
+	labelW, init, gamma, tol, maxIter := s.params()
+	if labelW != 3 || init != 0.9 || gamma != 0.3 || tol != 1e-6 || maxIter != 50 {
+		t.Errorf("defaults: %v %v %v %v %v", labelW, init, gamma, tol, maxIter)
+	}
+}

@@ -1,0 +1,237 @@
+// Package info implements the information-theoretic kernel used throughout
+// CrowdFusion: Shannon entropy, binary entropy, conditional entropy and
+// mutual information over discrete distributions, plus numerically careful
+// accumulation helpers.
+//
+// All entropies are measured in bits (log base 2), matching the numbers
+// reported in the CrowdFusion paper (Tables III and IV and the utility plots
+// of Section V).
+package info
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotNormalized is returned by validation helpers when a probability
+// vector does not sum to 1 within tolerance.
+var ErrNotNormalized = errors.New("info: distribution does not sum to 1")
+
+// ErrNegativeProb is returned when a probability entry is negative beyond
+// tolerance.
+var ErrNegativeProb = errors.New("info: negative probability")
+
+// NormTolerance is the tolerance used by Validate when checking that a
+// distribution sums to one. Distributions assembled from many floating-point
+// updates accumulate error, so the tolerance is deliberately loose.
+const NormTolerance = 1e-6
+
+// PLogP returns p*log2(p) with the information-theoretic convention
+// 0*log(0) = 0. Negative inputs (which can arise from floating-point
+// cancellation) are clamped to zero.
+func PLogP(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return p * math.Log2(p)
+}
+
+// Entropy returns the Shannon entropy, in bits, of the probability vector p.
+// The vector is assumed to be normalized; callers that cannot guarantee this
+// should call Validate first or use EntropyNormalized.
+//
+// Kahan compensated summation is used so that supports with many small
+// entries (e.g. 2^n possible worlds) do not lose precision.
+func Entropy(p []float64) float64 {
+	var sum, comp float64
+	for _, pi := range p {
+		term := -PLogP(pi)
+		y := term - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	if sum < 0 {
+		// Tiny negative values can arise when all mass is on one outcome.
+		return 0
+	}
+	return sum
+}
+
+// EntropyNormalized normalizes p (treating it as an unnormalized measure)
+// and returns the entropy of the normalized distribution. The input slice is
+// not modified. It returns 0 for an empty or all-zero measure.
+func EntropyNormalized(p []float64) float64 {
+	total := Sum(p)
+	if total <= 0 {
+		return 0
+	}
+	// H(p/Z) = -sum (p_i/Z) log(p_i/Z) = log Z - (1/Z) sum p_i log p_i.
+	var s, comp float64
+	for _, pi := range p {
+		term := PLogP(pi)
+		y := term - comp
+		t := s + y
+		comp = (t - s) - y
+		s = t
+	}
+	h := math.Log2(total) - s/total
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// Binary returns the binary entropy function Hb(p) in bits: the entropy of a
+// Bernoulli(p) random variable. It is symmetric around p = 0.5, where it
+// attains its maximum of 1 bit.
+func Binary(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// CrowdEntropy returns H(Crowd) as defined in Definition 2 of the paper:
+// the entropy of a single crowd answer given the ground truth, for a crowd
+// with per-task accuracy pc. It equals the binary entropy of pc.
+func CrowdEntropy(pc float64) float64 {
+	return Binary(pc)
+}
+
+// Sum returns the compensated (Kahan) sum of xs.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Validate checks that p is a probability distribution: entries are
+// non-negative (within tolerance) and sum to 1 within NormTolerance.
+func Validate(p []float64) error {
+	for _, pi := range p {
+		if pi < -NormTolerance {
+			return ErrNegativeProb
+		}
+	}
+	if math.Abs(Sum(p)-1) > NormTolerance*float64(max(1, len(p))) {
+		return ErrNotNormalized
+	}
+	return nil
+}
+
+// Normalize scales p in place so it sums to 1 and returns the original sum.
+// If the sum is zero or negative the slice is left unchanged and 0 is
+// returned. Small negative entries (floating-point dust) are clamped to 0
+// before normalizing.
+func Normalize(p []float64) float64 {
+	for i, pi := range p {
+		if pi < 0 {
+			p[i] = 0
+		}
+	}
+	total := Sum(p)
+	if total <= 0 {
+		return 0
+	}
+	inv := 1 / total
+	for i := range p {
+		p[i] *= inv
+	}
+	return total
+}
+
+// JointEntropy returns the entropy of a joint distribution given as a matrix
+// of probabilities (rows × cols), in bits.
+func JointEntropy(joint [][]float64) float64 {
+	var sum, comp float64
+	for _, row := range joint {
+		for _, p := range row {
+			term := -PLogP(p)
+			y := term - comp
+			t := sum + y
+			comp = (t - sum) - y
+			sum = t
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// MutualInformation returns I(X;Y) in bits for the joint distribution
+// joint[x][y]. Marginals are computed internally. Values are clamped at 0 to
+// absorb floating-point noise.
+func MutualInformation(joint [][]float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	px := make([]float64, len(joint))
+	py := make([]float64, len(joint[0]))
+	for x, row := range joint {
+		for y, p := range row {
+			px[x] += p
+			py[y] += p
+		}
+	}
+	mi := Entropy(px) + Entropy(py) - JointEntropy(joint)
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// ConditionalEntropy returns H(Y|X) in bits for the joint distribution
+// joint[x][y]: H(Y|X) = H(X,Y) - H(X).
+func ConditionalEntropy(joint [][]float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	px := make([]float64, len(joint))
+	for x, row := range joint {
+		for _, p := range row {
+			px[x] += p
+		}
+	}
+	h := JointEntropy(joint) - Entropy(px)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// KL returns the Kullback-Leibler divergence D(p||q) in bits. It returns
+// +Inf if p places mass where q does not. Both inputs are assumed
+// normalized.
+func KL(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("info: KL requires equal-length distributions")
+	}
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += pi * math.Log2(pi/q[i])
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+// Package platform simulates a crowdsourcing platform in the style of
+// gMission (Chen et al., VLDB 2014), which the paper uses for its
+// empirical study: tasks are posted in rounds, pushed to a pool of
+// anonymous workers, answered independently — optionally by several workers
+// whose votes are aggregated by majority — and collected asynchronously.
+//
+// The simulation is concurrent (each task is answered by its own goroutine,
+// bounded by a configurable parallelism) yet fully deterministic: every
+// posted task derives its own RNG from the platform seed and the task's
+// global sequence number, so results are independent of goroutine
+// scheduling.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+)
+
+// Config describes the simulated platform.
+type Config struct {
+	// Truth is the hidden ground-truth judgment of every fact.
+	Truth dist.World
+	// Pool supplies the workers. Required.
+	Pool *crowd.Pool
+	// Redundancy is how many distinct workers answer each task; their
+	// majority vote becomes the task's answer. Rounded up to odd,
+	// capped at the pool size. Default 1.
+	Redundancy int
+	// Seed drives all randomness.
+	Seed int64
+	// PerTaskAccuracy overrides the workers' accuracy on specific facts
+	// (hard statements per Section V-D). Optional.
+	PerTaskAccuracy map[int]float64
+	// Parallelism bounds concurrent task processing. Default 8.
+	Parallelism int
+	// Latency, when positive, is slept by each simulated worker before
+	// answering, for end-to-end pacing demos. Keep zero in tests.
+	Latency time.Duration
+}
+
+// Platform is a running simulated crowdsourcing platform. It satisfies the
+// engine's AnswerProvider interface. Safe for use from one engine at a
+// time; internal state is mutex-protected.
+type Platform struct {
+	cfg    Config
+	mu     sync.Mutex
+	seq    int            // global task sequence number
+	posted int            // tasks posted
+	log    []crowd.Answer // every individual worker answer
+}
+
+// New validates the configuration and builds a platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Pool == nil || cfg.Pool.Size() == 0 {
+		return nil, errors.New("platform: worker pool required")
+	}
+	if cfg.Redundancy < 1 {
+		cfg.Redundancy = 1
+	}
+	if cfg.Redundancy > cfg.Pool.Size() {
+		cfg.Redundancy = cfg.Pool.Size()
+	}
+	if cfg.Redundancy%2 == 0 {
+		cfg.Redundancy--
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 8
+	}
+	for f, pc := range cfg.PerTaskAccuracy {
+		if pc < 0 || pc > 1 {
+			return nil, fmt.Errorf("platform: per-task accuracy %v for fact %d out of [0,1]", pc, f)
+		}
+	}
+	return &Platform{cfg: cfg}, nil
+}
+
+// Answers posts one round of tasks and blocks until every task has been
+// answered, returning the (majority-aggregated) judgment per task. It
+// implements the CrowdFusion engine's AnswerProvider.
+func (p *Platform) Answers(tasks []int) []bool {
+	p.mu.Lock()
+	baseSeq := p.seq
+	p.seq += len(tasks)
+	p.posted += len(tasks)
+	p.mu.Unlock()
+
+	out := make([]bool, len(tasks))
+	logs := make([][]crowd.Answer, len(tasks))
+	sem := make(chan struct{}, p.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, fact := range tasks {
+		wg.Add(1)
+		go func(slot, fact, seq int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if p.cfg.Latency > 0 {
+				time.Sleep(p.cfg.Latency)
+			}
+			out[slot], logs[slot] = p.answerOne(fact, seq)
+		}(i, fact, baseSeq+i)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	for _, l := range logs {
+		p.log = append(p.log, l...)
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// answerOne simulates one task: Redundancy distinct workers answer, the
+// majority wins. The RNG is derived from the seed and the task's sequence
+// number only, so the result does not depend on scheduling.
+func (p *Platform) answerOne(fact, seq int) (bool, []crowd.Answer) {
+	rng := rand.New(rand.NewSource(mix(p.cfg.Seed, int64(seq))))
+	truth := p.cfg.Truth.Has(fact)
+	override, hasOverride := p.cfg.PerTaskAccuracy[fact]
+
+	workers := p.cfg.Pool.Workers()
+	perm := rng.Perm(len(workers))[:p.cfg.Redundancy]
+	answers := make([]crowd.Answer, 0, p.cfg.Redundancy)
+	votesTrue := 0
+	for _, wi := range perm {
+		w := workers[wi]
+		acc := w.Accuracy
+		if hasOverride {
+			acc = override
+		}
+		v := truth
+		if rng.Float64() >= acc {
+			v = !truth
+		}
+		if v {
+			votesTrue++
+		}
+		answers = append(answers, crowd.Answer{Fact: fact, Value: v, Worker: w.ID})
+	}
+	return votesTrue*2 > p.cfg.Redundancy, answers
+}
+
+// mix combines the platform seed and a sequence number into an RNG seed
+// (splitmix64-style finalizer).
+func mix(seed, seq int64) int64 {
+	z := uint64(seed) ^ (uint64(seq)+0x9E3779B97F4A7C15)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// Posted returns the number of tasks posted so far — the platform-side
+// budget counter.
+func (p *Platform) Posted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.posted
+}
+
+// Log returns a copy of every individual worker answer recorded so far.
+func (p *Platform) Log() []crowd.Answer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]crowd.Answer(nil), p.log...)
+}
+
+// WorkerStats summarizes one worker's recorded performance.
+type WorkerStats struct {
+	Worker   string
+	Answered int
+	Correct  int
+}
+
+// Accuracy returns the worker's empirical accuracy (0 if unobserved).
+func (s WorkerStats) Accuracy() float64 {
+	if s.Answered == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Answered)
+}
+
+// Stats aggregates the answer log per worker, sorted by worker ID. Gold
+// truth comes from the platform's configured truth world.
+func (p *Platform) Stats() []WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byWorker := make(map[string]*WorkerStats)
+	for _, a := range p.log {
+		st, ok := byWorker[a.Worker]
+		if !ok {
+			st = &WorkerStats{Worker: a.Worker}
+			byWorker[a.Worker] = st
+		}
+		st.Answered++
+		if a.Value == p.cfg.Truth.Has(a.Fact) {
+			st.Correct++
+		}
+	}
+	out := make([]WorkerStats, 0, len(byWorker))
+	for _, st := range byWorker {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// EstimatePc runs the paper's recommended pre-test (Section V-C3): post
+// the given gold tasks to the platform and estimate the effective crowd
+// accuracy from the answers.
+func (p *Platform) EstimatePc(goldFacts []int) (float64, error) {
+	if len(goldFacts) == 0 {
+		return 0, errors.New("platform: no gold tasks")
+	}
+	answers := p.Answers(goldFacts)
+	gold := make([]bool, len(goldFacts))
+	for i, f := range goldFacts {
+		gold[i] = p.cfg.Truth.Has(f)
+	}
+	return crowd.EstimatePc(gold, answers)
+}

@@ -1,0 +1,219 @@
+// Package worlds converts a book's author-list statements plus
+// machine-fusion confidences into the sparse joint distribution over
+// possible outputs that CrowdFusion consumes (Section II-A of the paper).
+//
+// The correlation structure comes from the semantics of the data: two
+// statements that render the same set of authors (in any order or format)
+// are true together or false together, and statements rendering different
+// author sets are mutually exclusive — exactly one author set is the real
+// cover list. Each distinct canonical author set therefore defines one
+// possible world: "this set is the true list", in which a statement is true
+// iff its canonical set matches. An optional extra world captures "none of
+// the claimed sets is right".
+//
+// World priors are proportional to the fused confidence mass of the
+// statements supporting each candidate set, which is how any
+// probability-producing fusion method (CRH, TruthFinder, AccuVote,
+// majority vote) initializes CrowdFusion.
+package worlds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crowdfusion/internal/bookdata"
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/fusion"
+)
+
+// Options tunes joint construction.
+type Options struct {
+	// NoneWorldPrior is the prior probability that no claimed author set
+	// is correct (the all-false world). Zero disables the extra world.
+	// Default 0.02.
+	NoneWorldPrior float64
+	// MinGroupMass floors every candidate set's confidence mass so that
+	// a candidate no fusion method liked still has non-zero prior (the
+	// crowd may yet vindicate it). Default 1e-3.
+	MinGroupMass float64
+}
+
+// DefaultOptions returns the defaults described above.
+func DefaultOptions() Options {
+	return Options{NoneWorldPrior: 0.02, MinGroupMass: 1e-3}
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.NoneWorldPrior < 0 || o.NoneWorldPrior >= 1 {
+		return o, errors.New("worlds: NoneWorldPrior must be in [0, 1)")
+	}
+	if o.MinGroupMass < 0 {
+		return o, errors.New("worlds: MinGroupMass must be non-negative")
+	}
+	if o.MinGroupMass == 0 {
+		o.MinGroupMass = 1e-3
+	}
+	return o, nil
+}
+
+// Instance is one book's CrowdFusion problem: the facts (statements), the
+// prior joint distribution, the hidden truth world, and the gold labels.
+type Instance struct {
+	ISBN       string
+	Title      string
+	Statements []bookdata.Statement
+	Facts      []dist.Fact
+	Joint      *dist.Joint
+	Truth      dist.World // gold judgments as a world
+	Gold       []bool     // gold judgment per fact
+}
+
+// N returns the number of facts (statements).
+func (in *Instance) N() int { return len(in.Statements) }
+
+// Build constructs the Instance for one book from its statements and the
+// per-statement confidences produced by a fusion method (keyed by statement
+// text; missing entries default to 0).
+func Build(book bookdata.Book, statements []bookdata.Statement,
+	confidence map[string]float64, opts Options) (*Instance, error) {
+
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := len(statements)
+	if n == 0 {
+		return nil, fmt.Errorf("worlds: book %s has no statements", book.ISBN)
+	}
+	if n > dist.MaxFacts {
+		return nil, fmt.Errorf("worlds: book %s has %d statements (limit %d)",
+			book.ISBN, n, dist.MaxFacts)
+	}
+
+	// Group statements by canonical author set.
+	type group struct {
+		key     string
+		mask    dist.World
+		mass    float64
+		members int
+	}
+	byKey := make(map[string]*group)
+	var order []string
+	for i, s := range statements {
+		key := s.CanonicalKey()
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{key: key}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.mask = g.mask.Set(i, true)
+		g.mass += confidence[s.Text]
+		g.members++
+	}
+	sort.Strings(order)
+
+	worldList := make([]dist.World, 0, len(order)+1)
+	probs := make([]float64, 0, len(order)+1)
+	var total float64
+	for _, key := range order {
+		g := byKey[key]
+		m := g.mass
+		if m < opts.MinGroupMass {
+			m = opts.MinGroupMass
+		}
+		worldList = append(worldList, g.mask)
+		probs = append(probs, m)
+		total += m
+	}
+	// Scale candidate worlds to 1 - NoneWorldPrior and append the
+	// all-false world.
+	if opts.NoneWorldPrior > 0 {
+		scale := (1 - opts.NoneWorldPrior) / total
+		for i := range probs {
+			probs[i] *= scale
+		}
+		worldList = append(worldList, 0)
+		probs = append(probs, opts.NoneWorldPrior)
+	}
+	joint, err := dist.New(n, worldList, probs)
+	if err != nil {
+		return nil, fmt.Errorf("worlds: book %s: %w", book.ISBN, err)
+	}
+
+	marginals := joint.Marginals()
+	facts := make([]dist.Fact, n)
+	gold := make([]bool, n)
+	var truth dist.World
+	for i, s := range statements {
+		facts[i] = dist.Fact{
+			ID:        s.ID,
+			Subject:   book.Title,
+			Predicate: "complete full name author list",
+			Object:    s.Text,
+			Prior:     marginals[i],
+		}
+		gold[i] = s.Gold
+		if s.Gold {
+			truth = truth.Set(i, true)
+		}
+	}
+	return &Instance{
+		ISBN:       book.ISBN,
+		Title:      book.Title,
+		Statements: append([]bookdata.Statement(nil), statements...),
+		Facts:      facts,
+		Joint:      joint,
+		Truth:      truth,
+		Gold:       gold,
+	}, nil
+}
+
+// BuildAll constructs instances for every book in the dataset using the
+// fused truths of one machine-only method. Books whose statements exceed
+// the fact limit are skipped with an error entry.
+func BuildAll(d *bookdata.Dataset, truths []fusion.Truth, opts Options) ([]*Instance, error) {
+	byObject := fusion.ByObject(truths)
+	out := make([]*Instance, 0, len(d.Books))
+	for _, b := range d.Books {
+		conf := make(map[string]float64)
+		for _, t := range byObject[b.ISBN] {
+			conf[t.Value] = t.Confidence
+		}
+		in, err := Build(b, d.Statements[b.ISBN], conf, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// Simulator builds a crowd simulator for the instance: the hidden truth is
+// the instance's gold world, and each statement's task accuracy is the
+// base accuracy adjusted by its Section V-D difficulty class under the
+// given profile.
+func (in *Instance) Simulator(basePc float64, profile crowd.DifficultyProfile, seed int64) (*crowd.Simulator, error) {
+	sim, err := crowd.NewSimulator(in.Truth, basePc, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range in.Statements {
+		eff := profile.EffectiveAccuracy(s.Class, basePc)
+		if eff != basePc {
+			if err := sim.SetTaskAccuracy(i, eff); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sim, nil
+}
+
+// UniformSimulator builds a crowd simulator that ignores statement
+// difficulty: every task is answered with exactly the base accuracy, the
+// paper's Definition 2 model.
+func (in *Instance) UniformSimulator(basePc float64, seed int64) (*crowd.Simulator, error) {
+	return crowd.NewSimulator(in.Truth, basePc, seed)
+}

@@ -1,0 +1,311 @@
+package worlds
+
+import (
+	"math"
+	"testing"
+
+	"crowdfusion/internal/bookdata"
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/fusion"
+)
+
+func smallDataset(tb testing.TB) *bookdata.Dataset {
+	tb.Helper()
+	cfg := bookdata.DefaultConfig()
+	cfg.Books = 12
+	cfg.Sources = 15
+	cfg.Seed = 7
+	d, err := bookdata.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+func fuseMajority(tb testing.TB, d *bookdata.Dataset) []fusion.Truth {
+	tb.Helper()
+	truths, err := fusion.MajorityVote{}.Fuse(d.Claims)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return truths
+}
+
+func TestBuildAllShape(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != len(d.Books) {
+		t.Fatalf("instances = %d, books = %d", len(instances), len(d.Books))
+	}
+	for _, in := range instances {
+		if in.N() != len(d.Statements[in.ISBN]) {
+			t.Errorf("%s: %d facts for %d statements", in.ISBN, in.N(), len(d.Statements[in.ISBN]))
+		}
+		if err := in.Joint.Validate(); err != nil {
+			t.Errorf("%s: invalid joint: %v", in.ISBN, err)
+		}
+		if in.Joint.N() != in.N() {
+			t.Errorf("%s: joint over %d facts, want %d", in.ISBN, in.Joint.N(), in.N())
+		}
+		for i, f := range in.Facts {
+			if f.Prior < 0 || f.Prior > 1 {
+				t.Errorf("%s fact %d prior %v", in.ISBN, i, f.Prior)
+			}
+			if f.Object == "" || f.ID == "" {
+				t.Errorf("%s fact %d missing fields", in.ISBN, i)
+			}
+		}
+	}
+}
+
+// TestCorrelationStructure: statements with the same canonical author set
+// must be perfectly correlated, and statements with different sets mutually
+// exclusive, in every support world except the none-world.
+func TestCorrelationStructure(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instances {
+		keys := make([]string, in.N())
+		for i, s := range in.Statements {
+			keys[i] = s.CanonicalKey()
+		}
+		for _, w := range in.Joint.Worlds() {
+			if w == 0 {
+				continue // none-world
+			}
+			// The set of true statements in this world must be
+			// exactly one canonical group.
+			var trueKey string
+			for i := 0; i < in.N(); i++ {
+				if w.Has(i) {
+					if trueKey == "" {
+						trueKey = keys[i]
+					} else if keys[i] != trueKey {
+						t.Fatalf("%s: world %v mixes author sets %q and %q",
+							in.ISBN, w, trueKey, keys[i])
+					}
+				}
+			}
+			for i := 0; i < in.N(); i++ {
+				if keys[i] == trueKey && !w.Has(i) {
+					t.Fatalf("%s: world %v splits canonical group %q",
+						in.ISBN, w, trueKey)
+				}
+			}
+		}
+	}
+}
+
+// TestTruthWorldInSupport: the gold world must be a support world (the
+// generator guarantees at least one faithful statement per book, so the
+// gold canonical set is always among the candidates).
+func TestTruthWorldInSupport(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instances {
+		if in.Joint.Prob(in.Truth) <= 0 {
+			t.Errorf("%s: truth world %v has zero prior", in.ISBN, in.Truth)
+		}
+	}
+}
+
+func TestGoldMatchesTruthWorld(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range instances {
+		for i, g := range in.Gold {
+			if in.Truth.Has(i) != g {
+				t.Errorf("%s: truth world and gold disagree at fact %d", in.ISBN, i)
+			}
+		}
+	}
+}
+
+// TestConfidencePropagates: a candidate set with higher fused confidence
+// must get a higher prior world probability.
+func TestConfidencePropagates(t *testing.T) {
+	book := bookdata.Book{
+		ISBN: "isbn-1", Title: "T", Domain: bookdata.DomainTextbook,
+		Authors: []bookdata.Author{{First: "Ada", Last: "Lovelace"}},
+	}
+	statements := []bookdata.Statement{
+		{ID: "a", ISBN: "isbn-1", Text: "Ada Lovelace", Names: []string{"Ada Lovelace"}, Gold: true},
+		{ID: "b", ISBN: "isbn-1", Text: "Ada Byron", Names: []string{"Ada Byron"}},
+	}
+	conf := map[string]float64{"Ada Lovelace": 0.9, "Ada Byron": 0.1}
+	in, err := Build(book, statements, conf, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTrue, err := in.Joint.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFalse, err := in.Joint.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pTrue <= pFalse {
+		t.Errorf("confidence did not propagate: P(gold)=%v P(other)=%v", pTrue, pFalse)
+	}
+	// Rough proportion check: 0.9 vs 0.1 scaled by (1 - none prior).
+	if math.Abs(pTrue-0.9*(1-0.02)) > 1e-9 {
+		t.Errorf("P(gold) = %v, want %v", pTrue, 0.9*0.98)
+	}
+}
+
+func TestNoneWorld(t *testing.T) {
+	book := bookdata.Book{ISBN: "x", Title: "T",
+		Authors: []bookdata.Author{{First: "A", Last: "B"}}}
+	statements := []bookdata.Statement{
+		{ID: "s", ISBN: "x", Text: "A B", Names: []string{"A B"}, Gold: true},
+	}
+	conf := map[string]float64{"A B": 1}
+
+	withNone, err := Build(book, statements, conf, Options{NoneWorldPrior: 0.1, MinGroupMass: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := withNone.Joint.Prob(0); math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("none-world prior = %v, want 0.1", p)
+	}
+
+	without, err := Build(book, statements, conf, Options{NoneWorldPrior: 0, MinGroupMass: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := without.Joint.Prob(0); p != 0 {
+		t.Errorf("disabled none-world still present with prior %v", p)
+	}
+	if _, err := Build(book, statements, conf, Options{NoneWorldPrior: -0.1}); err == nil {
+		t.Error("negative none prior accepted")
+	}
+	if _, err := Build(book, statements, conf, Options{NoneWorldPrior: 0, MinGroupMass: -1}); err == nil {
+		t.Error("negative MinGroupMass accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	book := bookdata.Book{ISBN: "x", Title: "T"}
+	if _, err := Build(book, nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty statements accepted")
+	}
+	big := make([]bookdata.Statement, 65)
+	for i := range big {
+		big[i] = bookdata.Statement{ID: "s", Text: "t", Names: []string{"n"}}
+	}
+	if _, err := Build(book, big, nil, DefaultOptions()); err == nil {
+		t.Error("oversized book accepted")
+	}
+}
+
+// TestZeroConfidenceFloor: statements missing from the fusion output still
+// yield worlds with non-zero prior via MinGroupMass.
+func TestZeroConfidenceFloor(t *testing.T) {
+	book := bookdata.Book{ISBN: "x", Title: "T",
+		Authors: []bookdata.Author{{First: "A", Last: "B"}}}
+	statements := []bookdata.Statement{
+		{ID: "s1", ISBN: "x", Text: "A B", Names: []string{"A B"}, Gold: true},
+		{ID: "s2", ISBN: "x", Text: "C D", Names: []string{"C D"}},
+	}
+	in, err := Build(book, statements, map[string]float64{"A B": 1}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := in.Joint.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Errorf("unendorsed statement has zero prior %v", p)
+	}
+	if p >= 0.5 {
+		t.Errorf("unendorsed statement prior %v suspiciously high", p)
+	}
+}
+
+// TestEndToEndEngineRun: a full instance drives the CrowdFusion engine and
+// a difficulty-aware simulator without error, improving the posterior of
+// the truth world on average.
+func TestEndToEndEngineRun(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, total := 0, 0
+	for _, in := range instances {
+		if in.N() < 2 {
+			continue
+		}
+		sim, err := in.Simulator(0.85, crowd.DefaultDifficulty(), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.Engine{
+			Prior:    in.Joint,
+			Selector: core.NewGreedyPrunePre(),
+			Crowd:    sim,
+			Pc:       0.85,
+			K:        2,
+			Budget:   12,
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", in.ISBN, err)
+		}
+		if res.Final.Prob(in.Truth) > in.Joint.Prob(in.Truth) {
+			improved++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no instances exercised")
+	}
+	if improved*2 <= total {
+		t.Errorf("truth world improved in only %d of %d instances", improved, total)
+	}
+}
+
+func TestSimulators(t *testing.T) {
+	d := smallDataset(t)
+	instances, err := BuildAll(d, fuseMajority(t, d), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := instances[0]
+	if _, err := in.Simulator(0.3, crowd.DefaultDifficulty(), 1); err == nil {
+		t.Error("bad base accuracy accepted")
+	}
+	uni, err := in.UniformSimulator(0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.PerTask) != 0 {
+		t.Error("uniform simulator has per-task overrides")
+	}
+	diff, err := in.Simulator(0.9, crowd.DefaultDifficulty(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any non-easy statement must carry an override.
+	for i, s := range in.Statements {
+		_, has := diff.PerTask[i]
+		if (s.Class != crowd.Easy) != has {
+			t.Errorf("statement %d class %v override=%v", i, s.Class, has)
+		}
+	}
+}
