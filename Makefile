@@ -1,0 +1,28 @@
+# Local verification mirrors .github/workflows/ci.yml exactly: `make ci`
+# runs the same four checks plus the benchmark smoke step.
+
+GO ?= go
+
+.PHONY: build test lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# Run every benchmark for one iteration: a compile-and-smoke check.
+# For real measurements use: go test -bench=. -benchmem ./...
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build lint test bench

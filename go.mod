@@ -1,0 +1,3 @@
+module crowdfusion
+
+go 1.24

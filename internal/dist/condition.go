@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The crowd model of Definition 2: every answer is independently correct
+// with probability pc, so the probability that the crowd's answers to k
+// tasks sit at Hamming distance d from a world's true judgments is
+// pc^(k-d) * (1-pc)^d (Equation 2). This file implements the two sides of
+// that channel: the evidence probability P(e) of an answer set
+// (AnswerSetProb) and the Bayesian update of the output distribution
+// given the answers (Condition, the paper's Equation 3).
+
+// ErrImpossibleAnswers is returned by Condition when the answer set has
+// zero probability under the distribution (only possible at pc = 0 or 1),
+// leaving no posterior to normalize.
+var ErrImpossibleAnswers = errors.New("dist: answer set has probability zero")
+
+// channelWeights returns w[d] = pc^(k-d) * (1-pc)^d for d = 0..k, the
+// per-Hamming-distance likelihoods of Equation 2.
+func channelWeights(k int, pc float64) []float64 {
+	w := make([]float64, k+1)
+	w[0] = 1
+	for i := 0; i < k; i++ {
+		w[0] *= pc
+	}
+	if pc == 0 {
+		// Degenerate: only the all-wrong answer vector is possible.
+		if k > 0 {
+			w[k] = 1
+		}
+		return w
+	}
+	ratio := (1 - pc) / pc
+	for d := 1; d <= k; d++ {
+		w[d] = w[d-1] * ratio
+	}
+	return w
+}
+
+// checkEvidence validates a (tasks, answers, pc) evidence triple against
+// the distribution.
+func (j *Joint) checkEvidence(tasks []int, answers []bool, pc float64) error {
+	if err := j.checkFacts(tasks); err != nil {
+		return err
+	}
+	if len(answers) != len(tasks) {
+		return fmt.Errorf("dist: %d tasks but %d answers", len(tasks), len(answers))
+	}
+	if math.IsNaN(pc) || pc < 0 || pc > 1 {
+		return fmt.Errorf("dist: crowd accuracy %v outside [0, 1]", pc)
+	}
+	return nil
+}
+
+// answerPattern packs an answer vector into the bitmask convention of
+// World.Pattern: bit i set exactly when answers[i] is true.
+func answerPattern(answers []bool) uint64 {
+	var p uint64
+	for i, a := range answers {
+		if a {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// AnswerSetProb returns P(e): the probability that a crowd with accuracy
+// pc, asked the given tasks, returns exactly the given answers — the
+// evidence term of Equation 3, summing Equation 2 over the support.
+func (j *Joint) AnswerSetProb(tasks []int, answers []bool, pc float64) (float64, error) {
+	if err := j.checkEvidence(tasks, answers, pc); err != nil {
+		return 0, err
+	}
+	k := len(tasks)
+	if k == 0 {
+		return 1, nil
+	}
+	weights := channelWeights(k, pc)
+	ans := answerPattern(answers)
+	var sum, comp float64
+	for i, w := range j.worlds {
+		d := bits.OnesCount64(w.Pattern(tasks) ^ ans)
+		term := j.probs[i] * weights[d]
+		y := term - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum, nil
+}
+
+// Condition returns the posterior distribution after the crowd answers
+// the given tasks — the Bayesian update of Equation 3:
+//
+//	P(o | e) = P(e | o) * P(o) / P(e).
+//
+// The support is unchanged except for worlds the evidence rules out
+// entirely (possible only at pc = 0 or 1), which are dropped. The
+// receiver is not modified. Conditioning on no tasks returns a copy of
+// the receiver. ErrImpossibleAnswers is returned when P(e) = 0.
+func (j *Joint) Condition(tasks []int, answers []bool, pc float64) (*Joint, error) {
+	if err := j.checkEvidence(tasks, answers, pc); err != nil {
+		return nil, err
+	}
+	k := len(tasks)
+	if k == 0 {
+		return j.Clone(), nil
+	}
+	weights := channelWeights(k, pc)
+	ans := answerPattern(answers)
+	ws := make([]World, len(j.worlds))
+	ps := make([]float64, len(j.worlds))
+	for i, w := range j.worlds {
+		d := bits.OnesCount64(w.Pattern(tasks) ^ ans)
+		ws[i] = w
+		ps[i] = j.probs[i] * weights[d]
+	}
+	post, err := finish(j.n, ws, ps)
+	if err != nil {
+		return nil, ErrImpossibleAnswers
+	}
+	return post, nil
+}
+
+// Condition is the package-level form of Joint.Condition, for callers
+// that hold the evidence first.
+func Condition(j *Joint, tasks []int, answers []bool, pc float64) (*Joint, error) {
+	return j.Condition(tasks, answers, pc)
+}
+
+// AnswerSetProb is the package-level form of Joint.AnswerSetProb.
+func AnswerSetProb(j *Joint, tasks []int, answers []bool, pc float64) (float64, error) {
+	return j.AnswerSetProb(tasks, answers, pc)
+}

@@ -1,0 +1,60 @@
+// Package dist is the probability kernel of CrowdFusion: facts, possible
+// worlds and sparse joint distributions over them (Section II of the
+// paper).
+//
+// A Fact is one {subject, predicate, object} triple whose truth is
+// uncertain. A World is a complete truth assignment over n facts, encoded
+// as a bitmask — one of the paper's "possible outputs" o_i. A Joint is a
+// probability distribution over worlds with an explicit sparse support:
+// only worlds with positive probability are stored, as a sorted,
+// deduplicated world list with a parallel probability vector.
+//
+// The package is built for the selection hot path (internal/core calls
+// Entropy, Marginal and Prob inside the greedy loop):
+//
+//   - supports are sorted ascending and deduplicated at construction, so
+//     Prob is a binary search and set operations are merges;
+//   - Entropy and the per-fact marginals are computed once at construction
+//     and served from cache with no per-call allocations;
+//   - all validation (negative probabilities, zero total mass, worlds out
+//     of range) happens in the constructors, never at query time;
+//   - a Joint is immutable: Condition and Truncate return new values, so
+//     distributions may be shared freely across goroutines.
+//
+// Probabilities passed to the constructors are treated as non-negative
+// weights and normalized to total mass 1; duplicate worlds are merged and
+// zero-weight worlds are dropped from the support.
+package dist
+
+import "fmt"
+
+// MaxFacts is the largest number of facts a distribution may range over.
+// Worlds are uint64 bitmasks, so one machine word bounds the fact count.
+const MaxFacts = 64
+
+// MaxDenseFacts is the largest fact count accepted by the dense
+// constructors (Dense, Uniform, Independent), which materialize all 2^n
+// worlds. 2^20 worlds is ~8 MB of probabilities — past that a sparse
+// support via New is the only sensible representation.
+const MaxDenseFacts = 20
+
+// Fact is one {subject, predicate, object} triple with a prior
+// correctness probability, the unit the crowd is asked to judge
+// (Definition 1 of the paper).
+type Fact struct {
+	// ID is a short stable identifier ("f1", a statement id, ...).
+	ID string
+	// Subject, Predicate and Object form the triple.
+	Subject   string
+	Predicate string
+	Object    string
+	// Prior is the marginal correctness probability assigned by the
+	// machine-only fusion method that produced the distribution.
+	Prior float64
+}
+
+// String renders the triple in the paper's (subject, predicate, object)
+// notation.
+func (f Fact) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", f.Subject, f.Predicate, f.Object)
+}

@@ -1,0 +1,39 @@
+package dist
+
+// RunningExample returns the paper's worked example: the four uncertain
+// facts about Hong Kong of Table I and the output joint distribution of
+// Table II over all sixteen possible worlds.
+//
+// Fact indices 0..3 are the paper's f1..f4; the marginals (0.50, 0.63,
+// 0.58, 0.49) and every downstream number of Tables III and IV follow
+// from the joint below.
+func RunningExample() ([]Fact, *Joint) {
+	// Table II, indexed by world value with bit 0 = f1 .. bit 3 = f4
+	// (the paper lists rows with f4 as the fastest-changing judgment).
+	probs := []float64{
+		0.03, 0.04, 0.09, 0.06, 0.07, 0.04, 0.11, 0.07,
+		0.06, 0.04, 0.01, 0.09, 0.04, 0.05, 0.09, 0.11,
+	}
+	j, err := Dense(4, probs)
+	if err != nil {
+		// Unreachable: the literal is a valid distribution.
+		panic("dist: running example: " + err.Error())
+	}
+	triples := [][2]string{
+		{"is located in", "Asia"},
+		{"has population at least", "500,000"},
+		{"has major ethnic group", "Chinese"},
+		{"is located in", "Europe"},
+	}
+	facts := make([]Fact, len(triples))
+	for i, tr := range triples {
+		facts[i] = Fact{
+			ID:        "f" + string(rune('1'+i)),
+			Subject:   "Hong Kong",
+			Predicate: tr[0],
+			Object:    tr[1],
+			Prior:     j.Marginals()[i],
+		}
+	}
+	return facts, j
+}

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunningExampleTables pins the worked example against the paper's
+// printed numbers: the Table I marginals, the Table II joint, and the
+// Table III fact entropies (Table II bit convention; see the label note
+// in internal/core's golden tests).
+func TestRunningExampleTables(t *testing.T) {
+	facts, j := RunningExample()
+	if j.N() != 4 || len(facts) != 4 {
+		t.Fatalf("running example has %d facts, joint over %d", len(facts), j.N())
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Table I: the per-fact marginals.
+	wantM := []float64{0.50, 0.63, 0.58, 0.49}
+	for i, want := range wantM {
+		m, err := j.Marginal(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m-want) > 1e-9 {
+			t.Errorf("P(f%d) = %v, want %v", i+1, m, want)
+		}
+		if facts[i].Prior != m {
+			t.Errorf("fact f%d prior %v != marginal %v", i+1, facts[i].Prior, m)
+		}
+		if facts[i].ID != "f"+string(rune('1'+i)) {
+			t.Errorf("fact %d ID = %q", i, facts[i].ID)
+		}
+	}
+
+	// Table II: all sixteen worlds, in sorted (dense) order.
+	wantP := []float64{
+		0.03, 0.04, 0.09, 0.06, 0.07, 0.04, 0.11, 0.07,
+		0.06, 0.04, 0.01, 0.09, 0.04, 0.05, 0.09, 0.11,
+	}
+	if j.SupportSize() != 16 {
+		t.Fatalf("support = %d, want 16", j.SupportSize())
+	}
+	for i, w := range j.Worlds() {
+		if w != World(i) {
+			t.Errorf("world %d = %v, want %d (sorted dense support)", i, w, i)
+		}
+		if math.Abs(j.Probs()[i]-wantP[i]) > 1e-9 {
+			t.Errorf("P(o%d) = %v, want %v", i+1, j.Probs()[i], wantP[i])
+		}
+	}
+
+	// Table III's fact-entropy column for every 2-subset.
+	wantFH := map[[2]int]float64{
+		{0, 1}: 1.948, {0, 2}: 1.977, {0, 3}: 1.976,
+		{1, 2}: 1.929, {1, 3}: 1.949, {2, 3}: 1.981,
+	}
+	for pair, want := range wantFH {
+		fh, err := j.FactEntropy(pair[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fh-want) > 1e-3 {
+			t.Errorf("H({f%d,f%d}) = %.4f, want %.3f", pair[0]+1, pair[1]+1, fh, want)
+		}
+	}
+
+	// The Section III-D walkthrough seed: H({f1}) is exactly one bit.
+	fh, err := j.FactEntropy([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fh-1) > 1e-9 {
+		t.Errorf("H({f1}) = %v, want 1", fh)
+	}
+}

@@ -1,0 +1,58 @@
+package dist
+
+import "strings"
+
+// World is a complete truth assignment over the facts of a distribution,
+// encoded as a bitmask: bit i is set exactly when fact i is judged true.
+// It is one of the paper's "possible outputs" o_i. The zero World judges
+// every fact false.
+type World uint64
+
+// Set returns a copy of w with fact i judged v. Fact indices at or above
+// MaxFacts are ignored.
+func (w World) Set(i int, v bool) World {
+	if i < 0 || i >= MaxFacts {
+		return w
+	}
+	if v {
+		return w | 1<<uint(i)
+	}
+	return w &^ (1 << uint(i))
+}
+
+// Has reports whether w judges fact i true. Indices at or above MaxFacts
+// are false.
+func (w World) Has(i int) bool {
+	if i < 0 || i >= MaxFacts {
+		return false
+	}
+	return w&(1<<uint(i)) != 0
+}
+
+// Pattern compresses w's judgments of the given facts into a bitmask: bit
+// j of the result is set exactly when w judges facts[j] true. Two worlds
+// with equal patterns are indistinguishable by answers to those facts —
+// the grouping every marginalization in internal/core relies on.
+func (w World) Pattern(facts []int) uint64 {
+	var p uint64
+	for j, f := range facts {
+		if w.Has(f) {
+			p |= 1 << uint(j)
+		}
+	}
+	return p
+}
+
+// FormatJudgments renders the judgments of the first n facts as aligned
+// "T"/"F" columns, matching the layout of the paper's Tables II and IV.
+func (w World) FormatJudgments(n int) string {
+	cols := make([]string, n)
+	for i := 0; i < n; i++ {
+		if w.Has(i) {
+			cols[i] = "T"
+		} else {
+			cols[i] = "F"
+		}
+	}
+	return strings.Join(cols, "  ")
+}

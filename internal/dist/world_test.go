@@ -1,0 +1,65 @@
+package dist
+
+import "testing"
+
+func TestWorldSetHas(t *testing.T) {
+	var w World
+	w = w.Set(0, true).Set(3, true).Set(63, true)
+	for i := 0; i < MaxFacts; i++ {
+		want := i == 0 || i == 3 || i == 63
+		if w.Has(i) != want {
+			t.Errorf("Has(%d) = %v, want %v", i, w.Has(i), want)
+		}
+	}
+	w = w.Set(3, false)
+	if w.Has(3) {
+		t.Error("Set(3, false) did not clear the judgment")
+	}
+	// Out-of-range indices are inert, never a wrap-around.
+	if w.Set(64, true) != w || w.Set(-1, true) != w {
+		t.Error("out-of-range Set modified the world")
+	}
+	if w.Has(64) || w.Has(-1) {
+		t.Error("out-of-range Has reported true")
+	}
+}
+
+func TestWorldPattern(t *testing.T) {
+	w := World(0b10110)
+	cases := []struct {
+		facts []int
+		want  uint64
+	}{
+		{nil, 0},
+		{[]int{0}, 0},
+		{[]int{1}, 1},
+		{[]int{4, 2, 0}, 0b011},
+		{[]int{1, 2, 4}, 0b111},
+		{[]int{3, 1}, 0b10},
+	}
+	for _, tc := range cases {
+		if got := w.Pattern(tc.facts); got != tc.want {
+			t.Errorf("Pattern(%v) = %#b, want %#b", tc.facts, got, tc.want)
+		}
+	}
+}
+
+func TestWorldFormatJudgments(t *testing.T) {
+	w := World(0b0101)
+	if got := w.FormatJudgments(4); got != "T  F  T  F" {
+		t.Errorf("FormatJudgments(4) = %q", got)
+	}
+	if got := World(0).FormatJudgments(1); got != "F" {
+		t.Errorf("FormatJudgments(1) = %q", got)
+	}
+	if got := World(0).FormatJudgments(0); got != "" {
+		t.Errorf("FormatJudgments(0) = %q", got)
+	}
+}
+
+func TestFactString(t *testing.T) {
+	f := Fact{ID: "f1", Subject: "s", Predicate: "p", Object: "o", Prior: 0.5}
+	if got := f.String(); got != "(s, p, o)" {
+		t.Errorf("String() = %q", got)
+	}
+}
