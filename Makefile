@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test lint bench ci
+# Benchtime for the bench-json artifact: long enough for stable ns/op,
+# short enough for CI. Override for local measurement, e.g.
+#   make bench-json BENCHTIME=2s
+BENCHTIME ?= 0.3s
+
+.PHONY: build test lint bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -25,4 +30,16 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build lint test bench
+# Run the selection-kernel benchmarks (butterfly vs reference, preprocess
+# strategies, greedy selector, sweep parallelism) and emit a
+# machine-readable BENCH_selection.json — the artifact CI uploads. Fails if
+# the benchmarks stop compiling or running.
+# (Two steps, not a pipeline, so a benchmark failure fails the target.)
+bench-json:
+	$(GO) test -run '^$$' -bench 'Kernel|SweepParallelism' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/core/ . > bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_selection.json
+	@rm -f bench.out
+	@echo "wrote BENCH_selection.json"
+
+ci: build lint test bench bench-json

@@ -343,6 +343,40 @@ func BenchmarkAblationSupportTruncation(b *testing.B) {
 	}
 }
 
+// --- Sweep parallelism ----------------------------------------------------
+
+// BenchmarkSweepParallelism measures the wall-clock effect of stepping
+// books across the bounded worker pool: Sequential forces one worker, Auto
+// uses every CPU. Results are bit-identical either way (see
+// eval.TestSweepParallelismLevelsIdentical); only the wall time may differ,
+// by up to the core count on idle multi-core hardware.
+func BenchmarkSweepParallelism(b *testing.B) {
+	_, _, small := benchInstances(b)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 1},
+		{"Auto", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunSweep(eval.SweepConfig{
+					Instances:   small,
+					Selector:    eval.SelApproxFull,
+					K:           2,
+					Budget:      10,
+					Pc:          0.8,
+					Seed:        1,
+					Parallelism: mode.workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Core micro-benchmarks -------------------------------------------------
 
 func BenchmarkMergeAnswers(b *testing.B) {

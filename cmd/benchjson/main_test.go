@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: crowdfusion/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTaskEntropyKernel/Butterfly/dense/k=8-4         	    4096	    245574 ns/op	    2264 B/op	       4 allocs/op
+BenchmarkFig2/pc=0.7/OPT-4   	      10	 123456 ns/op	         0.9512 F1
+PASS
+ok  	crowdfusion/internal/core	1.677s
+pkg: crowdfusion
+BenchmarkSweepParallelism/Auto 	       7	 28721884 ns/op
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Errorf("platform not captured: %q/%q", report.Goos, report.Goarch)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(report.Results))
+	}
+
+	r := report.Results[0]
+	if r.Name != "BenchmarkTaskEntropyKernel/Butterfly/dense/k=8" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", r.Name)
+	}
+	if r.Package != "crowdfusion/internal/core" {
+		t.Errorf("package = %q", r.Package)
+	}
+	if r.Iterations != 4096 || r.NsPerOp != 245574 || r.BytesPerOp != 2264 || r.AllocsPerOp != 4 {
+		t.Errorf("standard units misparsed: %+v", r)
+	}
+
+	if f1 := report.Results[1].Metrics["F1"]; f1 != 0.9512 {
+		t.Errorf("custom metric F1 = %v, want 0.9512", f1)
+	}
+
+	last := report.Results[2]
+	if last.Name != "BenchmarkSweepParallelism/Auto" || last.Package != "crowdfusion" {
+		t.Errorf("multi-package context not tracked: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noisy := "Benchmark\nBenchmarkX notanumber\nrandom text\n"
+	report, err := parse(bufio.NewScanner(strings.NewReader(noisy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 0 {
+		t.Fatalf("noise produced %d results", len(report.Results))
+	}
+}

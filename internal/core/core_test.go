@@ -451,9 +451,10 @@ func TestPartitionRefinement(t *testing.T) {
 			t.Fatal(err)
 		}
 		part := newPartition(j.SupportSize())
+		s := getScratch()
 		var tasks []int
 		for _, f := range rng.Perm(n)[:3] {
-			viaIncremental := pre.entropyAfter(part, f)
+			viaIncremental := pre.entropyAfter(s, part, f)
 			tasks = append(tasks, f)
 			viaDirect, err := pre.TaskEntropy(tasks)
 			if err != nil {
@@ -465,6 +466,7 @@ func TestPartitionRefinement(t *testing.T) {
 			}
 			part = part.refine(j.Worlds(), f)
 		}
+		putScratch(s)
 	}
 }
 

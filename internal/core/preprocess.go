@@ -1,11 +1,11 @@
 package core
 
 import (
-	"math"
 	"math/bits"
 
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/info"
+	"crowdfusion/internal/parallel"
 )
 
 // Preprocessed holds the precomputed answer joint distribution of Section
@@ -31,32 +31,97 @@ type Preprocessed struct {
 	total   float64   // sum of A[r]; < 1 on sparse supports
 }
 
+// maxPreprocessButterflyFacts caps the dense cube the preprocessing
+// butterfly may allocate: 2^20 float64s = 8 MB, transient per call.
+const maxPreprocessButterflyFacts = 20
+
 // Preprocess computes the answer joint distribution for the given output
-// distribution and crowd accuracy. Cost: O(|O|^2) with O(1) work per pair
-// (popcount). The result may be reused for any number of task-set
-// evaluations and selections, but is invalidated by answer merging (the
-// posterior is a different distribution); each selection round preprocesses
-// once, as the paper notes.
+// distribution and crowd accuracy. Two strategies, chosen by instance
+// shape only (so results never depend on the machine):
+//
+//   - Cube butterfly: A is the n-fold binary symmetric channel applied to
+//     the support scattered into the full 2^n cube — the same kernel as
+//     answerDistribution with every fact selected — costing O(n·2^n).
+//     Used when n is small enough to allocate the cube and n·2^n < |O|²,
+//     e.g. every dense-support instance.
+//   - Pairwise: the direct O(|O|²) popcount loop, row-partitioned across
+//     all CPUs; every row accumulates in the same index order regardless
+//     of worker count, so the result is bit-identical to the sequential
+//     reference (preprocessRef).
+//
+// The result may be reused for any number of task-set evaluations and
+// selections, but is invalidated by answer merging (the posterior is a
+// different distribution); each selection round preprocesses once, as the
+// paper notes.
 func Preprocess(j *dist.Joint, pc float64) (*Preprocessed, error) {
-	if pc < 0.5 || pc > 1 || math.IsNaN(pc) {
-		return nil, ErrBadAccuracy
+	return preprocessWorkers(j, pc, 0)
+}
+
+// preprocessWorkers is Preprocess with an explicit worker count (0 = all
+// CPUs), split out so tests can exercise the parallel path on any machine.
+func preprocessWorkers(j *dist.Joint, pc float64, workers int) (*Preprocessed, error) {
+	if err := checkAccuracy(pc); err != nil {
+		return nil, err
 	}
+	n := j.N()
+	size := uint64(j.SupportSize())
+	if n <= maxPreprocessButterflyFacts && uint64(n)<<uint(n) < size*size {
+		return preprocessButterfly(j, pc), nil
+	}
+	return preprocessPairwise(j, pc, workers), nil
+}
+
+// preprocessButterfly computes the answer joint by scattering the support
+// into the dense 2^n cube and applying the n-stage channel butterfly, then
+// gathering the support rows back out: O(|O| + n·2^n) total, an
+// asymptotic win over the pairwise loop whenever the support is within a
+// square root of the cube.
+func preprocessButterfly(j *dist.Joint, pc float64) *Preprocessed {
 	worlds := j.Worlds()
 	probs := j.Probs()
 	n := j.N()
-	weights := bscWeights(n, pc)
+	dense := make([]float64, 1<<uint(n))
+	for i, w := range worlds {
+		dense[w] = probs[i] // support worlds are distinct
+	}
+	bscButterfly(dense, n, pc)
 	a := make([]float64, len(worlds))
 	var total float64
-	for r, wr := range worlds {
-		var acc float64
-		for i, wi := range worlds {
-			d := bits.OnesCount64(uint64(wr ^ wi))
-			acc += probs[i] * weights[d]
-		}
-		a[r] = acc
-		total += acc
+	for r, w := range worlds {
+		a[r] = dense[w]
+		total += dense[w]
 	}
-	return &Preprocessed{joint: j, pc: pc, answerP: a, total: total}, nil
+	return &Preprocessed{joint: j, pc: pc, answerP: a, total: total}
+}
+
+// preprocessPairwise is the direct O(|O|²) computation, row-partitioned
+// across the bounded worker pool. Each row is an independent local
+// accumulation in ascending index order, so any worker count produces
+// bit-identical output.
+func preprocessPairwise(j *dist.Joint, pc float64, workers int) *Preprocessed {
+	worlds := j.Worlds()
+	probs := j.Probs()
+	weights := bscWeights(j.N(), pc)
+	a := make([]float64, len(worlds))
+	w := parallel.Workers(workers, len(worlds))
+	parallel.Blocks(w, len(worlds), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			wr := worlds[r]
+			var acc float64
+			for i, wi := range worlds {
+				d := bits.OnesCount64(uint64(wr ^ wi))
+				acc += probs[i] * weights[d]
+			}
+			a[r] = acc
+		}
+	})
+	// Plain ascending sum, matching the reference accumulation order so
+	// CoveredMass is bit-identical too.
+	var total float64
+	for _, v := range a {
+		total += v
+	}
+	return &Preprocessed{joint: j, pc: pc, answerP: a, total: total}
 }
 
 // Joint returns the output distribution the preprocessing was built from.
@@ -79,7 +144,8 @@ func (p *Preprocessed) CoveredMass() float64 { return p.total }
 // TaskEntropy approximates H(T) by marginalizing the precomputed answer
 // joint over the task set with Algorithm 2: partition the support by the
 // judgments of T, sum A within each part, and take the entropy of the
-// normalized part masses. Cost O(|O|) plus the grouping map.
+// normalized part masses. Cost O(|O| log |O|) with pooled scratch — no
+// allocation on the steady-state path. Safe for concurrent use.
 func (p *Preprocessed) TaskEntropy(tasks []int) (float64, error) {
 	if err := checkTasks(p.joint, tasks, p.pc); err != nil {
 		return 0, err
@@ -87,30 +153,25 @@ func (p *Preprocessed) TaskEntropy(tasks []int) (float64, error) {
 	if len(tasks) == 0 {
 		return 0, nil
 	}
-	masses := p.marginalize(tasks)
+	s := getScratch()
+	defer putScratch(s)
+	masses := p.marginalize(s, tasks)
 	return info.EntropyNormalized(masses), nil
 }
 
 // marginalize implements Algorithm 2 (Compute Marginal Distribution): the
 // support is separated into parts by the judgments of the selected facts
-// and the answer-joint probabilities are summed within each part. The
-// part masses are returned in first-seen order.
-func (p *Preprocessed) marginalize(tasks []int) []float64 {
+// and the answer-joint probabilities are summed within each part. Grouping
+// is sort-based over the scratch pair buffer (see groupPatternMasses); the
+// returned part masses are in ascending-pattern order and are views into
+// the scratch, valid only until its next use.
+func (p *Preprocessed) marginalize(s *kernelScratch, tasks []int) []float64 {
 	worlds := p.joint.Worlds()
-	acc := make(map[uint64]float64, len(worlds))
-	order := make([]uint64, 0, len(worlds))
+	pairs := s.pairBuf(len(worlds))
 	for r, w := range worlds {
-		pat := w.Pattern(tasks)
-		if _, seen := acc[pat]; !seen {
-			order = append(order, pat)
-		}
-		acc[pat] += p.answerP[r]
+		pairs[r] = patMass{pat: w.Pattern(tasks), mass: p.answerP[r]}
 	}
-	masses := make([]float64, len(order))
-	for i, pat := range order {
-		masses[i] = acc[pat]
-	}
-	return masses
+	return s.massesOf(groupPatternMasses(pairs))
 }
 
 // partition is the incremental state used by the greedy selector with
@@ -159,10 +220,13 @@ func (pt *partition) refine(worlds []dist.World, f int) *partition {
 // entropyAfter returns the Algorithm-2 entropy of the partition refined by
 // fact f, without materializing the refined partition: each group's
 // answer-joint mass is split by the judgment of f and the entropy of the
-// normalized split masses is computed directly.
-func (p *Preprocessed) entropyAfter(pt *partition, f int) float64 {
+// normalized split masses is computed directly over the caller's scratch.
+// The caller holds one scratch for its whole selection (as
+// GreedySelector.Select does) so this per-candidate hot path pays no pool
+// round-trip.
+func (p *Preprocessed) entropyAfter(s *kernelScratch, pt *partition, f int) float64 {
 	worlds := p.joint.Worlds()
-	masses := make([]float64, 0, 2*len(pt.groups))
+	masses := s.masses[:0]
 	for _, g := range pt.groups {
 		var yes, no float64
 		for _, idx := range g {
@@ -179,5 +243,7 @@ func (p *Preprocessed) entropyAfter(pt *partition, f int) float64 {
 			masses = append(masses, yes)
 		}
 	}
-	return info.EntropyNormalized(masses)
+	h := info.EntropyNormalized(masses)
+	s.masses = masses[:0] // retain any growth for the next caller
+	return h
 }

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/info"
@@ -171,6 +172,67 @@ func (g *GreedySelector) Name() string {
 	}
 }
 
+// patternCache incrementally maintains each support world's answer pattern
+// over the already-selected tasks, the exact-evaluation analogue of
+// partition.refine: evaluating a candidate f ORs one more bit onto the
+// cached patterns instead of recomputing World.Pattern over the whole
+// selected set, so each evaluation costs O(|O| + k·2^k) via the butterfly
+// instead of O(|O|·k + |O|·2^k).
+type patternCache struct {
+	j       *dist.Joint
+	pc      float64
+	depth   int      // number of selected tasks folded into base
+	base    []uint64 // per-support-world pattern on the selected set
+	scratch *kernelScratch
+}
+
+func newPatternCache(j *dist.Joint, pc float64) *patternCache {
+	return &patternCache{
+		j:       j,
+		pc:      pc,
+		base:    make([]uint64, j.SupportSize()),
+		scratch: getScratch(),
+	}
+}
+
+// release returns the pooled scratch; the cache must not be used after.
+func (c *patternCache) release() { putScratch(c.scratch) }
+
+// entropyWith returns the exact H(selected ∪ {f}): the cached base
+// patterns extended by candidate f's judgment bit, scattered densely and
+// pushed through the butterfly channel. Entropy is invariant to the bit
+// order of the patterns, so folding f into the top bit matches
+// TaskEntropy(j, append(selected, f), pc) exactly.
+func (c *patternCache) entropyWith(f int) float64 {
+	k := c.depth + 1
+	dense := c.scratch.denseZero(1 << uint(k))
+	worlds := c.j.Worlds()
+	probs := c.j.Probs()
+	bit := uint64(1) << uint(c.depth)
+	for i, w := range worlds {
+		p := c.base[i]
+		if w.Has(f) {
+			p |= bit
+		}
+		dense[p] += probs[i]
+	}
+	if c.pc != 1 {
+		bscButterfly(dense, k, c.pc)
+	}
+	return info.Entropy(dense)
+}
+
+// pick folds the chosen fact into the cached patterns.
+func (c *patternCache) pick(f int) {
+	bit := uint64(1) << uint(c.depth)
+	for i, w := range c.j.Worlds() {
+		if w.Has(f) {
+			c.base[i] |= bit
+		}
+	}
+	c.depth++
+}
+
 // Select implements Selector.
 func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error) {
 	if k <= 0 {
@@ -189,6 +251,8 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 
 	var pre *Preprocessed
 	var part *partition
+	var preScratch *kernelScratch
+	var cache *patternCache
 	if g.Options.Preprocess {
 		var err error
 		pre, err = Preprocess(j, pc)
@@ -196,12 +260,24 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 			return nil, err
 		}
 		part = newPartition(j.SupportSize())
+		preScratch = getScratch()
+		defer putScratch(preScratch)
+	} else {
+		cache = newPatternCache(j, pc)
+		defer cache.release()
 	}
-	eval := func(selected []int, f int) (float64, error) {
+	eval := func(f int) (float64, error) {
 		if g.Options.Preprocess {
-			return pre.entropyAfter(part, f), nil
+			return pre.entropyAfter(preScratch, part, f), nil
 		}
-		return TaskEntropy(j, append(selected, f), pc)
+		return cache.entropyWith(f), nil
+	}
+	onPick := func(f int) {
+		if g.Options.Preprocess {
+			part = part.refine(j.Worlds(), f)
+		} else {
+			cache.pick(f)
+		}
 	}
 	// In preprocessed mode the Algorithm-2 entropies are approximate on
 	// sparse supports; before letting an (approximate) vanishing gain end
@@ -234,11 +310,7 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 	currentH := 0.0 // H(T) for the running task set
 
 	if g.Options.Prune && !g.Options.LiteralPaperRule {
-		onPick := func(int) {}
-		if g.Options.Preprocess {
-			onPick = func(f int) { part = part.refine(j.Worlds(), f) }
-		}
-		return g.selectLazy(j, k, pc, eval, confirmStop, onPick, noiseFloor)
+		return g.selectLazy(j, k, eval, confirmStop, onPick, noiseFloor)
 	}
 
 	pruned := make([]bool, n)
@@ -252,7 +324,7 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 			if inSet[f] || pruned[f] {
 				continue
 			}
-			h, err := eval(selected, f)
+			h, err := eval(f)
 			if err != nil {
 				return nil, err
 			}
@@ -287,9 +359,7 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 		selected = append(selected, bestFact)
 		inSet[bestFact] = true
 		currentH = bestH
-		if g.Options.Preprocess {
-			part = part.refine(j.Worlds(), bestFact)
-		}
+		onPick(bestFact)
 	}
 	sort.Ints(selected)
 	return selected, nil
@@ -301,8 +371,8 @@ func (g *GreedySelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 // set, so candidates whose stale gain cannot beat the best fresh evaluation
 // are skipped without re-evaluation — the "prune" of Section III-E.
 func (g *GreedySelector) selectLazy(
-	j *dist.Joint, k int, pc float64,
-	eval func(selected []int, f int) (float64, error),
+	j *dist.Joint, k int,
+	eval func(f int) (float64, error),
 	confirmStop func(selected []int, f int) (bool, error),
 	onPick func(f int),
 	noiseFloor float64,
@@ -363,7 +433,7 @@ func (g *GreedySelector) selectLazy(
 				chosen = top
 				break
 			}
-			h, err := eval(selected, top.fact)
+			h, err := eval(top.fact)
 			if err != nil {
 				return nil, err
 			}
@@ -393,8 +463,12 @@ func (g *GreedySelector) selectLazy(
 }
 
 // RandomSelector picks k distinct facts uniformly at random — the baseline
-// the paper's Figures 2-4 compare against. Not safe for concurrent use.
+// the paper's Figures 2-4 compare against. A mutex serializes draws from
+// the shared stream, so one selector may serve concurrently stepped
+// instances (parallel sweeps) without racing; for reproducible parallel
+// runs give each instance its own seeded selector, as eval.RunSweep does.
 type RandomSelector struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -406,7 +480,10 @@ func NewRandom(seed int64) *RandomSelector {
 // Name implements Selector.
 func (r *RandomSelector) Name() string { return "Random" }
 
-// Select implements Selector.
+// Select implements Selector with a partial Fisher–Yates draw: only the k
+// drawn positions of the virtual permutation are materialized (in a sparse
+// swap map), so a draw costs O(k) time and memory instead of the O(n) of a
+// full rand.Perm — the usual regime is k ≪ n.
 func (r *RandomSelector) Select(j *dist.Joint, k int, pc float64) ([]int, error) {
 	if k <= 0 {
 		return nil, ErrNoTasks
@@ -421,7 +498,23 @@ func (r *RandomSelector) Select(j *dist.Joint, k int, pc float64) ([]int, error)
 	if k > MaxTasksPerRound {
 		return nil, ErrTooManyTasks
 	}
-	perm := r.rng.Perm(n)[:k]
-	sort.Ints(perm)
-	return perm, nil
+	picked := make([]int, k)
+	swap := make(map[int]int, k)
+	r.mu.Lock()
+	for i := 0; i < k; i++ {
+		t := i + r.rng.Intn(n-i)
+		vt, ok := swap[t]
+		if !ok {
+			vt = t
+		}
+		vi, ok := swap[i]
+		if !ok {
+			vi = i
+		}
+		picked[i] = vt
+		swap[t] = vi
+	}
+	r.mu.Unlock()
+	sort.Ints(picked)
+	return picked, nil
 }

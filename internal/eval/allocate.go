@@ -8,6 +8,7 @@ import (
 	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/info"
+	"crowdfusion/internal/parallel"
 	"crowdfusion/internal/worlds"
 )
 
@@ -91,8 +92,15 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 		PerBook: make([]int, len(cfg.Instances)),
 		Joints:  make([]*dist.Joint, len(cfg.Instances)),
 	}
-	h := make(allocHeap, 0, len(cfg.Instances))
-	for i, in := range cfg.Instances {
+	// Per-book setup — simulator construction plus the O(n) first
+	// best-task scan — is independent across books, so it runs on the
+	// bounded worker pool; results land at fixed indices and the heap is
+	// assembled sequentially in book order, keeping the run
+	// deterministic for a fixed seed.
+	books := make([]*allocBook, len(cfg.Instances))
+	errs := make([]error, len(cfg.Instances))
+	parallel.For(0, len(cfg.Instances), func(i int) {
+		in := cfg.Instances[i]
 		seed := cfg.Seed + int64(i)*1009
 		var sim *crowd.Simulator
 		var err error
@@ -102,12 +110,18 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 			sim, err = in.UniformSimulator(crowdPc, seed)
 		}
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		book := &allocBook{idx: i, joint: in.Joint.Clone(), sim: sim}
-		if err := book.refreshBest(cfg.Pc, noise); err != nil {
+		books[i], errs[i] = book, book.refreshBest(cfg.Pc, noise)
+	})
+	h := make(allocHeap, 0, len(cfg.Instances))
+	for i, err := range errs {
+		if err != nil {
 			return nil, err
 		}
+		book := books[i]
 		res.Joints[i] = book.joint
 		if book.bestFact >= 0 {
 			h = append(h, book)

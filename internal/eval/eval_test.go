@@ -303,6 +303,7 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 	base := SweepConfig{
 		Instances: ins, Selector: SelApproxPrune,
 		K: 2, Budget: 12, Pc: 0.8, Seed: 21,
+		Parallelism: 1, // force sequential (0 now means GOMAXPROCS)
 	}
 	seq, err := RunSweep(base)
 	if err != nil {

@@ -2,11 +2,11 @@ package eval
 
 import (
 	"fmt"
-	"sync"
 
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/dist"
+	"crowdfusion/internal/parallel"
 	"crowdfusion/internal/worlds"
 )
 
@@ -67,8 +67,9 @@ type SweepConfig struct {
 	// Seed derives per-instance crowd and selector seeds.
 	Seed int64
 	// Parallelism steps that many books concurrently within each round
-	// (books are independent, so results are identical to a sequential
-	// run). 0 or 1 means sequential.
+	// (books are independent — each owns its joint, selector and crowd
+	// stream — so results are bit-identical to a sequential run). 0, the
+	// default, uses all CPUs (GOMAXPROCS); 1 forces a sequential run.
 	Parallelism int
 }
 
@@ -164,36 +165,17 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	return res, nil
 }
 
-// stepAll advances every book by one round, sequentially or in parallel
-// per cfg.Parallelism. Books are fully independent (each owns its joint,
-// selector and crowd stream), so the parallel result is bit-identical to
-// the sequential one.
+// stepAll advances every book by one round across the bounded worker pool
+// (cfg.Parallelism workers; 0 = GOMAXPROCS, 1 = sequential). Books are
+// fully independent (each owns its joint, selector and crowd stream) and
+// every book's result lands at its own index, so the parallel result is
+// bit-identical to the sequential one.
 func stepAll(runs []*bookRun, cfg SweepConfig) (int, error) {
-	if cfg.Parallelism <= 1 || len(runs) == 1 {
-		asked := 0
-		for _, r := range runs {
-			n, err := r.step(cfg)
-			if err != nil {
-				return 0, fmt.Errorf("book %s: %w", r.in.ISBN, err)
-			}
-			asked += n
-		}
-		return asked, nil
-	}
 	counts := make([]int, len(runs))
 	errs := make([]error, len(runs))
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-	for i, r := range runs {
-		wg.Add(1)
-		go func(i int, r *bookRun) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			counts[i], errs[i] = r.step(cfg)
-		}(i, r)
-	}
-	wg.Wait()
+	parallel.For(cfg.Parallelism, len(runs), func(i int) {
+		counts[i], errs[i] = runs[i].step(cfg)
+	})
 	asked := 0
 	for i := range runs {
 		if errs[i] != nil {

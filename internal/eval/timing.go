@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"crowdfusion/internal/parallel"
 	"crowdfusion/internal/worlds"
 )
 
@@ -24,6 +25,13 @@ type TimingConfig struct {
 	MaxOptK int
 	// Repeats averages each measurement over this many runs (default 1).
 	Repeats int
+	// Parallelism times that many instances concurrently within each
+	// (k, selector) cell. The default (0 or 1) measures sequentially —
+	// this is a timing harness, and concurrent selections contend for
+	// cores and caches, inflating per-selection wall times. Set > 1 to
+	// trade timing fidelity for grid throughput (each Select is still
+	// timed individually, so the distortion is contention only).
+	Parallelism int
 }
 
 // TimingCell is one measured average.
@@ -52,7 +60,10 @@ func (r *TimingResult) Cell(k int, sel SelectorKind) (TimingCell, bool) {
 
 // RunTimings measures average one-round selection times. Selection is run
 // against each instance's prior joint; answers are not collected (the
-// paper's Table V isolates selection cost).
+// paper's Table V isolates selection cost). With Parallelism > 1,
+// instances within a cell are timed across the bounded worker pool, each
+// with its own selector (per-instance seeds), so concurrently measured
+// selections never share mutable state.
 func RunTimings(cfg TimingConfig) (*TimingResult, error) {
 	if len(cfg.Instances) == 0 {
 		return nil, ErrInstanceCount
@@ -64,6 +75,10 @@ func RunTimings(cfg TimingConfig) (*TimingResult, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = 1 // sequential by default: timing isolates selection cost
+	}
 	res := &TimingResult{Config: cfg}
 	for _, k := range cfg.Ks {
 		for _, kind := range cfg.Selectors {
@@ -71,20 +86,28 @@ func RunTimings(cfg TimingConfig) (*TimingResult, error) {
 				res.Cells = append(res.Cells, TimingCell{K: k, Selector: kind, Skipped: true})
 				continue
 			}
-			sel, err := NewSelector(kind, 1)
-			if err != nil {
-				return nil, err
-			}
 			var total time.Duration
 			count := 0
 			for rep := 0; rep < repeats; rep++ {
-				for _, in := range cfg.Instances {
-					start := time.Now()
-					if _, err := sel.Select(in.Joint, k, cfg.Pc); err != nil {
-						return nil, fmt.Errorf("eval: timing %s k=%d book %s: %w",
-							kind, k, in.ISBN, err)
+				durations := make([]time.Duration, len(cfg.Instances))
+				errs := make([]error, len(cfg.Instances))
+				parallel.For(workers, len(cfg.Instances), func(i int) {
+					sel, err := NewSelector(kind, int64(1+i))
+					if err != nil {
+						errs[i] = err
+						return
 					}
-					total += time.Since(start)
+					start := time.Now()
+					_, err = sel.Select(cfg.Instances[i].Joint, k, cfg.Pc)
+					durations[i] = time.Since(start)
+					errs[i] = err
+				})
+				for i, err := range errs {
+					if err != nil {
+						return nil, fmt.Errorf("eval: timing %s k=%d book %s: %w",
+							kind, k, cfg.Instances[i].ISBN, err)
+					}
+					total += durations[i]
 					count++
 				}
 			}

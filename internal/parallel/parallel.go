@@ -1,0 +1,132 @@
+// Package parallel provides the bounded worker pool used by CrowdFusion's
+// hot paths: the O(|O|²) preprocessing loop and the per-instance evaluation
+// sweeps. The pool is deliberately minimal — static block partitioning with
+// one goroutine per worker — so that work assignment is deterministic and
+// results land at fixed indices, keeping parallel runs bit-identical to
+// sequential ones.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request against the available hardware:
+// requested <= 0 means "use GOMAXPROCS", and the result is clamped to the
+// number of items so no goroutine starts with an empty range. The result is
+// always at least 1.
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines
+// (resolved via Workers). Indices are partitioned into contiguous blocks, so
+// each index is processed by exactly one worker and writes to per-index
+// result slots never contend. With one worker the loop runs inline on the
+// calling goroutine — zero overhead for the sequential case.
+//
+// fn must not panic across items it does not own; any error reporting is the
+// caller's responsibility (write errors to a per-index slot and inspect them
+// after For returns).
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	Blocks(w, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// workerTokens is the global budget of extra compute goroutines, shared by
+// every Blocks call in the process. A top-level fan-out claims the whole
+// budget; a nested fan-out (e.g. Preprocess called from a selector that is
+// itself running inside a parallel sweep) finds the budget drained and
+// degrades to an inline loop instead of oversubscribing the CPUs
+// quadratically. Capacity is fixed at startup from GOMAXPROCS, with a
+// floor of 1 so the concurrent path stays exercisable (and race-checkable)
+// even on a single-CPU machine.
+var workerTokens = make(chan struct{}, max(runtime.GOMAXPROCS(0)-1, 1))
+
+// Blocks partitions [0, n) into up to w contiguous near-equal blocks and
+// runs fn(lo, hi) for each block, returning when all blocks are done. The
+// first block runs inline on the caller; the rest run on goroutines
+// claimed from the global worker budget, so the effective width shrinks —
+// down to a plain inline loop — when callers are already nested inside a
+// parallel region. Block boundaries depend only on (effective w, n) and
+// every index is processed exactly once, so any computation that is
+// deterministic per index stays deterministic whatever width is granted.
+// w must already be resolved (>= 1); n may be 0.
+func Blocks(w, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	extra := 0
+	for extra < w-1 {
+		select {
+		case workerTokens <- struct{}{}:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	w = extra + 1
+	if extra > 0 {
+		// Deferred so a panic in the caller's inline block cannot leak
+		// the budget and silently serialize the rest of the process.
+		defer func() {
+			for i := 0; i < extra; i++ {
+				<-workerTokens
+			}
+		}()
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	base, rem := n/w, n%w
+	lo := 0
+	var lo0, hi0 int
+	for b := 0; b < w; b++ {
+		size := base
+		if b < rem {
+			size++
+		}
+		hi := lo + size
+		if b == 0 {
+			lo0, hi0 = lo, hi
+		} else {
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		lo = hi
+	}
+	fn(lo0, hi0)
+	wg.Wait()
+}

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(4, 2); got != 2 {
+		t.Errorf("Workers(4, 2) = %d, want 2 (clamped to items)", got)
+	}
+	if got := Workers(-3, 0); got != 1 {
+		t.Errorf("Workers(-3, 0) = %d, want 1", got)
+	}
+	if got := Workers(7, 100); got != 7 {
+		t.Errorf("Workers(7, 100) = %d, want 7", got)
+	}
+}
+
+// TestForCoversEveryIndexOnce uses an explicit worker count above
+// GOMAXPROCS so the concurrent path is exercised even on one CPU.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestBlocksPartition checks the block decomposition is a disjoint
+// exactly-once cover. The granted width may be below the request when the
+// global worker budget is smaller, but never above it.
+func TestBlocksPartition(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7} {
+		for _, n := range []int{1, 2, 7, 100} {
+			covered := make([]int32, n)
+			var blocks int32
+			Blocks(w, n, func(lo, hi int) {
+				atomic.AddInt32(&blocks, 1)
+				if lo >= hi {
+					t.Errorf("w=%d n=%d: empty block [%d, %d)", w, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("w=%d n=%d: index %d covered %d times", w, n, i, c)
+				}
+			}
+			cap := w
+			if cap > n {
+				cap = n
+			}
+			if int(blocks) < 1 || int(blocks) > cap {
+				t.Errorf("w=%d n=%d: %d blocks, want between 1 and %d", w, n, blocks, cap)
+			}
+		}
+	}
+}
+
+// TestBlocksDegradesWhenBudgetDrained: with every worker token held, a
+// nested-style Blocks call must run inline as a single block — the guard
+// against quadratic oversubscription when parallel regions nest.
+func TestBlocksDegradesWhenBudgetDrained(t *testing.T) {
+	held := 0
+	for {
+		select {
+		case workerTokens <- struct{}{}:
+			held++
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for i := 0; i < held; i++ {
+			<-workerTokens
+		}
+	}()
+	var calls int32
+	Blocks(8, 100, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 100 {
+			t.Errorf("degraded block is [%d, %d), want [0, 100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("drained budget produced %d blocks, want 1 inline block", calls)
+	}
+}
+
+// TestBlocksReleasesTokensOnPanic: a panic in the caller's inline block
+// must not leak the acquired worker tokens, or every later Blocks call in
+// the process would silently run single-threaded.
+func TestBlocksReleasesTokensOnPanic(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the inline block's panic to propagate")
+			}
+		}()
+		Blocks(2, 10, func(lo, hi int) {
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	if got := len(workerTokens); got != 0 {
+		t.Fatalf("%d worker tokens leaked after panic", got)
+	}
+}
+
+// TestForDeterministicPartition verifies that the same (workers, n) always
+// yields the same index→block assignment, the property the deterministic
+// parallel sweeps rely on.
+func TestForDeterministicPartition(t *testing.T) {
+	const w, n = 5, 123
+	assign := func() []int64 {
+		owner := make([]int64, n)
+		var next int64
+		Blocks(w, n, func(lo, hi int) {
+			id := atomic.AddInt64(&next, 1)
+			for i := lo; i < hi; i++ {
+				atomic.StoreInt64(&owner[i], int64(hi-lo)<<32|int64(lo))
+			}
+			_ = id
+		})
+		return owner
+	}
+	a, b := assign(), assign()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d assigned to different blocks across runs", i)
+		}
+	}
+}
