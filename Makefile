@@ -8,7 +8,7 @@ GO ?= go
 #   make bench-json BENCHTIME=2s
 BENCHTIME ?= 0.3s
 
-.PHONY: build test lint bench bench-json ci
+.PHONY: build test lint bench bench-json smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,17 @@ bench:
 # the benchmarks stop compiling or running.
 # (Two steps, not a pipeline, so a benchmark failure fails the target.)
 bench-json:
-	$(GO) test -run '^$$' -bench 'Kernel|SweepParallelism' -benchmem \
-		-benchtime $(BENCHTIME) ./internal/core/ . > bench.out
+	$(GO) test -run '^$$' -bench 'Kernel|SweepParallelism|ServiceSelect' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/core/ ./internal/service/ . > bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_selection.json
 	@rm -f bench.out
 	@echo "wrote BENCH_selection.json"
 
-ci: build lint test bench bench-json
+# End-to-end smoke test of the crowdfusiond daemon binary: start it, drive
+# one refinement round over HTTP with curl, verify idempotent replay and
+# metrics, and shut down cleanly. CI runs this on every push.
+smoke:
+	$(GO) build -o bin/crowdfusiond ./cmd/crowdfusiond
+	./scripts/daemon_smoke.sh ./bin/crowdfusiond
+
+ci: build lint test bench bench-json smoke

@@ -1,0 +1,205 @@
+// Package client is the Go client for crowdfusiond, the CrowdFusion
+// refinement service. It speaks the service's JSON wire format and adds a
+// Refine helper that drives a whole select–ask–merge loop against any
+// AnswerProvider (a live crowd bridge or the simulated platform).
+//
+//	c := client.New("http://localhost:8377")
+//	info, _ := c.CreateSession(ctx, service.CreateSessionRequest{
+//	        Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+//	        Pc:        0.8, K: 2, Budget: 6,
+//	})
+//	final, _ := c.Refine(ctx, info.ID, crowdProvider)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"crowdfusion/internal/service"
+)
+
+// Re-exported wire types, so callers need not import the internal package.
+type (
+	// CreateSessionRequest configures a new refinement session.
+	CreateSessionRequest = service.CreateSessionRequest
+	// SessionInfo is the client-visible session state.
+	SessionInfo = service.SessionInfo
+	// SelectResponse is one selected task batch.
+	SelectResponse = service.SelectResponse
+	// AnswersRequest submits crowd judgments for a selected batch.
+	AnswersRequest = service.AnswersRequest
+	// AnswersResponse is the refined state after a merge.
+	AnswersResponse = service.AnswersResponse
+	// WireJoint is the wire form of a joint distribution.
+	WireJoint = service.WireJoint
+	// RoundInfo is one merged round of a session trace.
+	RoundInfo = service.RoundInfo
+)
+
+// AnswerProvider supplies crowd answers for a batch of tasks — the same
+// contract as core.Engine's provider, so crowd.Simulator and
+// platform.Platform plug in directly.
+type AnswerProvider interface {
+	Answers(tasks []int) []bool
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("crowdfusiond: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one crowdfusiond instance. The zero value is not usable;
+// construct with New. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, test servers).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://localhost:8377").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 2 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr service.ErrorResponse
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// CreateSession creates a refinement session and returns its initial state.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", &req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// GetSession returns the current session state; withRounds includes the
+// per-round trace.
+func (c *Client) GetSession(ctx context.Context, id string, withRounds bool) (*SessionInfo, error) {
+	path := "/v1/sessions/" + id
+	if withRounds {
+		path += "?rounds=true"
+	}
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodGet, path, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteSession removes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Select asks for the next task batch. k > 0 overrides the session's
+// per-round task count for this batch.
+func (c *Client) Select(ctx context.Context, id string, k int) (*SelectResponse, error) {
+	var resp SelectResponse
+	req := service.SelectRequest{K: k}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/select", &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitAnswers merges an answered batch. version should be the Version
+// from the SelectResponse the batch came from; it makes retries idempotent
+// and stale submissions detectable (HTTP 409).
+func (c *Client) SubmitAnswers(ctx context.Context, id string, tasks []int, answers []bool, version int) (*AnswersResponse, error) {
+	var resp AnswersResponse
+	req := AnswersRequest{Tasks: tasks, Answers: answers, Version: &version}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Refine drives the full select–ask–merge loop: select a batch, obtain the
+// crowd's answers from the provider, submit them, and repeat until the
+// service reports the session done (budget exhausted or nothing uncertain
+// left). It returns the final session state.
+func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (*SessionInfo, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sel, err := c.Select(ctx, id, 0)
+		if err != nil {
+			return nil, err
+		}
+		if sel.Done || len(sel.Tasks) == 0 {
+			break
+		}
+		answers := crowd.Answers(sel.Tasks)
+		if _, err := c.SubmitAnswers(ctx, id, sel.Tasks, answers, sel.Version); err != nil {
+			return nil, err
+		}
+	}
+	return c.GetSession(ctx, id, false)
+}

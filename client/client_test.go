@@ -1,0 +1,246 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"crowdfusion/client"
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/platform"
+	"crowdfusion/internal/service"
+)
+
+// newTestService starts the in-process daemon stack on httptest and returns
+// a client pointed at it.
+func newTestService(t *testing.T) *client.Client {
+	t.Helper()
+	svc := service.NewServer(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+}
+
+// newPlatform builds a deterministic simulated crowd platform. Two
+// platforms built from the same arguments answer identical task sequences
+// identically (answers derive from the seed and task sequence numbers
+// only), which is what lets the HTTP loop be compared against the
+// in-process engine bit for bit.
+func newPlatform(t *testing.T, truth dist.World, seed int64) *platform.Platform {
+	t.Helper()
+	pool, err := crowd.RandomPool(12, 0.7, 0.95, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.New(platform.Config{
+		Truth:      truth,
+		Pool:       pool,
+		Redundancy: 3,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRefineOverHTTPMatchesEngine is the acceptance end-to-end: the full
+// select–ask–merge loop over HTTP against the in-process daemon, crowd
+// answers from the simulated platform, must reproduce exactly the
+// posterior the in-process core.Engine computes from the same prior,
+// selector, accuracy, budget and crowd seed.
+func TestRefineOverHTTPMatchesEngine(t *testing.T) {
+	marginals := []float64{0.5, 0.63, 0.58, 0.49, 0.71}
+	truth := dist.World(0b10110)
+	const (
+		pc     = 0.8
+		k      = 2
+		budget = 10
+		seed   = 42
+	)
+
+	prior, err := dist.Independent(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &core.Engine{
+		Prior:    prior,
+		Selector: core.NewGreedyPrunePre(),
+		Crowd:    newPlatform(t, truth, seed),
+		Pc:       pc,
+		K:        k,
+		Budget:   budget,
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestService(t)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: marginals,
+		Selector:  "Approx+Prune+Pre",
+		Pc:        pc,
+		K:         k,
+		Budget:    budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Refine(ctx, info.ID, newPlatform(t, truth, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if final.Spent != want.Cost {
+		t.Fatalf("HTTP loop spent %d tasks, engine %d", final.Spent, want.Cost)
+	}
+	wantM := want.Final.Marginals()
+	if len(final.Marginals) != len(wantM) {
+		t.Fatalf("marginal count %d != %d", len(final.Marginals), len(wantM))
+	}
+	for i := range wantM {
+		// encoding/json emits the shortest round-tripping representation,
+		// so the posterior survives the wire exactly.
+		if final.Marginals[i] != wantM[i] {
+			t.Fatalf("marginal %d: HTTP %v != engine %v", i, final.Marginals[i], wantM[i])
+		}
+	}
+	if final.Entropy != want.Final.Entropy() {
+		t.Fatalf("entropy: HTTP %v != engine %v", final.Entropy, want.Final.Entropy())
+	}
+
+	// The per-round traces must agree task for task and answer for answer.
+	withRounds, err := c.GetSession(ctx, info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withRounds.Rounds) != len(want.Rounds) {
+		t.Fatalf("HTTP %d rounds, engine %d", len(withRounds.Rounds), len(want.Rounds))
+	}
+	for i, r := range want.Rounds {
+		got := withRounds.Rounds[i]
+		if !reflect.DeepEqual(got.Tasks, r.Tasks) || !reflect.DeepEqual(got.Answers, r.Answers) {
+			t.Fatalf("round %d: HTTP (%v, %v) != engine (%v, %v)",
+				i, got.Tasks, got.Answers, r.Tasks, r.Answers)
+		}
+		if got.CumCost != r.CumCost {
+			t.Fatalf("round %d: cum cost %d != %d", i, got.CumCost, r.CumCost)
+		}
+	}
+
+	// The refined judgments should match the engine's too.
+	judge := want.Judgments()
+	for i, m := range final.Marginals {
+		if (m >= 0.5) != judge[i] {
+			t.Fatalf("judgment %d disagrees with engine", i)
+		}
+	}
+}
+
+// TestRefineFromExplicitJoint drives the loop from a correlated prior sent
+// as an explicit wire joint (mutually exclusive author sets), the path
+// fusion callers with full joints use.
+func TestRefineFromExplicitJoint(t *testing.T) {
+	_, prior := dist.RunningExample()
+	truth := dist.World(0b0011)
+
+	c := newTestService(t)
+	ctx := context.Background()
+	jw := service.NewWireJoint(prior)
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Joint:  &jw,
+		Pc:     0.8,
+		K:      2,
+		Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SupportSize != prior.SupportSize() || info.N != prior.N() {
+		t.Fatalf("prior reshaped: %+v", info)
+	}
+	sim, err := crowd.NewSimulator(truth, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Refine(ctx, info.ID, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done {
+		t.Fatalf("refine returned before completion: %+v", final)
+	}
+	if final.Spent == 0 || final.Spent > final.Budget {
+		t.Fatalf("spent %d of %d", final.Spent, final.Budget)
+	}
+	if final.Entropy >= prior.Entropy() {
+		t.Fatalf("entropy did not improve: %v -> %v", prior.Entropy(), final.Entropy)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+
+	_, err := c.GetSession(ctx, "nope", false)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown session error = %v", err)
+	}
+
+	_, err = c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5}, Pc: 0.1, K: 1, Budget: 2,
+	})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("invalid create error = %v", err)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("error envelope message lost")
+	}
+
+	// Stale-version submission maps to 409.
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.5, 0.5}, Pc: 0.8, K: 1, Budget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.Select(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitAnswers(ctx, info.ID, sel.Tasks, []bool{true}, sel.Version); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitAnswers(ctx, info.ID, sel.Tasks, []bool{false}, sel.Version)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
+		t.Fatalf("stale submit error = %v", err)
+	}
+}
+
+func TestClientDeleteSession(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.6, 0.4}, Pc: 0.9, K: 1, Budget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *client.APIError
+	if _, err := c.GetSession(ctx, info.ID, false); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("get after delete = %v", err)
+	}
+}

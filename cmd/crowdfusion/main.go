@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"crowdfusion/internal/bookdata"
+	"crowdfusion/internal/core"
 	"crowdfusion/internal/eval"
 	"crowdfusion/internal/fusion"
 	"crowdfusion/internal/worlds"
@@ -38,6 +40,12 @@ func main() {
 		difficulty = flag.Bool("difficulty", false, "simulate Section V-D statement difficulty")
 	)
 	flag.Parse()
+
+	// Reject impossible configurations here, with the flag named, instead
+	// of letting them surface rounds later as an opaque selection error.
+	if err := validateFlags(*pc, *k, *budget); err != nil {
+		log.Fatal(err)
+	}
 
 	d, err := loadOrGenerate(*in, *books, *sources, *seed)
 	if err != nil {
@@ -93,6 +101,30 @@ func main() {
 	if err := eval.RenderErrorBreakdown(os.Stdout, breakdown); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// validateFlags enforces the documented invariants at flag-parse time:
+// selection and merging assume a better-than-coin-flip crowd (pc ∈
+// [0.5, 1], the invariant the core kernel's channel weights rely on), and
+// a round cannot ask more tasks than the whole budget allows.
+func validateFlags(pc float64, k, budget int) error {
+	if pc < 0.5 || pc > 1 || math.IsNaN(pc) {
+		return fmt.Errorf("-pc %v outside [0.5, 1]: the crowd model needs a better-than-coin-flip accuracy", pc)
+	}
+	if k <= 0 {
+		return fmt.Errorf("-k %d must be positive", k)
+	}
+	if k > core.MaxTasksPerRound {
+		return fmt.Errorf("-k %d exceeds the per-round limit %d (selection cost grows as 2^k)",
+			k, core.MaxTasksPerRound)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("-budget %d must be positive", budget)
+	}
+	if k > budget {
+		return fmt.Errorf("-k %d exceeds -budget %d: one round would overspend the whole budget", k, budget)
+	}
+	return nil
 }
 
 func loadOrGenerate(path string, books, sources int, seed int64) (*bookdata.Dataset, error) {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	good := []struct {
+		pc        float64
+		k, budget int
+	}{
+		{0.5, 1, 1},
+		{0.8, 3, 60},
+		{1.0, 10, 10},
+	}
+	for _, c := range good {
+		if err := validateFlags(c.pc, c.k, c.budget); err != nil {
+			t.Errorf("validateFlags(%v, %d, %d) = %v, want nil", c.pc, c.k, c.budget, err)
+		}
+	}
+
+	bad := []struct {
+		name      string
+		pc        float64
+		k, budget int
+		wantFlag  string
+	}{
+		{"pc below coin flip", 0.49, 3, 60, "-pc"},
+		{"pc above one", 1.01, 3, 60, "-pc"},
+		{"pc NaN", math.NaN(), 3, 60, "-pc"},
+		{"k zero", 0.8, 0, 60, "-k"},
+		{"k negative", 0.8, -1, 60, "-k"},
+		{"budget zero", 0.8, 1, 0, "-budget"},
+		{"k beyond budget", 0.8, 15, 10, "-k"},
+		{"k beyond round limit", 0.8, 25, 100, "-k"},
+	}
+	for _, c := range bad {
+		err := validateFlags(c.pc, c.k, c.budget)
+		if err == nil {
+			t.Errorf("%s: validateFlags(%v, %d, %d) accepted", c.name, c.pc, c.k, c.budget)
+			continue
+		}
+		// The error must name the offending flag so the fix is obvious
+		// from the command line.
+		if !strings.Contains(err.Error(), c.wantFlag) {
+			t.Errorf("%s: error %q does not name flag %s", c.name, err, c.wantFlag)
+		}
+	}
+}
+
+func TestFusionByName(t *testing.T) {
+	for _, name := range []string{"MajorityVote", "CRH", "TruthFinder", "AccuVote"} {
+		m, err := fusionByName(name)
+		if err != nil || m.Name() != name {
+			t.Errorf("fusionByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := fusionByName("Oracle"); err == nil {
+		t.Error("unknown fusion method accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command crowdfusiond serves the CrowdFusion refinement loop over
+// HTTP/JSON: clients create sessions from fused marginals or an explicit
+// joint, pull entropy-maximizing task batches, post crowd answers, and
+// read refined posteriors. See the README's "Serving" section for the
+// API and a curl quickstart.
+//
+// Usage:
+//
+//	crowdfusiond -addr :8377 -session-ttl 30m -max-sessions 100000
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests (including merges) drain, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdfusion/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("crowdfusiond: ")
+
+	var (
+		addr        = flag.String("addr", ":8377", "listen address")
+		ttl         = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction (0 disables)")
+		maxSessions = flag.Int("max-sessions", 100_000, "live session cap (0 = unlimited)")
+		maxConc     = flag.Int("max-concurrent", 0, "concurrent select/merge requests (0 = one per hardware thread)")
+		queueWait   = flag.Duration("queue-timeout", 5*time.Second, "how long a request may wait for a compute slot before 503")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "whole-request timeout")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		seed        = flag.Int64("seed", 1, "seed for Random selectors")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		TTL:            *ttl,
+		MaxSessions:    *maxSessions,
+		MaxConcurrent:  *maxConc,
+		QueueTimeout:   *queueWait,
+		RequestTimeout: *reqTimeout,
+		Seed:           *seed,
+	}
+	if *ttl == 0 {
+		cfg.TTL = -1 // Config treats 0 as "default"; negative disables.
+	}
+	svc := service.NewServer(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Stop accepting, drain in-flight HTTP requests, then drain any
+	// compute the HTTP layer already timed out on, so every accepted
+	// merge completes before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("drained, exiting")
+}

@@ -21,6 +21,10 @@
 //   - the full evaluation harness for the paper's tables and figures
 //     (internal/eval).
 //
+// Beyond the library, cmd/crowdfusiond serves refinement sessions over
+// HTTP/JSON (see the README's "Serving" section) and the client package
+// drives it from Go.
+//
 // Quickstart:
 //
 //	joint, _ := crowdfusion.IndependentJoint([]float64{0.5, 0.63, 0.58, 0.49})

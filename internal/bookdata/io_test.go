@@ -1,0 +1,124 @@
+package bookdata
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// smallDataset generates a compact but fully populated dataset: every
+// field the wire format carries (books, sources with per-domain
+// reliability, statements with difficulty classes, claims) is exercised.
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Books = 8
+	cfg.Sources = 5
+	cfg.Seed = 3
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Books) == 0 || len(d.Sources) == 0 || len(d.Claims) == 0 || d.StatementCount() == 0 {
+		t.Fatalf("generated dataset is degenerate: %d books, %d sources, %d claims, %d statements",
+			len(d.Books), len(d.Sources), len(d.Claims), d.StatementCount())
+	}
+	return d
+}
+
+// TestDatasetJSONRoundTrip: Save → Load must reproduce the dataset deep-
+// equal, field for field — the encoding/json contract the service wire
+// format builds on.
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip changed the dataset:\nbefore: %+v\nafter:  %+v", d, back)
+	}
+}
+
+// TestDatasetJSONRoundTripIsStable: a second encode of the decoded dataset
+// must be byte-identical to the first — no field ordering or float
+// formatting drift between generations.
+func TestDatasetJSONRoundTripIsStable(t *testing.T) {
+	d := smallDataset(t)
+	var first bytes.Buffer
+	if err := d.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("re-encoding a decoded dataset changed the bytes")
+	}
+}
+
+// TestDatasetFileRoundTrip covers the SaveFile/LoadFile path.
+func TestDatasetFileRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	path := filepath.Join(t.TempDir(), "books.json")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatal("file round trip changed the dataset")
+	}
+}
+
+// TestLoadEmptyStatements: a dataset JSON with no statements map decodes
+// to an empty (non-nil) map, so lookups never panic.
+func TestLoadEmptyStatements(t *testing.T) {
+	back, err := Load(bytes.NewReader([]byte(`{"books":[],"sources":[],"claims":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Statements == nil {
+		t.Fatal("nil statements map after load")
+	}
+}
+
+// TestLoadRejectsGarbage: malformed JSON surfaces a decode error, not a
+// zero dataset.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte(`{"books": [{]`))); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestStatementJSONFields: the statement wire names are stable (the
+// service and dataset files share them), so renames break loudly here.
+func TestStatementJSONFields(t *testing.T) {
+	s := Statement{ID: "s1", ISBN: "i1", Text: "a b", Names: []string{"a b"}, Gold: true}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"id", "isbn", "text", "names", "class", "gold"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("statement JSON lost field %q (got %v)", key, m)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/eval"
+)
+
+// Manager errors, mapped to HTTP statuses by the server layer.
+var (
+	// ErrNotFound is returned for unknown (or already evicted) session IDs.
+	ErrNotFound = errors.New("service: session not found")
+	// ErrTooManySessions is returned when creating a session would exceed
+	// the configured cap — the store-level backpressure signal.
+	ErrTooManySessions = errors.New("service: session limit reached")
+)
+
+// sessionShards is the number of mutex stripes in the store. Requests for
+// different sessions contend only within their stripe, so the store itself
+// never serializes the (already per-session serialized) hot path. Power of
+// two so shard selection is a mask.
+const sessionShards = 16
+
+// shard is one stripe: a mutex and its slice of the session map.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// ManagerConfig tunes the session store.
+type ManagerConfig struct {
+	// TTL is the idle lifetime of a session: sessions untouched for TTL
+	// are evicted by the janitor. Zero means no eviction.
+	TTL time.Duration
+	// MaxSessions caps live sessions (0 = unlimited). Create fails with
+	// ErrTooManySessions at the cap.
+	MaxSessions int
+	// Seed seeds Random selectors; each session derives its own stream
+	// from it and a per-session counter.
+	Seed int64
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Manager is the sharded in-memory session store. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg    ManagerConfig
+	shards [sessionShards]shard
+
+	countMu sync.Mutex
+	count   int   // live sessions across shards
+	created int64 // sessions ever created (seeds Random selector streams)
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	evicted func(n int) // metrics hook, set by the server
+}
+
+// NewManager builds a store and starts its TTL janitor (when TTL > 0).
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	m := &Manager{cfg: cfg}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*Session)
+	}
+	if cfg.TTL > 0 {
+		m.janitorStop = make(chan struct{})
+		m.janitorDone = make(chan struct{})
+		interval := cfg.TTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go m.janitor(interval)
+	}
+	return m
+}
+
+// Close stops the janitor. Sessions remain readable (tests inspect them);
+// the process is expected to exit shortly after.
+func (m *Manager) Close() {
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+		<-m.janitorDone
+		m.janitorStop = nil
+	}
+}
+
+func (m *Manager) janitor(interval time.Duration) {
+	defer close(m.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-t.C:
+			m.Sweep(m.cfg.now())
+		}
+	}
+}
+
+// Sweep evicts every session idle since before now-TTL and returns how
+// many were evicted. Exposed for tests and for deployments that prefer an
+// external eviction cadence.
+func (m *Manager) Sweep(now time.Time) int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.cfg.TTL)
+	evicted := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		// Collect candidates under the read lock, then re-check under
+		// the write lock so a session touched in between survives.
+		sh.mu.RLock()
+		var stale []string
+		for id, s := range sh.sessions {
+			if s.idleSince().Before(cutoff) {
+				stale = append(stale, id)
+			}
+		}
+		sh.mu.RUnlock()
+		if len(stale) == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		for _, id := range stale {
+			s, ok := sh.sessions[id]
+			if !ok || !s.idleSince().Before(cutoff) {
+				continue
+			}
+			delete(sh.sessions, id)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		m.countMu.Lock()
+		m.count -= evicted
+		m.countMu.Unlock()
+		if m.evicted != nil {
+			m.evicted(evicted)
+		}
+	}
+	return evicted
+}
+
+// shardFor picks the stripe for an ID by FNV-1a of its bytes.
+func (m *Manager) shardFor(id string) *shard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &m.shards[h&(sessionShards-1)]
+}
+
+// newID returns a 128-bit random hex session ID.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create validates the request, builds the prior and selector, and stores
+// a fresh session.
+func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Reserve a slot before building the prior: constructing a dense
+	// product distribution can materialize 2^n worlds, and that work
+	// must not be burned for a request the cap is about to reject (nor
+	// can the cap be raced past by concurrent creates).
+	m.countMu.Lock()
+	if m.cfg.MaxSessions > 0 && m.count >= m.cfg.MaxSessions {
+		m.countMu.Unlock()
+		return nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	m.count++
+	m.created++
+	seq := m.created
+	m.countMu.Unlock()
+	release := func() {
+		m.countMu.Lock()
+		m.count--
+		m.countMu.Unlock()
+	}
+
+	var prior *dist.Joint
+	var err error
+	if req.Joint != nil {
+		prior, err = req.Joint.Joint()
+	} else {
+		prior, err = dist.Independent(req.Marginals)
+	}
+	if err != nil {
+		release()
+		return nil, err
+	}
+
+	selName := req.Selector
+	if selName == "" {
+		selName = string(eval.SelApproxFull)
+	}
+
+	// Random selectors get a per-session stream derived from the store
+	// seed and the creation sequence number, so sessions never share a
+	// random state (and a fixed store seed still reproduces a scripted
+	// test exactly).
+	seed := req.Seed
+	if seed == 0 {
+		seed = m.cfg.Seed + seq
+	}
+	selector, err := eval.NewSelector(eval.SelectorKind(selName), seed)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	id, err := newID()
+	if err != nil {
+		release()
+		return nil, err
+	}
+
+	s := newSession(id, prior, selector, selName, req.Pc, req.K, req.Budget, m.cfg.now())
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	return s, nil
+}
+
+// Get returns the session with the given ID.
+func (m *Manager) Get(id string) (*Session, error) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Delete removes a session, reporting whether it existed.
+func (m *Manager) Delete(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		m.countMu.Lock()
+		m.count--
+		m.countMu.Unlock()
+	}
+	return ok
+}
+
+// Len returns the number of live sessions — the sessions_live gauge.
+func (m *Manager) Len() int {
+	m.countMu.Lock()
+	defer m.countMu.Unlock()
+	return m.count
+}
+
+// Now returns the manager's clock reading (test-overridable).
+func (m *Manager) Now() time.Time { return m.cfg.now() }

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent observations each latency tracker keeps
+// for quantile estimation. A fixed ring keeps the tracker O(1) per request
+// and allocation-free in steady state; quantiles are over the trailing
+// window, which is what an operator watching a live service wants anyway.
+const latencyWindow = 1024
+
+// latencyTracker records request durations and reports count, p50 and p99
+// over the trailing window.
+type latencyTracker struct {
+	mu    sync.Mutex
+	ring  [latencyWindow]time.Duration
+	n     int   // filled entries, up to latencyWindow
+	next  int   // next write position
+	total int64 // observations ever
+}
+
+// observe records one duration.
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % latencyWindow
+	if l.n < latencyWindow {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// quantiles returns the observation count and (p50, p99) over the window.
+func (l *latencyTracker) quantiles() (total int64, p50, p99 time.Duration) {
+	l.mu.Lock()
+	n := l.n
+	buf := make([]time.Duration, n)
+	copy(buf, l.ring[:n])
+	total = l.total
+	l.mu.Unlock()
+	if n == 0 {
+		return total, 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	// Nearest-rank on the sorted window; index clamped so p99 of a small
+	// window degrades to the max.
+	idx := func(q float64) int {
+		i := int(q * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return total, buf[idx(0.50)], buf[idx(0.99)]
+}
+
+// Metrics aggregates the service's operational counters. All fields are
+// safe for concurrent update; the /metrics endpoint renders a snapshot in
+// Prometheus text exposition format.
+type Metrics struct {
+	SessionsCreated  atomic.Int64
+	SessionsEvicted  atomic.Int64
+	SessionsDeleted  atomic.Int64
+	SelectsServed    atomic.Int64
+	SelectCacheHits  atomic.Int64
+	MergesApplied    atomic.Int64
+	MergeReplays     atomic.Int64
+	RequestsRejected atomic.Int64 // backpressure 503s
+
+	SelectLatency latencyTracker
+	MergeLatency  latencyTracker
+}
+
+// WritePrometheus renders the snapshot. sessionsLive is passed in because
+// the gauge belongs to the Manager, not the counter set.
+func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
+	counter := func(name, help string, v int64) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	out := gauge("crowdfusion_sessions_live", "Sessions currently resident in the store.", float64(sessionsLive)) +
+		counter("crowdfusion_sessions_created_total", "Sessions ever created.", m.SessionsCreated.Load()) +
+		counter("crowdfusion_sessions_evicted_total", "Sessions evicted by TTL.", m.SessionsEvicted.Load()) +
+		counter("crowdfusion_sessions_deleted_total", "Sessions deleted by clients.", m.SessionsDeleted.Load()) +
+		counter("crowdfusion_selects_served_total", "Select batches served (including cache hits).", m.SelectsServed.Load()) +
+		counter("crowdfusion_select_cache_hits_total", "Selects served from the posterior-version cache.", m.SelectCacheHits.Load()) +
+		counter("crowdfusion_merges_applied_total", "Answer sets merged into posteriors.", m.MergesApplied.Load()) +
+		counter("crowdfusion_merge_replays_total", "Idempotent replays of already-applied answer sets.", m.MergeReplays.Load()) +
+		counter("crowdfusion_requests_rejected_total", "Requests rejected by backpressure.", m.RequestsRejected.Load())
+	for _, lt := range []struct {
+		name string
+		t    *latencyTracker
+	}{
+		{"crowdfusion_select", &m.SelectLatency},
+		{"crowdfusion_merge", &m.MergeLatency},
+	} {
+		total, p50, p99 := lt.t.quantiles()
+		out += fmt.Sprintf("# HELP %s_latency_seconds Request latency quantiles over the trailing window.\n", lt.name)
+		out += fmt.Sprintf("# TYPE %s_latency_seconds summary\n", lt.name)
+		out += fmt.Sprintf("%s_latency_seconds{quantile=\"0.5\"} %g\n", lt.name, p50.Seconds())
+		out += fmt.Sprintf("%s_latency_seconds{quantile=\"0.99\"} %g\n", lt.name, p99.Seconds())
+		out += fmt.Sprintf("%s_latency_seconds_count %d\n", lt.name, total)
+	}
+	_, err := io.WriteString(w, out)
+	return err
+}

@@ -1,0 +1,367 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/parallel"
+)
+
+// Config tunes the HTTP service.
+type Config struct {
+	// TTL is the idle session lifetime (default 30m; negative disables
+	// eviction).
+	TTL time.Duration
+	// MaxSessions caps live sessions (default 100_000; negative means
+	// unlimited).
+	MaxSessions int
+	// MaxConcurrent bounds compute-heavy requests (select/answers) in
+	// flight; further requests wait up to QueueTimeout for a slot and
+	// are then rejected with 503. Zero resolves to the machine width via
+	// the internal/parallel pool, matching the compute the selection
+	// kernel can actually use.
+	MaxConcurrent int
+	// QueueTimeout is how long a request waits for a compute slot before
+	// the server sheds it (default 5s).
+	QueueTimeout time.Duration
+	// RequestTimeout bounds whole-request handling (default 60s).
+	RequestTimeout time.Duration
+	// Seed seeds Random selectors (sessions derive per-session streams).
+	Seed int64
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.TTL == 0 {
+		c.TTL = 30 * time.Minute
+	}
+	if c.TTL < 0 {
+		c.TTL = 0
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 100_000
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0
+	}
+	if c.MaxConcurrent <= 0 {
+		// One slot per hardware thread the selection kernel could use;
+		// parallel.Workers also floors the result at 1.
+		c.MaxConcurrent = parallel.Workers(0, 1<<30)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the crowdfusiond HTTP service: routing, encode/decode at the
+// trust boundary, backpressure, and operational endpoints over a Manager.
+type Server struct {
+	cfg     Config
+	mgr     *Manager
+	metrics *Metrics
+	gate    chan struct{} // compute-slot semaphore
+
+	// inflight counts compute work (selects and merges) so Close can
+	// drain them even if the HTTP listener has already stopped accepting.
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer builds the service.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		gate:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mgr = NewManager(ManagerConfig{
+		TTL:         cfg.TTL,
+		MaxSessions: cfg.MaxSessions,
+		Seed:        cfg.Seed,
+		now:         cfg.now,
+	})
+	s.mgr.evicted = func(n int) { s.metrics.SessionsEvicted.Add(int64(n)) }
+	return s
+}
+
+// Metrics exposes the counter set (for tests and embedding processes).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Manager exposes the session store (for tests and embedding processes).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Close drains in-flight compute and stops the TTL janitor. Call after the
+// HTTP server has stopped accepting connections (http.Server.Shutdown):
+// together they guarantee every accepted merge either completed or was
+// never applied when the process exits.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	s.mgr.Close()
+}
+
+// beginWork registers a unit of compute with the drain group, refusing
+// once Close has started. The closed check and the Add happen under one
+// lock — and Close flips closed under the same lock before calling Wait —
+// so Add can never race a Wait that has already observed zero. This is
+// what keeps a handler goroutine that http.TimeoutHandler detached (its
+// response written, its work still pending) inside the drain guarantee:
+// either it registered before Close and Close waits for it, or it finds
+// closed set and never starts.
+func (s *Server) beginWork() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Handler returns the service's HTTP handler, with the request timeout
+// applied to every route.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout,
+		`{"error":"request timed out"}`)
+}
+
+// writeJSON encodes v with the status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// writeError maps service errors to HTTP statuses inside the uniform
+// envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrVersionConflict), errors.Is(err, ErrBudgetExhausted):
+		status = http.StatusConflict
+	case errors.Is(err, ErrTooManySessions):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrTooManyTasks), errors.Is(err, core.ErrBadAccuracy),
+		errors.Is(err, core.ErrNoTasks):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: decoding request: %w", err)
+	}
+	return nil
+}
+
+// acquire claims a compute slot, waiting up to QueueTimeout. It returns
+// false (after writing the 503) when the server is saturated — the
+// backpressure path that keeps heavy selection traffic from piling up
+// unboundedly behind the per-session locks.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+	s.metrics.RequestsRejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		ErrorResponse{Error: "service: saturated, retry later"})
+	return false
+}
+
+func (s *Server) release() { <-s.gate }
+
+// writeShuttingDown is the refusal for work arriving after Close began.
+func writeShuttingDown(w http.ResponseWriter) {
+	writeJSON(w, http.StatusServiceUnavailable,
+		ErrorResponse{Error: "service: shutting down"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"sessions_live": s.mgr.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.metrics.WritePrometheus(w, s.mgr.Len())
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Prior construction can materialize a 2^n-world product
+	// distribution, so creation is compute like select/merge: it takes a
+	// slot and registers with the drain group.
+	if !s.beginWork() {
+		writeShuttingDown(w)
+		return
+	}
+	defer s.inflight.Done()
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+
+	sess, err := s.mgr.Create(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.SessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sess.Info(s.mgr.Now(), false))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	withRounds := strings.EqualFold(r.URL.Query().Get("rounds"), "true") ||
+		r.URL.Query().Get("rounds") == "1"
+	writeJSON(w, http.StatusOK, sess.Info(s.mgr.Now(), withRounds))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Delete(r.PathValue("id")) {
+		writeError(w, ErrNotFound)
+		return
+	}
+	s.metrics.SessionsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req SelectRequest
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.beginWork() {
+		writeShuttingDown(w)
+		return
+	}
+	defer s.inflight.Done()
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	resp, cached, err := sess.Select(s.mgr.Now(), req.K)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.SelectLatency.observe(time.Since(start))
+	s.metrics.SelectsServed.Add(1)
+	if cached {
+		s.metrics.SelectCacheHits.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req AnswersRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.beginWork() {
+		writeShuttingDown(w)
+		return
+	}
+	defer s.inflight.Done()
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	resp, err := sess.Merge(s.mgr.Now(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.MergeLatency.observe(time.Since(start))
+	if resp.Merged {
+		s.metrics.MergesApplied.Add(1)
+	} else {
+		s.metrics.MergeReplays.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/dist"
+)
+
+// State machine errors, mapped to HTTP statuses by the server layer.
+var (
+	// ErrVersionConflict is returned when an answer set references a
+	// posterior version that is neither current nor a recognized retry —
+	// the client lost a race with another merge and must re-select.
+	ErrVersionConflict = errors.New("service: answer set references a stale posterior version; re-select")
+	// ErrBudgetExhausted is returned when a merge would spend more tasks
+	// than the session budget has left.
+	ErrBudgetExhausted = errors.New("service: session budget exhausted")
+)
+
+// Session is one refinement loop: a posterior distribution refined round by
+// round through the select → await → merge state machine.
+//
+// Every operation runs under one per-session mutex, so concurrent requests
+// against the same session serialize: two merges can never interleave, a
+// select always sees a complete posterior, and the version counter names
+// each posterior unambiguously. Cross-session requests share nothing and
+// run fully in parallel.
+type Session struct {
+	id       string
+	selector core.Selector
+	selName  string
+	pc       float64
+	k        int
+	budget   int
+
+	mu        sync.Mutex
+	posterior *dist.Joint
+	version   int  // number of merges applied
+	spent     int  // tasks asked (accounted at merge time)
+	done      bool // latched when a selection finds nothing uncertain
+	rounds    []RoundInfo
+
+	// sel caches the last selection; valid while selVersion matches the
+	// current version and the requested k matches, so clients that retry
+	// a select (or poll it from several workers) get one batch per
+	// posterior instead of recomputing the greedy sweep.
+	sel        *SelectResponse
+	selVersion int
+	selK       int
+
+	// merges logs applied answer sets by content hash for idempotent
+	// replay of retried merges.
+	merges map[uint64]*AnswersResponse
+
+	// lastAccess is the eviction clock, guarded by mu (updated by every
+	// operation through touch).
+	lastAccess time.Time
+}
+
+// newSession builds a session; the caller (Manager.Create) has validated
+// the request and constructed the prior.
+func newSession(id string, prior *dist.Joint, selector core.Selector, selName string, pc float64, k, budget int, now time.Time) *Session {
+	return &Session{
+		id:         id,
+		selector:   selector,
+		selName:    selName,
+		pc:         pc,
+		k:          k,
+		budget:     budget,
+		posterior:  prior,
+		merges:     make(map[uint64]*AnswersResponse),
+		lastAccess: now,
+	}
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// touch advances the eviction clock; callers hold mu.
+func (s *Session) touch(now time.Time) {
+	if now.After(s.lastAccess) {
+		s.lastAccess = now
+	}
+}
+
+// idleSince returns the last access time for TTL eviction.
+func (s *Session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAccess
+}
+
+// infoLocked snapshots the client-visible state; callers hold mu.
+func (s *Session) infoLocked(withRounds bool) SessionInfo {
+	info := SessionInfo{
+		ID:          s.id,
+		Version:     s.version,
+		N:           s.posterior.N(),
+		SupportSize: s.posterior.SupportSize(),
+		Marginals:   append([]float64(nil), s.posterior.Marginals()...),
+		Entropy:     s.posterior.Entropy(),
+		Utility:     s.posterior.Utility(),
+		Spent:       s.spent,
+		Budget:      s.budget,
+		K:           s.k,
+		Pc:          s.pc,
+		Selector:    s.selName,
+		Done:        s.done || s.spent >= s.budget,
+	}
+	if withRounds {
+		info.Rounds = append([]RoundInfo(nil), s.rounds...)
+	}
+	return info
+}
+
+// Info returns the session state, with the per-round trace when withRounds
+// is set.
+func (s *Session) Info(now time.Time, withRounds bool) SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch(now)
+	return s.infoLocked(withRounds)
+}
+
+// Select returns the next task batch against the current posterior. kOverride
+// > 0 replaces the session's per-round k for this batch. The batch size is
+// clamped to the remaining budget; an empty batch (Done=true) means the
+// budget is spent or nothing uncertain remains.
+//
+// The selection is cached keyed on (posterior version, effective k):
+// repeating the call without an intervening merge returns the identical
+// batch with Cached=true instead of re-running the greedy sweep.
+func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch(now)
+
+	k := s.k
+	if kOverride > 0 {
+		k = kOverride
+	}
+	if remaining := s.budget - s.spent; k > remaining {
+		k = remaining
+	}
+	if n := s.posterior.N(); k > n {
+		k = n
+	}
+	if k <= 0 || s.done {
+		return &SelectResponse{Tasks: []int{}, Version: s.version, Done: true}, false, nil
+	}
+	if s.sel != nil && s.selVersion == s.version && s.selK == k {
+		cached := *s.sel
+		cached.Cached = true
+		return &cached, true, nil
+	}
+
+	tasks, err := s.selector.Select(s.posterior, k, s.pc)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: selection: %w", err)
+	}
+	resp := &SelectResponse{Tasks: tasks, Version: s.version}
+	if len(tasks) == 0 {
+		// Theorem 2: no remaining task nets positive utility. Latch so
+		// later selects and Info report completion without re-sweeping.
+		s.done = true
+		resp.Done = true
+	} else {
+		h, err := core.TaskEntropy(s.posterior, tasks, s.pc)
+		if err != nil {
+			return nil, false, err
+		}
+		resp.TaskEntropy = h
+	}
+	s.sel = resp
+	s.selVersion = s.version
+	s.selK = k
+	return resp, false, nil
+}
+
+// answerSetHash fingerprints an answer set (tasks, answers, version) for
+// the idempotency log. FNV-1a over the canonical byte rendering; collisions
+// would only conflate two retries into one replay, never corrupt state.
+func answerSetHash(version int, tasks []int, answers []bool) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(version))
+	for i, t := range tasks {
+		put(uint64(t))
+		if answers[i] {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// Merge applies a crowd answer set to the posterior (Equation 3) and
+// advances the version. It is idempotent by answer-set hash: an answer set
+// that was already applied — same tasks, same answers, same referenced
+// version — returns the recorded response with Merged=false instead of
+// double-counting budget or conditioning twice, which makes network
+// retries of POST …/answers safe.
+//
+// Version semantics: when the request carries a version it must either be
+// the current one (the merge applies) or match an already-applied set (the
+// recorded response replays); anything else is ErrVersionConflict. When
+// the version is omitted, a duplicate of any applied answer set is treated
+// as a retry; clients that intend to submit an identical answer set twice
+// (possible when the selector re-picks the same tasks and the crowd answers
+// identically) must thread the version through to disambiguate.
+func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch(now)
+
+	if req.Version != nil {
+		key := answerSetHash(*req.Version, req.Tasks, req.Answers)
+		if prev, ok := s.merges[key]; ok {
+			replay := *prev
+			replay.Merged = false
+			return &replay, nil
+		}
+		if *req.Version != s.version {
+			return nil, ErrVersionConflict
+		}
+	} else {
+		// No version: scan for a content match against any applied set.
+		for v := 0; v < s.version; v++ {
+			if prev, ok := s.merges[answerSetHash(v, req.Tasks, req.Answers)]; ok {
+				replay := *prev
+				replay.Merged = false
+				return &replay, nil
+			}
+		}
+	}
+
+	if s.spent+len(req.Tasks) > s.budget {
+		return nil, fmt.Errorf("%w: %d spent of %d, %d more requested",
+			ErrBudgetExhausted, s.spent, s.budget, len(req.Tasks))
+	}
+	// In the normal select-then-answer flow the batch's H(T) was already
+	// computed by Select against this same posterior; reuse it rather
+	// than paying the entropy kernel a second time inside the critical
+	// section. Out-of-band answer sets still compute it fresh.
+	var taskH float64
+	if s.sel != nil && s.selVersion == s.version && slices.Equal(s.sel.Tasks, req.Tasks) {
+		taskH = s.sel.TaskEntropy
+	} else {
+		var err error
+		taskH, err = core.TaskEntropy(s.posterior, req.Tasks, s.pc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	updated, err := core.MergeAnswers(s.posterior, req.Tasks, req.Answers, s.pc)
+	if err != nil {
+		return nil, fmt.Errorf("service: merge: %w", err)
+	}
+
+	mergedAt := s.version
+	s.posterior = updated
+	s.version++
+	s.spent += len(req.Tasks)
+	s.sel = nil    // selection cache is bound to the previous posterior
+	s.done = false // the new posterior may be uncertain again; re-derive
+	s.rounds = append(s.rounds, RoundInfo{
+		Round:   s.version,
+		Tasks:   append([]int(nil), req.Tasks...),
+		Answers: append([]bool(nil), req.Answers...),
+		CumCost: s.spent,
+		Entropy: updated.Entropy(),
+		TaskH:   taskH,
+	})
+
+	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: true}
+	s.merges[answerSetHash(mergedAt, req.Tasks, req.Answers)] = resp
+	return resp, nil
+}
+
+// Posterior returns the current posterior distribution (immutable; safe to
+// share).
+func (s *Session) Posterior() *dist.Joint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.posterior
+}

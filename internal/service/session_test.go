@@ -1,0 +1,312 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/dist"
+)
+
+// testSession builds a session over the paper's running example with the
+// full greedy selector.
+func testSession(t *testing.T, k, budget int) *Session {
+	t.Helper()
+	_, j := dist.RunningExample()
+	return newSession("s1", j, core.NewGreedyPrunePre(), "Approx+Prune+Pre",
+		0.8, k, budget, time.Unix(0, 0))
+}
+
+func TestSessionSelectCaching(t *testing.T) {
+	s := testSession(t, 2, 6)
+	now := time.Unix(1, 0)
+
+	first, cached, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first select reported cached")
+	}
+	if len(first.Tasks) != 2 || first.Version != 0 {
+		t.Fatalf("unexpected first batch %+v", first)
+	}
+
+	second, cached, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !second.Cached {
+		t.Fatal("repeat select did not hit the cache")
+	}
+	if !reflect.DeepEqual(second.Tasks, first.Tasks) || second.TaskEntropy != first.TaskEntropy {
+		t.Fatalf("cached batch differs: %+v vs %+v", second, first)
+	}
+
+	// A different k misses the cache.
+	third, cached, err := s.Select(now, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("k-override select reported cached")
+	}
+	if len(third.Tasks) != 1 {
+		t.Fatalf("k=1 select returned %d tasks", len(third.Tasks))
+	}
+
+	// A merge invalidates the cache: the next select is recomputed
+	// against the new posterior version.
+	if _, err := s.Merge(now, &AnswersRequest{Tasks: first.Tasks, Answers: []bool{true, true}}); err != nil {
+		t.Fatal(err)
+	}
+	fourth, cached, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("post-merge select served stale cache")
+	}
+	if fourth.Version != 1 {
+		t.Fatalf("post-merge select version = %d, want 1", fourth.Version)
+	}
+}
+
+func TestSessionMergeIdempotency(t *testing.T) {
+	s := testSession(t, 2, 6)
+	now := time.Unix(1, 0)
+	sel, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sel.Version
+	req := &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, false}, Version: &v}
+
+	first, err := s.Merge(now, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Merged || first.Spent != 2 || first.Version != 1 {
+		t.Fatalf("first merge state %+v", first.SessionInfo)
+	}
+
+	// Retry with the same body: replayed, not reapplied.
+	replay, err := s.Merge(now, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Merged {
+		t.Fatal("retry was re-applied")
+	}
+	if replay.Spent != 2 || replay.Version != 1 {
+		t.Fatalf("replay mutated state: %+v", replay.SessionInfo)
+	}
+	if math.Abs(replay.Entropy-first.Entropy) > 0 {
+		t.Fatalf("replay entropy %v != first %v", replay.Entropy, first.Entropy)
+	}
+
+	// Retry without a version: matched by content hash.
+	replay2, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay2.Merged || replay2.Spent != 2 {
+		t.Fatalf("versionless retry re-applied: %+v", replay2.SessionInfo)
+	}
+
+	// A different answer set at a stale version conflicts.
+	stale := &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{false, true}, Version: &v}
+	if _, err := s.Merge(now, stale); !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("stale-version merge error = %v, want ErrVersionConflict", err)
+	}
+}
+
+func TestSessionBudgetEnforcement(t *testing.T) {
+	s := testSession(t, 2, 3)
+	now := time.Unix(1, 0)
+
+	sel, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, true}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 of 3 budget left: the next batch is clamped to one task.
+	sel2, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel2.Tasks) > 1 {
+		t.Fatalf("select ignored remaining budget: %d tasks", len(sel2.Tasks))
+	}
+
+	// Merging more than the remaining budget is rejected.
+	over := &AnswersRequest{Tasks: []int{0, 1}, Answers: []bool{false, false}}
+	if _, err := s.Merge(now, over); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget merge error = %v, want ErrBudgetExhausted", err)
+	}
+
+	if len(sel2.Tasks) == 1 {
+		if _, err := s.Merge(now, &AnswersRequest{Tasks: sel2.Tasks, Answers: []bool{true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || len(final.Tasks) != 0 {
+		t.Fatalf("exhausted session still selecting: %+v", final)
+	}
+	info := s.Info(now, true)
+	if !info.Done || info.Spent > info.Budget {
+		t.Fatalf("final info %+v", info)
+	}
+	if len(info.Rounds) != info.Version {
+		t.Fatalf("%d rounds but version %d", len(info.Rounds), info.Version)
+	}
+}
+
+func TestSessionDoneLatchOnCertainPosterior(t *testing.T) {
+	// A single-world prior is certain: selection finds nothing uncertain,
+	// so the first select latches Done with zero tasks and zero spend.
+	j, err := dist.New(3, []dist.World{0b101}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession("s2", j, core.NewGreedyPrunePre(), "Approx+Prune+Pre",
+		0.8, 2, 10, time.Unix(0, 0))
+	sel, _, err := s.Select(time.Unix(1, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Tasks) != 0 || !sel.Done {
+		t.Fatalf("certain posterior selected %+v", sel)
+	}
+	info := s.Info(time.Unix(1, 0), false)
+	if !info.Done || info.Spent != 0 {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+// TestSessionMergeClearsDoneLatch: an out-of-band merge after a
+// nothing-uncertain select must un-latch Done — the new posterior may be
+// uncertain again, so the next select has to consult the selector instead
+// of replaying the stale verdict.
+func TestSessionMergeClearsDoneLatch(t *testing.T) {
+	s := testSession(t, 2, 10)
+	now := time.Unix(1, 0)
+	s.mu.Lock()
+	s.done = true // as if a previous sweep found nothing uncertain
+	s.mu.Unlock()
+
+	sel, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Done || len(sel.Tasks) != 0 {
+		t.Fatalf("latched session still selecting: %+v", sel)
+	}
+	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{0}, Answers: []bool{false}}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := s.Select(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Done || len(after.Tasks) == 0 {
+		t.Fatalf("done latch survived a merge: %+v", after)
+	}
+	if after.Version != 1 {
+		t.Fatalf("post-merge select version %d, want 1", after.Version)
+	}
+}
+
+func TestSessionMergeValidatesEvidence(t *testing.T) {
+	s := testSession(t, 2, 6)
+	now := time.Unix(1, 0)
+	for name, req := range map[string]*AnswersRequest{
+		"out of range": {Tasks: []int{99}, Answers: []bool{true}},
+		"duplicate":    {Tasks: []int{1, 1}, Answers: []bool{true, true}},
+		"mismatched":   {Tasks: []int{0, 1}, Answers: []bool{true}},
+	} {
+		if _, err := s.Merge(now, req); err == nil {
+			t.Errorf("%s: invalid merge accepted", name)
+		}
+	}
+	// Failed merges must not advance state.
+	if info := s.Info(now, false); info.Version != 0 || info.Spent != 0 {
+		t.Fatalf("failed merges mutated state: %+v", info)
+	}
+}
+
+// TestSessionMatchesEngine replays a session against core.Engine: the same
+// prior, selector, crowd answers and budget must produce bit-identical
+// posteriors, because the session routes through the same TaskEntropy /
+// MergeAnswers kernel.
+func TestSessionMatchesEngine(t *testing.T) {
+	_, prior := dist.RunningExample()
+	answer := func(tasks []int) []bool {
+		out := make([]bool, len(tasks))
+		for i, f := range tasks {
+			out[i] = f%2 == 0 // deterministic scripted crowd
+		}
+		return out
+	}
+
+	eng := &core.Engine{
+		Prior:    prior,
+		Selector: core.NewGreedyPrunePre(),
+		Crowd:    answerFunc(answer),
+		Pc:       0.8,
+		K:        2,
+		Budget:   6,
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newSession("s3", prior.Clone(), core.NewGreedyPrunePre(), "Approx+Prune+Pre",
+		0.8, 2, 6, time.Unix(0, 0))
+	now := time.Unix(1, 0)
+	for {
+		sel, _, err := s.Select(now, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Done || len(sel.Tasks) == 0 {
+			break
+		}
+		v := sel.Version
+		if _, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: answer(sel.Tasks), Version: &v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := s.Posterior()
+	if got.SupportSize() != want.Final.SupportSize() {
+		t.Fatalf("support %d != engine %d", got.SupportSize(), want.Final.SupportSize())
+	}
+	for i, w := range want.Final.Worlds() {
+		if got.Worlds()[i] != w {
+			t.Fatalf("world %d: %v != %v", i, got.Worlds()[i], w)
+		}
+		if got.Probs()[i] != want.Final.Probs()[i] {
+			t.Fatalf("prob %d: %v != %v", i, got.Probs()[i], want.Final.Probs()[i])
+		}
+	}
+	if info := s.Info(now, false); info.Spent != want.Cost {
+		t.Fatalf("spent %d != engine cost %d", info.Spent, want.Cost)
+	}
+}
+
+// answerFunc adapts a function to core.AnswerProvider.
+type answerFunc func(tasks []int) []bool
+
+func (f answerFunc) Answers(tasks []int) []bool { return f(tasks) }

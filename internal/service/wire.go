@@ -1,0 +1,244 @@
+// Package service implements crowdfusiond's HTTP/JSON refinement service:
+// a concurrent session manager over the CrowdFusion select–ask–merge loop.
+//
+// A session wraps one refinement loop (one book, one output distribution).
+// Clients create it from fused marginals or an explicit joint, repeatedly
+// ask for the next entropy-maximizing task batch, post the crowd's answers,
+// and read the refined posterior — the paper's Figure 1 loop turned into a
+// long-running network service in the style of gMission-like platforms.
+//
+// The package splits into four layers:
+//
+//   - wire.go: the JSON wire format (joints, tasks, answers) with
+//     validation at the trust boundary;
+//   - session.go: the per-session serialized state machine
+//     (select → await → merge) with selection caching and idempotent
+//     merges;
+//   - manager.go: a sharded, mutex-striped in-memory session store with
+//     TTL eviction;
+//   - server.go / metrics.go: the HTTP layer — routing, backpressure,
+//     request timeouts, /healthz, /metrics, graceful drain.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/dist"
+)
+
+// WireJoint is the JSON wire representation of a dist.Joint: the sparse
+// support as parallel world/probability vectors. Worlds are bitmask values
+// (bit i set ⇔ fact i judged true); probabilities are non-negative weights
+// that the receiver normalizes, so senders need not renormalize after
+// truncation or arithmetic.
+type WireJoint struct {
+	N      int       `json:"n"`
+	Worlds []uint64  `json:"worlds"`
+	Probs  []float64 `json:"probs"`
+}
+
+// NewWireJoint converts a distribution to its wire form. The slices are
+// fresh copies: mutating them cannot corrupt the (immutable, shared-slice)
+// Joint.
+func NewWireJoint(j *dist.Joint) WireJoint {
+	worlds := make([]uint64, j.SupportSize())
+	for i, w := range j.Worlds() {
+		worlds[i] = uint64(w)
+	}
+	return WireJoint{
+		N:      j.N(),
+		Worlds: worlds,
+		Probs:  append([]float64(nil), j.Probs()...),
+	}
+}
+
+// Joint validates the wire form and rebuilds the distribution. All
+// structural validation (fact count bounds, world range, weight sanity,
+// positive total mass) is delegated to dist.New — the same gate every
+// in-process constructor passes through — so a joint that arrived over the
+// wire obeys exactly the invariants an in-process one does.
+func (w WireJoint) Joint() (*dist.Joint, error) {
+	if len(w.Worlds) != len(w.Probs) {
+		return nil, fmt.Errorf("service: joint has %d worlds but %d probs", len(w.Worlds), len(w.Probs))
+	}
+	ws := make([]dist.World, len(w.Worlds))
+	for i, v := range w.Worlds {
+		ws[i] = dist.World(v)
+	}
+	j, err := dist.New(w.N, ws, w.Probs)
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions. Exactly one of
+// Marginals (per-fact correctness probabilities, expanded to the product
+// distribution) or Joint (an explicit sparse support) must be set.
+type CreateSessionRequest struct {
+	// Marginals initializes the prior as the independent product
+	// distribution — the bridge from fusion methods that output only
+	// per-fact confidences.
+	Marginals []float64 `json:"marginals,omitempty"`
+	// Joint initializes the prior from an explicit sparse joint, for
+	// callers that track output correlations (e.g. mutually exclusive
+	// author sets).
+	Joint *WireJoint `json:"joint,omitempty"`
+	// Selector names the task-selection strategy: OPT, Approx,
+	// Approx+Prune, Approx+Pre, Approx+Prune+Pre, Random. Default
+	// Approx+Prune+Pre.
+	Selector string `json:"selector,omitempty"`
+	// Pc is the crowd accuracy assumed by selection and merging,
+	// in [0.5, 1].
+	Pc float64 `json:"pc"`
+	// K is the number of tasks per round (per select call). 1..20.
+	K int `json:"k"`
+	// Budget is the total number of tasks the session may ask.
+	Budget int `json:"budget"`
+	// Seed seeds the Random selector; ignored by deterministic
+	// selectors.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Validate checks everything except the prior itself (which is validated
+// during construction by dist.New / dist.Independent).
+func (r *CreateSessionRequest) Validate() error {
+	if len(r.Marginals) == 0 && r.Joint == nil {
+		return errors.New("service: session needs marginals or an explicit joint")
+	}
+	if len(r.Marginals) > 0 && r.Joint != nil {
+		return errors.New("service: marginals and joint are mutually exclusive")
+	}
+	if r.Pc < 0.5 || r.Pc > 1 || math.IsNaN(r.Pc) {
+		return fmt.Errorf("service: pc %v outside [0.5, 1]", r.Pc)
+	}
+	if r.K <= 0 {
+		return fmt.Errorf("service: k %d must be positive", r.K)
+	}
+	if r.K > core.MaxTasksPerRound {
+		return fmt.Errorf("service: k %d exceeds the per-round limit %d (the answer space is 2^k)",
+			r.K, core.MaxTasksPerRound)
+	}
+	if r.Budget <= 0 {
+		return fmt.Errorf("service: budget %d must be positive", r.Budget)
+	}
+	if r.K > r.Budget {
+		return fmt.Errorf("service: k %d exceeds budget %d", r.K, r.Budget)
+	}
+	return nil
+}
+
+// SessionInfo is the client-visible session state, returned by GET
+// /v1/sessions/{id} and embedded in mutation responses.
+type SessionInfo struct {
+	ID string `json:"id"`
+	// Version counts applied merges; it names the posterior a selection
+	// or answer set refers to.
+	Version int `json:"version"`
+	// N is the number of facts.
+	N int `json:"n"`
+	// SupportSize is the posterior's sparse support size.
+	SupportSize int `json:"support_size"`
+	// Marginals are the posterior per-fact correctness probabilities.
+	Marginals []float64 `json:"marginals"`
+	// Entropy is H(O) of the posterior in bits; Utility is -H(O)
+	// (Definition 4).
+	Entropy float64 `json:"entropy"`
+	Utility float64 `json:"utility"`
+	// Spent and Budget account tasks asked against the session budget.
+	Spent  int `json:"spent"`
+	Budget int `json:"budget"`
+	// K and Pc echo the session configuration.
+	K        int     `json:"k"`
+	Pc       float64 `json:"pc"`
+	Selector string  `json:"selector"`
+	// Done reports that no further refinement will happen: the budget is
+	// exhausted or the last selection found nothing uncertain to ask.
+	Done bool `json:"done"`
+	// Rounds is the per-round trace (tasks, answers, posterior entropy).
+	Rounds []RoundInfo `json:"rounds,omitempty"`
+}
+
+// RoundInfo is one merged round in a session's trace.
+type RoundInfo struct {
+	Round   int     `json:"round"`
+	Tasks   []int   `json:"tasks"`
+	Answers []bool  `json:"answers"`
+	CumCost int     `json:"cum_cost"`
+	Entropy float64 `json:"entropy"`
+	TaskH   float64 `json:"task_entropy"`
+}
+
+// SelectRequest is the body of POST /v1/sessions/{id}/select. K optionally
+// overrides the session's per-round task count for this batch only.
+type SelectRequest struct {
+	K int `json:"k,omitempty"`
+}
+
+// Validate bounds the per-batch override the same way session creation
+// bounds K, so an oversized override is a 400 up front rather than a
+// selector failure.
+func (r *SelectRequest) Validate() error {
+	if r.K < 0 {
+		return fmt.Errorf("service: k override %d must not be negative", r.K)
+	}
+	if r.K > core.MaxTasksPerRound {
+		return fmt.Errorf("service: k override %d exceeds the per-round limit %d",
+			r.K, core.MaxTasksPerRound)
+	}
+	return nil
+}
+
+// SelectResponse is the next task batch. Version names the posterior the
+// batch was selected against; answers should be submitted with the same
+// version. Repeating select without an intervening merge returns the same
+// batch from cache (Cached=true).
+type SelectResponse struct {
+	Tasks []int `json:"tasks"`
+	// TaskEntropy is H(T), the selection objective, for the batch.
+	TaskEntropy float64 `json:"task_entropy"`
+	Version     int     `json:"version"`
+	Cached      bool    `json:"cached,omitempty"`
+	// Done is set when the batch is empty: budget exhausted or nothing
+	// uncertain remains.
+	Done bool `json:"done,omitempty"`
+}
+
+// AnswersRequest is the body of POST /v1/sessions/{id}/answers: the
+// crowd's judgments for a previously selected batch. Version is the
+// posterior version from the SelectResponse; when omitted (nil) the
+// current version is assumed and duplicate answer sets are treated as
+// retries (see Session.Merge for the idempotency contract).
+type AnswersRequest struct {
+	Tasks   []int  `json:"tasks"`
+	Answers []bool `json:"answers"`
+	Version *int   `json:"version,omitempty"`
+}
+
+// Validate checks the shape of the request; semantic validation (range,
+// duplicates) happens against the session's distribution during merging.
+func (r *AnswersRequest) Validate() error {
+	if len(r.Tasks) == 0 {
+		return errors.New("service: answers request needs at least one task")
+	}
+	if len(r.Tasks) != len(r.Answers) {
+		return fmt.Errorf("service: %d tasks but %d answers", len(r.Tasks), len(r.Answers))
+	}
+	return nil
+}
+
+// AnswersResponse reports the refined state after a merge. Merged is false
+// when the request was recognized as a retry of an already-applied answer
+// set and served idempotently from the merge log.
+type AnswersResponse struct {
+	SessionInfo
+	Merged bool `json:"merged"`
+}
+
+// ErrorResponse is the uniform error envelope of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"crowdfusion/internal/dist"
+)
+
+func TestWireJointRoundTrip(t *testing.T) {
+	cases := []func() (*dist.Joint, error){
+		func() (*dist.Joint, error) { _, j := dist.RunningExample(); return j, nil },
+		func() (*dist.Joint, error) { return dist.Uniform(4) },
+		func() (*dist.Joint, error) { return dist.Independent([]float64{0.5, 0.63, 0.58, 0.49}) },
+		func() (*dist.Joint, error) {
+			return dist.New(6, []dist.World{0b000011, 0b110000, 0b001100}, []float64{0.2, 0.5, 0.3})
+		},
+	}
+	for i, mk := range cases {
+		j, err := mk()
+		if err != nil {
+			t.Fatalf("case %d: build: %v", i, err)
+		}
+		wire := NewWireJoint(j)
+		buf, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var back WireJoint
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		got, err := back.Joint()
+		if err != nil {
+			t.Fatalf("case %d: rebuild: %v", i, err)
+		}
+		if got.N() != j.N() || got.SupportSize() != j.SupportSize() {
+			t.Fatalf("case %d: shape changed: n %d→%d support %d→%d",
+				i, j.N(), got.N(), j.SupportSize(), got.SupportSize())
+		}
+		for k, w := range j.Worlds() {
+			if got.Worlds()[k] != w {
+				t.Fatalf("case %d: world %d changed: %v → %v", i, k, w, got.Worlds()[k])
+			}
+			if math.Abs(got.Probs()[k]-j.Probs()[k]) > 1e-15 {
+				t.Fatalf("case %d: prob %d changed: %v → %v", i, k, j.Probs()[k], got.Probs()[k])
+			}
+		}
+		if math.Abs(got.Entropy()-j.Entropy()) > 1e-12 {
+			t.Fatalf("case %d: entropy changed: %v → %v", i, j.Entropy(), got.Entropy())
+		}
+	}
+}
+
+func TestWireJointSharesNothing(t *testing.T) {
+	j, err := dist.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := NewWireJoint(j)
+	wire.Worlds[0] = 99
+	wire.Probs[0] = 42
+	if j.Worlds()[0] == 99 || j.Probs()[0] == 42 {
+		t.Fatal("wire form aliases the joint's internal slices")
+	}
+}
+
+func TestWireJointValidation(t *testing.T) {
+	bad := []WireJoint{
+		{N: 2, Worlds: []uint64{0, 1}, Probs: []float64{0.5}},      // length mismatch
+		{N: 0, Worlds: []uint64{0}, Probs: []float64{1}},           // n out of range
+		{N: 2, Worlds: []uint64{4}, Probs: []float64{1}},           // world beyond n
+		{N: 2, Worlds: []uint64{0}, Probs: []float64{-1}},          // negative weight
+		{N: 2, Worlds: []uint64{}, Probs: []float64{}},             // empty support
+		{N: 2, Worlds: []uint64{0, 1}, Probs: []float64{0, 0}},     // zero mass
+		{N: 2, Worlds: []uint64{1}, Probs: []float64{math.Inf(1)}}, // non-finite
+	}
+	for i, w := range bad {
+		if _, err := w.Joint(); err == nil {
+			t.Errorf("case %d: invalid wire joint %+v accepted", i, w)
+		}
+	}
+}
+
+func TestCreateSessionRequestValidate(t *testing.T) {
+	valid := CreateSessionRequest{
+		Marginals: []float64{0.5, 0.6}, Pc: 0.8, K: 2, Budget: 6,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	jw := NewWireJoint(mustUniform(t, 2))
+	cases := map[string]CreateSessionRequest{
+		"no prior":        {Pc: 0.8, K: 1, Budget: 2},
+		"both priors":     {Marginals: []float64{0.5}, Joint: &jw, Pc: 0.8, K: 1, Budget: 2},
+		"pc too low":      {Marginals: []float64{0.5}, Pc: 0.4, K: 1, Budget: 2},
+		"pc too high":     {Marginals: []float64{0.5}, Pc: 1.1, K: 1, Budget: 2},
+		"pc NaN":          {Marginals: []float64{0.5}, Pc: math.NaN(), K: 1, Budget: 2},
+		"k zero":          {Marginals: []float64{0.5}, Pc: 0.8, K: 0, Budget: 2},
+		"budget zero":     {Marginals: []float64{0.5}, Pc: 0.8, K: 1, Budget: 0},
+		"k beyond budget": {Marginals: []float64{0.5}, Pc: 0.8, K: 3, Budget: 2},
+		"k beyond round limit": {
+			Marginals: []float64{0.5}, Pc: 0.8, K: 25, Budget: 100,
+		},
+	}
+	for name, req := range cases {
+		if err := req.Validate(); err == nil {
+			t.Errorf("%s: invalid request accepted", name)
+		}
+	}
+}
+
+func TestSelectRequestValidate(t *testing.T) {
+	for _, k := range []int{0, 1, 20} {
+		r := SelectRequest{K: k}
+		if err := r.Validate(); err != nil {
+			t.Errorf("k override %d rejected: %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, 21, 100} {
+		r := SelectRequest{K: k}
+		if err := r.Validate(); err == nil {
+			t.Errorf("k override %d accepted", k)
+		}
+	}
+}
+
+func TestAnswersRequestValidate(t *testing.T) {
+	ok := AnswersRequest{Tasks: []int{0, 2}, Answers: []bool{true, false}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	for name, req := range map[string]AnswersRequest{
+		"empty":    {},
+		"mismatch": {Tasks: []int{0, 1}, Answers: []bool{true}},
+	} {
+		if err := req.Validate(); err == nil {
+			t.Errorf("%s: invalid request accepted", name)
+		}
+	}
+}
+
+func mustUniform(t *testing.T, n int) *dist.Joint {
+	t.Helper()
+	j, err := dist.Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}

@@ -1,0 +1,102 @@
+#!/bin/sh
+# daemon_smoke.sh — end-to-end smoke test of the crowdfusiond binary.
+#
+# Starts the daemon, drives one refinement round over HTTP with curl
+# (create session → select → answer → verify the marginals moved), checks
+# /healthz and /metrics, and shuts the daemon down cleanly with SIGTERM.
+# Run via `make smoke`; CI runs it on every push.
+#
+# Usage: daemon_smoke.sh [path-to-crowdfusiond]
+set -eu
+
+BIN="${1:-./bin/crowdfusiond}"
+PORT="${SMOKE_PORT:-18377}"
+BASE="http://127.0.0.1:${PORT}"
+LOG="$(mktemp)"
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+"$BIN" -addr "127.0.0.1:${PORT}" >"$LOG" 2>&1 &
+DAEMON=$!
+cleanup() {
+    kill "$DAEMON" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# Wait for the daemon to accept requests.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "daemon did not become healthy"
+    sleep 0.1
+done
+echo "smoke: daemon healthy on :$PORT"
+
+# Create a session from fused marginals.
+CREATE=$(curl -fsS -X POST "$BASE/v1/sessions" \
+    -H 'Content-Type: application/json' \
+    -d '{"marginals":[0.5,0.63,0.58,0.49],"pc":0.8,"k":2,"budget":6}') ||
+    fail "create session"
+ID=$(echo "$CREATE" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no session id in: $CREATE"
+echo "smoke: created session $ID"
+
+# Select the first entropy-maximizing batch.
+SELECT=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/select") || fail "select"
+echo "$SELECT" | grep -q '"tasks": \[' || fail "no tasks in: $SELECT"
+echo "$SELECT" | grep -q '"task_entropy":' || fail "no task entropy in: $SELECT"
+TASKS=$(echo "$SELECT" | tr -d '\n' | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+[ -n "$TASKS" ] || fail "could not parse tasks from: $SELECT"
+echo "smoke: selected tasks [$TASKS]"
+
+# Submit crowd answers (all true) for the selected batch.
+N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+MERGE=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+    -H 'Content-Type: application/json' \
+    -d "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":0}") ||
+    fail "answers"
+echo "$MERGE" | grep -q '"merged": true' || fail "merge not applied: $MERGE"
+echo "$MERGE" | grep -q "\"spent\": $N_TASKS" || fail "budget not accounted: $MERGE"
+
+# The refined marginals of the asked facts must have moved off the prior.
+STATE=$(curl -fsS "$BASE/v1/sessions/$ID") || fail "get session"
+echo "$STATE" | grep -q '"version": 1' || fail "version not advanced: $STATE"
+echo "$STATE" | tr -d ' \n' | grep -q '"marginals":\[0.5,0.63,0.58,0.49\]' &&
+    fail "marginals unchanged after merge: $STATE"
+echo "smoke: posterior refined"
+
+# A retry of the same answer set must replay, not double-merge.
+REPLAY=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+    -H 'Content-Type: application/json' \
+    -d "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":0}") ||
+    fail "replay"
+echo "$REPLAY" | grep -q '"merged": false' || fail "retry was re-applied: $REPLAY"
+echo "$REPLAY" | grep -q "\"spent\": $N_TASKS" || fail "retry double-spent: $REPLAY"
+echo "smoke: idempotent replay OK"
+
+# Operational endpoints.
+METRICS=$(curl -fsS "$BASE/metrics") || fail "metrics"
+echo "$METRICS" | grep -q '^crowdfusion_sessions_live 1$' || fail "sessions_live gauge: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_merges_applied_total 1$' || fail "merges counter: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_merge_replays_total 1$' || fail "replays counter: $METRICS"
+echo "smoke: metrics OK"
+
+# Graceful shutdown: SIGTERM must drain and exit zero.
+kill -TERM "$DAEMON"
+i=0
+while kill -0 "$DAEMON" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+wait "$DAEMON" 2>/dev/null || fail "daemon exited non-zero"
+grep -q "drained, exiting" "$LOG" || fail "daemon did not drain cleanly"
+echo "smoke: clean shutdown"
+echo "smoke: PASS"
