@@ -53,10 +53,17 @@ type AnswerProvider interface {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Code is the service's machine-readable failure class (the
+	// service.Code* constants, e.g. "expired" when the session's state was
+	// evicted from a volatile store), or empty for generic errors.
+	Code string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("crowdfusiond: %s (HTTP %d, %s)", e.Message, e.StatusCode, e.Code)
+	}
 	return fmt.Sprintf("crowdfusiond: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
@@ -118,7 +125,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: apiErr.Code}
 	}
 	if out == nil {
 		return nil

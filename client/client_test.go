@@ -13,6 +13,7 @@ import (
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/platform"
 	"crowdfusion/internal/service"
+	"crowdfusion/internal/store"
 )
 
 // newTestService starts the in-process daemon stack on httptest and returns
@@ -224,6 +225,138 @@ func TestClientErrorMapping(t *testing.T) {
 	_, err = c.SubmitAnswers(ctx, info.ID, sel.Tasks, []bool{false}, sel.Version)
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
 		t.Fatalf("stale submit error = %v", err)
+	}
+	if apiErr.Code != service.CodeVersionConflict {
+		t.Fatalf("stale submit code = %q, want %q", apiErr.Code, service.CodeVersionConflict)
+	}
+}
+
+// TestRefineSurvivesDaemonRestart is the recovery-aware end-to-end: half
+// the refinement loop runs against one daemon stack over a durable file
+// store, the stack is torn down with no drain (the crash analogue), a
+// fresh stack is built over the same directory, and the same client loop
+// finishes against it. The final posterior must match what the in-process
+// core.Engine computes in one uninterrupted run — bit for bit — proving
+// the restart was invisible to the refinement math. The client itself
+// needs no API change: the session ID is the only state it carries.
+func TestRefineSurvivesDaemonRestart(t *testing.T) {
+	marginals := []float64{0.5, 0.63, 0.58, 0.49, 0.71}
+	truth := dist.World(0b10110)
+	const (
+		pc     = 0.8
+		k      = 2
+		budget = 10
+		seed   = 42
+	)
+
+	prior, err := dist.Independent(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &core.Engine{
+		Prior:    prior,
+		Selector: core.NewGreedyPrunePre(),
+		Crowd:    newPlatform(t, truth, seed),
+		Pc:       pc,
+		K:        k,
+		Budget:   budget,
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	openStack := func() (*httptest.Server, *client.Client) {
+		fs, err := store.NewFile(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.NewServer(service.Config{Store: fs})
+		ts := httptest.NewServer(svc.Handler())
+		// Stop janitors at test end. Mid-test the first stack is killed
+		// by ts.Close() alone — the crash analogue leaves svc un-drained
+		// on purpose (httptest.Server.Close and service.Close are both
+		// idempotent, so the cleanup double-close is safe).
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		return ts, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	}
+
+	// The crowd is one platform instance across both daemon lifetimes:
+	// worker answers derive from the task sequence, which the restart must
+	// not disturb.
+	crowdSim := newPlatform(t, truth, seed)
+	ctx := context.Background()
+
+	ts1, c1 := openStack()
+	info, err := c1.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: marginals,
+		Selector:  "Approx+Prune+Pre",
+		Pc:        pc,
+		K:         k,
+		Budget:    budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half of the loop, by hand (Refine would run to completion).
+	spent := 0
+	for spent < budget/2 {
+		sel, err := c1.Select(ctx, info.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Done || len(sel.Tasks) == 0 {
+			break
+		}
+		merged, err := c1.SubmitAnswers(ctx, info.ID, sel.Tasks, crowdSim.Answers(sel.Tasks), sel.Version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spent = merged.Spent
+	}
+	if spent == 0 {
+		t.Fatal("no rounds completed before the restart")
+	}
+	// Kill the stack: listener gone, no drain, no flush. Every
+	// acknowledged merge must already be durable.
+	ts1.Close()
+
+	ts2, c2 := openStack()
+	defer ts2.Close()
+	final, err := c2.Refine(ctx, info.ID, crowdSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if final.Spent != want.Cost {
+		t.Fatalf("restarted loop spent %d tasks, engine %d", final.Spent, want.Cost)
+	}
+	wantM := want.Final.Marginals()
+	for i := range wantM {
+		if final.Marginals[i] != wantM[i] {
+			t.Fatalf("marginal %d: restarted loop %v != engine %v", i, final.Marginals[i], wantM[i])
+		}
+	}
+	if final.Entropy != want.Final.Entropy() {
+		t.Fatalf("entropy: restarted loop %v != engine %v", final.Entropy, want.Final.Entropy())
+	}
+	withRounds, err := c2.GetSession(ctx, info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withRounds.Rounds) != len(want.Rounds) {
+		t.Fatalf("restarted loop %d rounds, engine %d", len(withRounds.Rounds), len(want.Rounds))
+	}
+	for i, r := range want.Rounds {
+		got := withRounds.Rounds[i]
+		if !reflect.DeepEqual(got.Tasks, r.Tasks) || !reflect.DeepEqual(got.Answers, r.Answers) {
+			t.Fatalf("round %d: restarted loop (%v, %v) != engine (%v, %v)",
+				i, got.Tasks, got.Answers, r.Tasks, r.Answers)
+		}
 	}
 }
 

@@ -7,10 +7,17 @@
 // Usage:
 //
 //	crowdfusiond -addr :8377 -session-ttl 30m -max-sessions 100000
+//	crowdfusiond -store file -data-dir /var/lib/crowdfusion
+//
+// With -store file, sessions are durable: every acknowledged merge is
+// fsynced to an append-only op log before the response is written, and a
+// restarted daemon recovers each session bit-identically by replaying its
+// log (lazily, on first touch). With the default -store memory, a restart
+// loses all sessions — PR 3's behavior.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests (including merges) drain, then the
-// process exits.
+// accepting, in-flight requests (including merges) drain, live sessions
+// are flushed to a durable store, then the process exits.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"crowdfusion/internal/service"
+	"crowdfusion/internal/store"
 )
 
 func main() {
@@ -40,8 +48,46 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "whole-request timeout")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		seed        = flag.Int64("seed", 1, "seed for Random selectors")
+		storeKind   = flag.String("store", "memory", "session store: memory (volatile) or file (durable)")
+		dataDir     = flag.String("data-dir", "", "data directory for -store file")
+		compactOps  = flag.Int("store-compact", 0, "ops per session before its log is compacted into the snapshot (0 = default)")
 	)
 	flag.Parse()
+
+	var sessions store.SessionStore
+	switch *storeKind {
+	case "memory":
+		if *dataDir != "" {
+			log.Fatalf("-data-dir is only meaningful with -store file")
+		}
+		sessions = store.NewMemory()
+	case "file":
+		if *dataDir == "" {
+			log.Fatalf("-store file requires -data-dir")
+		}
+		fileStore, err := store.NewFile(*dataDir, *compactOps)
+		if err != nil {
+			log.Fatalf("opening session store: %v", err)
+		}
+		fileStore.Logf = log.Printf
+		// One writer per data dir: a second daemon sharing it would
+		// corrupt session logs. The kernel drops the lock on process
+		// death, so crash-restart needs no cleanup.
+		if err := fileStore.Lock(); err != nil {
+			log.Fatalf("locking session store: %v", err)
+		}
+		// Recovery scan: count what survived the last run. Sessions load
+		// lazily on first touch; the scan only proves the directory is
+		// readable and tells the operator what is there.
+		ids, err := fileStore.List()
+		if err != nil {
+			log.Fatalf("scanning session store: %v", err)
+		}
+		log.Printf("store: %d session(s) on disk in %s (loaded lazily on first touch)", len(ids), *dataDir)
+		sessions = fileStore
+	default:
+		log.Fatalf("unknown -store %q (want memory or file)", *storeKind)
+	}
 
 	cfg := service.Config{
 		TTL:            *ttl,
@@ -50,6 +96,8 @@ func main() {
 		QueueTimeout:   *queueWait,
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
+		Store:          sessions,
+		Logf:           log.Printf,
 	}
 	if *ttl == 0 {
 		cfg.TTL = -1 // Config treats 0 as "default"; negative disables.

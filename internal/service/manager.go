@@ -10,14 +10,21 @@ import (
 
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/eval"
+	"crowdfusion/internal/store"
 )
 
 // Manager errors, mapped to HTTP statuses by the server layer.
 var (
-	// ErrNotFound is returned for unknown (or already evicted) session IDs.
+	// ErrNotFound is returned for unknown session IDs.
 	ErrNotFound = errors.New("service: session not found")
-	// ErrTooManySessions is returned when creating a session would exceed
-	// the configured cap — the store-level backpressure signal.
+	// ErrExpired is returned for a session the TTL janitor evicted from a
+	// volatile store: the ID was valid but its state is gone for good.
+	// Durable stores never produce it — eviction there only unloads, and
+	// the session reloads lazily on the next touch.
+	ErrExpired = errors.New("service: session expired (evicted after idle TTL; state was not persisted)")
+	// ErrTooManySessions is returned when creating (or lazily reloading)
+	// a session would exceed the configured cap — the store-level
+	// backpressure signal.
 	ErrTooManySessions = errors.New("service: session limit reached")
 )
 
@@ -27,51 +34,104 @@ var (
 // two so shard selection is a mask.
 const sessionShards = 16
 
-// shard is one stripe: a mutex and its slice of the session map.
+// shard is one stripe: a mutex, its slice of the session map, and the
+// in-flight lazy loads (single-flight: concurrent Gets for one unloaded
+// session share one store read + replay).
 type shard struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	loading  map[string]*loadOp
 }
 
-// ManagerConfig tunes the session store.
+// loadOp is one in-flight lazy load. done is closed when the load settles;
+// s/err hold the outcome. deleted is set (under the shard mutex) by a
+// concurrent Delete so the loader discards its result instead of
+// resurrecting a session whose record was just removed.
+type loadOp struct {
+	done    chan struct{}
+	s       *Session
+	err     error
+	deleted bool
+}
+
+// ManagerConfig tunes the session manager.
 type ManagerConfig struct {
 	// TTL is the idle lifetime of a session: sessions untouched for TTL
-	// are evicted by the janitor. Zero means no eviction.
+	// are evicted by the janitor. Zero means no eviction. What eviction
+	// means depends on the store: durable stores flush-and-unload (the
+	// session reloads lazily on next touch), volatile stores drop the
+	// session for good (later requests get ErrExpired).
 	TTL time.Duration
-	// MaxSessions caps live sessions (0 = unlimited). Create fails with
-	// ErrTooManySessions at the cap.
+	// MaxSessions caps live (in-memory) sessions (0 = unlimited). Create
+	// and lazy reload fail with ErrTooManySessions at the cap.
 	MaxSessions int
 	// Seed seeds Random selectors; each session derives its own stream
 	// from it and a per-session counter.
 	Seed int64
+	// Store persists sessions. Nil means a fresh volatile store
+	// (store.NewMemory) — PR 3's in-memory-only behavior. The manager
+	// takes ownership: Manager.Close closes the store.
+	Store store.SessionStore
+	// Logf, when set, receives operational log lines (evictions,
+	// recoveries, store failures). Nil discards them.
+	Logf func(format string, args ...any)
 	// now overrides the clock in tests.
 	now func() time.Time
 }
 
-// Manager is the sharded in-memory session store. All methods are safe for
-// concurrent use.
+// Manager is the sharded session cache in front of the SessionStore. All
+// methods are safe for concurrent use. Live sessions are in-memory
+// (selection caches, mutexes, idempotency log hot); every state transition
+// is persisted through the store before it is acknowledged, and sessions
+// not resident are reloaded from the store lazily on first touch.
 type Manager struct {
-	cfg    ManagerConfig
+	cfg   ManagerConfig
+	store store.SessionStore
+	logf  func(format string, args ...any)
+
 	shards [sessionShards]shard
 
 	countMu sync.Mutex
 	count   int   // live sessions across shards
 	created int64 // sessions ever created (seeds Random selector streams)
 
+	// tombs records sessions the janitor dropped from a volatile store,
+	// so later requests can be answered with ErrExpired rather than a
+	// generic not-found. Pruned on a horizon of tombstoneTTLs·TTL.
+	tombMu sync.Mutex
+	tombs  map[string]time.Time
+
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
-	evicted func(n int) // metrics hook, set by the server
+	// Metrics hooks, set by the server. evicted reports janitor activity
+	// (dropped=true when the state was discarded, false when it was
+	// flushed to a durable store); recovered reports one lazy reload.
+	evicted   func(n int, dropped bool)
+	recovered func()
 }
 
-// NewManager builds a store and starts its TTL janitor (when TTL > 0).
+// tombstoneTTLs is how many TTL periods an expiry tombstone outlives its
+// session, bounding tombstone memory in long-lived daemons.
+const tombstoneTTLs = 8
+
+// NewManager builds a manager over cfg.Store and starts its TTL janitor
+// (when TTL > 0).
 func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	m := &Manager{cfg: cfg}
+	m := &Manager{cfg: cfg, store: cfg.Store, logf: cfg.Logf}
+	if m.store == nil {
+		m.store = store.NewMemory()
+	}
+	if m.logf == nil {
+		m.logf = func(string, ...any) {}
+	}
+	m.tombs = make(map[string]time.Time)
 	for i := range m.shards {
 		m.shards[i].sessions = make(map[string]*Session)
+		m.shards[i].loading = make(map[string]*loadOp)
 	}
 	if cfg.TTL > 0 {
 		m.janitorStop = make(chan struct{})
@@ -85,13 +145,37 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return m
 }
 
-// Close stops the janitor. Sessions remain readable (tests inspect them);
-// the process is expected to exit shortly after.
+// Store exposes the underlying session store (for tests and embedders).
+func (m *Manager) Store() store.SessionStore { return m.store }
+
+// Close stops the janitor, flushes every live session to a durable store
+// (merges are already durable — this captures final access times and done
+// latches), and closes the store. Sessions remain readable in memory
+// (tests inspect them); the process is expected to exit shortly after.
 func (m *Manager) Close() {
 	if m.janitorStop != nil {
 		close(m.janitorStop)
 		<-m.janitorDone
 		m.janitorStop = nil
+	}
+	if m.store.Durable() {
+		for i := range m.shards {
+			sh := &m.shards[i]
+			sh.mu.RLock()
+			resident := make([]*Session, 0, len(sh.sessions))
+			for _, s := range sh.sessions {
+				resident = append(resident, s)
+			}
+			sh.mu.RUnlock()
+			for _, s := range resident {
+				if err := s.flush(m.store); err != nil {
+					m.logf("session %s: final flush failed: %v", s.ID(), err)
+				}
+			}
+		}
+	}
+	if err := m.store.Close(); err != nil {
+		m.logf("closing store: %v", err)
 	}
 }
 
@@ -110,13 +194,19 @@ func (m *Manager) janitor(interval time.Duration) {
 }
 
 // Sweep evicts every session idle since before now-TTL and returns how
-// many were evicted. Exposed for tests and for deployments that prefer an
-// external eviction cadence.
+// many were evicted. Over a durable store eviction is an unload: the
+// session is flushed (final access time, done latch — its merges are
+// already durable) and drops out of memory, to be reloaded lazily on the
+// next touch. Over a volatile store it is a true expiry: the record is
+// deleted and a tombstone makes later requests fail with ErrExpired
+// instead of a generic not-found. Exposed for tests and for deployments
+// that prefer an external eviction cadence.
 func (m *Manager) Sweep(now time.Time) int {
 	if m.cfg.TTL <= 0 {
 		return 0
 	}
 	cutoff := now.Add(-m.cfg.TTL)
+	durable := m.store.Durable()
 	evicted := 0
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -133,11 +223,40 @@ func (m *Manager) Sweep(now time.Time) int {
 		if len(stale) == 0 {
 			continue
 		}
+		// The store side effect (flush or delete) MUST happen before the
+		// session leaves the map, under the shard write lock. Otherwise a
+		// lazy reload could slip into the gap, publish a second live
+		// instance, and acknowledge merges that the victim's stale flush
+		// would then truncate out of the log (or whose record the volatile
+		// delete would pull out from under it).
 		sh.mu.Lock()
 		for _, id := range stale {
 			s, ok := sh.sessions[id]
 			if !ok || !s.idleSince().Before(cutoff) {
 				continue
+			}
+			if durable {
+				// Flush and retire in one critical section: no merge can
+				// land on this instance after the snapshot it flushed, so
+				// a handler still holding the pointer is bounced to the
+				// manager (and the reloaded successor) instead of
+				// committing to an orphan.
+				if err := s.retireAndFlush(m.store); err != nil {
+					// The merges themselves are already in the op log;
+					// only the final access time is at risk.
+					m.logf("session %s: eviction flush failed: %v", id, err)
+				}
+			} else {
+				info := s.Info(now, false)
+				s.retire()
+				if _, err := m.store.Delete(id); err != nil {
+					m.logf("session %s: eviction delete failed: %v", id, err)
+				}
+				m.tombMu.Lock()
+				m.tombs[id] = now
+				m.tombMu.Unlock()
+				m.logf("session %s: expired after idle TTL %v (version %d, spent %d/%d)",
+					id, m.cfg.TTL, info.Version, info.Spent, info.Budget)
 			}
 			delete(sh.sessions, id)
 			evicted++
@@ -148,11 +267,38 @@ func (m *Manager) Sweep(now time.Time) int {
 		m.countMu.Lock()
 		m.count -= evicted
 		m.countMu.Unlock()
+		if durable {
+			m.logf("unloaded %d idle session(s) to the store", evicted)
+		}
 		if m.evicted != nil {
-			m.evicted(evicted)
+			m.evicted(evicted, !durable)
 		}
 	}
+	m.pruneTombs(now)
 	return evicted
+}
+
+// pruneTombs drops expiry tombstones older than tombstoneTTLs idle
+// lifetimes: after that horizon an expired session answers 404 like any
+// unknown ID, which bounds tombstone memory.
+func (m *Manager) pruneTombs(now time.Time) {
+	horizon := now.Add(-time.Duration(tombstoneTTLs) * m.cfg.TTL)
+	m.tombMu.Lock()
+	for id, t := range m.tombs {
+		if t.Before(horizon) {
+			delete(m.tombs, id)
+		}
+	}
+	m.tombMu.Unlock()
+}
+
+// wasExpired reports whether the janitor dropped this session from a
+// volatile store recently enough that its tombstone survives.
+func (m *Manager) wasExpired(id string) bool {
+	m.tombMu.Lock()
+	_, ok := m.tombs[id]
+	m.tombMu.Unlock()
+	return ok
 }
 
 // shardFor picks the stripe for an ID by FNV-1a of its bytes.
@@ -237,6 +383,27 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 	}
 
 	s := newSession(id, prior, selector, selName, req.Pc, req.K, req.Budget, m.cfg.now())
+	s.seed = seed
+	// The prior is stored exactly as the client sent it — raw weights, not
+	// the normalized posterior — so recovery rebuilds it through the same
+	// constructor with the same inputs and gets the same bits.
+	if req.Joint != nil {
+		s.priorRec = store.Prior{
+			N:      req.Joint.N,
+			Worlds: append([]uint64(nil), req.Joint.Worlds...),
+			Probs:  append([]float64(nil), req.Joint.Probs...),
+		}
+	} else {
+		s.priorRec = store.Prior{Marginals: append([]float64(nil), req.Marginals...)}
+	}
+	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
+
+	// The session must be durable before it is acknowledged: a created
+	// session that vanished in a crash would strand the client's ID.
+	if err := m.store.Put(s.record()); err != nil {
+		release()
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	sh.sessions[id] = s
@@ -244,33 +411,142 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 	return s, nil
 }
 
-// Get returns the session with the given ID.
+// Get returns the session with the given ID, reloading it from the store
+// when it is not resident (a restart or a TTL unload dropped it from
+// memory).
 func (m *Manager) Get(id string) (*Session, error) {
 	sh := m.shardFor(id)
 	sh.mu.RLock()
 	s, ok := sh.sessions[id]
 	sh.mu.RUnlock()
-	if !ok {
-		return nil, ErrNotFound
+	if ok {
+		return s, nil
+	}
+	return m.load(id, sh)
+}
+
+// load lazily restores a session from the store — the recovery path after
+// a daemon restart or TTL unload. Loads are single-flight per session:
+// concurrent Gets share one store read + replay, and a Delete racing the
+// load invalidates it (via loadOp.deleted) instead of letting a restored
+// instance outlive its just-removed record.
+func (m *Manager) load(id string, sh *shard) (*Session, error) {
+	sh.mu.Lock()
+	if s, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return s, nil
+	}
+	if op, ok := sh.loading[id]; ok {
+		sh.mu.Unlock()
+		<-op.done
+		if op.err != nil {
+			return nil, op.err
+		}
+		if op.s == nil {
+			return nil, ErrNotFound // deleted while loading
+		}
+		return op.s, nil
+	}
+	op := &loadOp{done: make(chan struct{})}
+	sh.loading[id] = op
+	sh.mu.Unlock()
+
+	s, release, err := m.loadFromStore(id)
+
+	sh.mu.Lock()
+	delete(sh.loading, id)
+	if err == nil && op.deleted {
+		err = ErrNotFound
+		s.retire()
+		release()
+		s = nil
+	}
+	if err == nil {
+		sh.sessions[id] = s
+		op.s = s
+	}
+	op.err = err
+	sh.mu.Unlock()
+	close(op.done)
+	if err != nil {
+		return nil, err
+	}
+	info := s.Info(m.cfg.now(), false)
+	m.logf("session %s: recovered from store (version %d, spent %d/%d)",
+		id, info.Version, info.Spent, info.Budget)
+	if m.recovered != nil {
+		m.recovered()
 	}
 	return s, nil
 }
 
-// Delete removes a session, reporting whether it existed.
+// loadFromStore reads and replays one record, reserving a live-session
+// slot. On success the caller owns the slot and must call release if it
+// discards the session instead of publishing it.
+func (m *Manager) loadFromStore(id string) (s *Session, release func(), err error) {
+	rec, err := m.store.Get(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotExist) || errors.Is(err, store.ErrBadID) {
+			if m.wasExpired(id) {
+				return nil, nil, ErrExpired
+			}
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+
+	// A reloaded session occupies the same memory as a created one, so it
+	// takes a slot under the same cap.
+	m.countMu.Lock()
+	if m.cfg.MaxSessions > 0 && m.count >= m.cfg.MaxSessions {
+		m.countMu.Unlock()
+		return nil, nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	m.count++
+	m.countMu.Unlock()
+	release = func() {
+		m.countMu.Lock()
+		m.count--
+		m.countMu.Unlock()
+	}
+
+	s, err = restoreSession(rec, m.cfg.now())
+	if err != nil {
+		release()
+		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
+	return s, release, nil
+}
+
+// Delete removes a session from memory and the store, reporting whether it
+// existed in either. The store delete runs under the shard lock so it
+// serializes with lazy loads: any load that could still observe the record
+// registered its loadOp before this lock and gets invalidated here — a
+// deleted session can never be resurrected by a racing reload.
 func (m *Manager) Delete(id string) bool {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.sessions[id]
+	s, ok := sh.sessions[id]
 	if ok {
 		delete(sh.sessions, id)
+		s.retire()
 	}
+	if op, loading := sh.loading[id]; loading {
+		op.deleted = true
+	}
+	stored, err := m.store.Delete(id)
 	sh.mu.Unlock()
 	if ok {
 		m.countMu.Lock()
 		m.count--
 		m.countMu.Unlock()
 	}
-	return ok
+	if err != nil && !errors.Is(err, store.ErrBadID) {
+		m.logf("session %s: store delete failed: %v", id, err)
+	}
+	// A session unloaded by the janitor exists only in the store.
+	return ok || stored
 }
 
 // Len returns the number of live sessions — the sessions_live gauge.

@@ -131,8 +131,14 @@ func TestManagerTTLEviction(t *testing.T) {
 	if n := m.Sweep(clk.now()); n != 1 {
 		t.Fatalf("Sweep evicted %d, want 1", n)
 	}
-	if _, err := m.Get(idle.ID()); !errors.Is(err, ErrNotFound) {
+	// Over the default volatile store, eviction is expiry: the distinct
+	// ErrExpired (not a generic not-found) tells clients their state is
+	// gone for good.
+	if _, err := m.Get(idle.ID()); !errors.Is(err, ErrExpired) {
 		t.Fatalf("idle session survived: %v", err)
+	}
+	if _, err := m.Get("0123456789abcdef0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id after eviction = %v, want ErrNotFound", err)
 	}
 	if _, err := m.Get(busy.ID()); err != nil {
 		t.Fatalf("busy session evicted: %v", err)

@@ -1,12 +1,15 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crowdfusion/internal/store"
 )
 
 // latencyWindow is how many recent observations each latency tracker keeps
@@ -65,14 +68,22 @@ func (l *latencyTracker) quantiles() (total int64, p50, p99 time.Duration) {
 // safe for concurrent update; the /metrics endpoint renders a snapshot in
 // Prometheus text exposition format.
 type Metrics struct {
-	SessionsCreated  atomic.Int64
-	SessionsEvicted  atomic.Int64
-	SessionsDeleted  atomic.Int64
-	SelectsServed    atomic.Int64
-	SelectCacheHits  atomic.Int64
-	MergesApplied    atomic.Int64
-	MergeReplays     atomic.Int64
-	RequestsRejected atomic.Int64 // backpressure 503s
+	SessionsCreated   atomic.Int64
+	SessionsEvicted   atomic.Int64 // TTL drops from a volatile store (state lost)
+	SessionsUnloaded  atomic.Int64 // TTL flushes to a durable store (state kept)
+	SessionsRecovered atomic.Int64 // lazy reloads from the store
+	SessionsDeleted   atomic.Int64
+	SelectsServed     atomic.Int64
+	SelectCacheHits   atomic.Int64
+	MergesApplied     atomic.Int64
+	MergeReplays      atomic.Int64
+	RequestsRejected  atomic.Int64 // backpressure 503s
+
+	// Store traffic, counted by the instrumented store wrapper.
+	StorePuts    atomic.Int64
+	StoreAppends atomic.Int64
+	StoreDeletes atomic.Int64
+	StoreErrors  atomic.Int64
 
 	SelectLatency latencyTracker
 	MergeLatency  latencyTracker
@@ -87,10 +98,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
 	gauge := func(name, help string, v float64) string {
 		return fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
-	out := gauge("crowdfusion_sessions_live", "Sessions currently resident in the store.", float64(sessionsLive)) +
+	out := gauge("crowdfusion_sessions_live", "Sessions currently resident in memory.", float64(sessionsLive)) +
 		counter("crowdfusion_sessions_created_total", "Sessions ever created.", m.SessionsCreated.Load()) +
-		counter("crowdfusion_sessions_evicted_total", "Sessions evicted by TTL.", m.SessionsEvicted.Load()) +
+		counter("crowdfusion_sessions_evicted_total", "Sessions dropped by TTL from a volatile store (state lost).", m.SessionsEvicted.Load()) +
+		counter("crowdfusion_sessions_unloaded_total", "Sessions flushed to a durable store by TTL (state kept).", m.SessionsUnloaded.Load()) +
+		counter("crowdfusion_sessions_recovered_total", "Sessions lazily reloaded from the store after a restart or unload.", m.SessionsRecovered.Load()) +
 		counter("crowdfusion_sessions_deleted_total", "Sessions deleted by clients.", m.SessionsDeleted.Load()) +
+		counter("crowdfusion_store_puts_total", "Session snapshots written to the store.", m.StorePuts.Load()) +
+		counter("crowdfusion_store_appends_total", "Ops appended to session logs.", m.StoreAppends.Load()) +
+		counter("crowdfusion_store_deletes_total", "Session records deleted from the store.", m.StoreDeletes.Load()) +
+		counter("crowdfusion_store_errors_total", "Session store operations that failed.", m.StoreErrors.Load()) +
 		counter("crowdfusion_selects_served_total", "Select batches served (including cache hits).", m.SelectsServed.Load()) +
 		counter("crowdfusion_select_cache_hits_total", "Selects served from the posterior-version cache.", m.SelectCacheHits.Load()) +
 		counter("crowdfusion_merges_applied_total", "Answer sets merged into posteriors.", m.MergesApplied.Load()) +
@@ -113,3 +130,48 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
 	_, err := io.WriteString(w, out)
 	return err
 }
+
+// instrumentedStore decorates a SessionStore with the service's store-op
+// counters, so the manager and sessions stay metrics-free.
+type instrumentedStore struct {
+	inner store.SessionStore
+	m     *Metrics
+}
+
+func (s instrumentedStore) count(c *atomic.Int64, err error) error {
+	c.Add(1)
+	if err != nil {
+		s.m.StoreErrors.Add(1)
+	}
+	return err
+}
+
+func (s instrumentedStore) Durable() bool { return s.inner.Durable() }
+
+func (s instrumentedStore) Put(rec *store.Record) error {
+	return s.count(&s.m.StorePuts, s.inner.Put(rec))
+}
+
+func (s instrumentedStore) Append(id string, op store.Op) error {
+	return s.count(&s.m.StoreAppends, s.inner.Append(id, op))
+}
+
+func (s instrumentedStore) Get(id string) (*store.Record, error) {
+	rec, err := s.inner.Get(id)
+	// Get misses are routine (unknown IDs probe the store); only count
+	// real failures.
+	if err != nil && !errors.Is(err, store.ErrNotExist) && !errors.Is(err, store.ErrBadID) {
+		s.m.StoreErrors.Add(1)
+	}
+	return rec, err
+}
+
+func (s instrumentedStore) Delete(id string) (bool, error) {
+	ok, err := s.inner.Delete(id)
+	_ = s.count(&s.m.StoreDeletes, err)
+	return ok, err
+}
+
+func (s instrumentedStore) List() ([]string, error) { return s.inner.List() }
+
+func (s instrumentedStore) Close() error { return s.inner.Close() }

@@ -11,6 +11,7 @@ import (
 
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/parallel"
+	"crowdfusion/internal/store"
 )
 
 // Config tunes the HTTP service.
@@ -34,6 +35,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Seed seeds Random selectors (sessions derive per-session streams).
 	Seed int64
+	// Store persists sessions across restarts. Nil means a fresh volatile
+	// store (PR 3's in-memory-only behavior). The server takes ownership
+	// and closes it on Close.
+	Store store.SessionStore
+	// Logf receives operational log lines (evictions, recoveries, store
+	// failures). Nil discards them.
+	Logf func(format string, args ...any)
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -94,13 +102,26 @@ func NewServer(cfg Config) *Server {
 		metrics: &Metrics{},
 		gate:    make(chan struct{}, cfg.MaxConcurrent),
 	}
+	sessionStore := cfg.Store
+	if sessionStore == nil {
+		sessionStore = store.NewMemory()
+	}
 	s.mgr = NewManager(ManagerConfig{
 		TTL:         cfg.TTL,
 		MaxSessions: cfg.MaxSessions,
 		Seed:        cfg.Seed,
+		Store:       instrumentedStore{inner: sessionStore, m: s.metrics},
+		Logf:        cfg.Logf,
 		now:         cfg.now,
 	})
-	s.mgr.evicted = func(n int) { s.metrics.SessionsEvicted.Add(int64(n)) }
+	s.mgr.evicted = func(n int, dropped bool) {
+		if dropped {
+			s.metrics.SessionsEvicted.Add(int64(n))
+		} else {
+			s.metrics.SessionsUnloaded.Add(int64(n))
+		}
+	}
+	s.mgr.recovered = func() { s.metrics.SessionsRecovered.Add(1) }
 	return s
 }
 
@@ -168,22 +189,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
 }
 
-// writeError maps service errors to HTTP statuses inside the uniform
-// envelope.
+// writeError maps service errors to HTTP statuses and machine-readable
+// codes inside the uniform envelope.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	code := ""
 	switch {
 	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrVersionConflict), errors.Is(err, ErrBudgetExhausted):
-		status = http.StatusConflict
+		status, code = http.StatusNotFound, CodeNotFound
+	case errors.Is(err, ErrExpired):
+		// 410 Gone, not 404: the ID was real, its state aged out. Clients
+		// distinguish "retry with the right ID" from "start a new session".
+		status, code = http.StatusGone, CodeExpired
+	case errors.Is(err, ErrVersionConflict):
+		status, code = http.StatusConflict, CodeVersionConflict
+	case errors.Is(err, ErrBudgetExhausted):
+		status, code = http.StatusConflict, CodeBudgetExhausted
 	case errors.Is(err, ErrTooManySessions):
+		status, code = http.StatusServiceUnavailable, CodeTooManySessions
+	case errors.Is(err, ErrStore):
+		status, code = http.StatusInternalServerError, CodeStoreFailure
+	case errors.Is(err, errSessionRetired):
+		// Only reachable when the session retires twice in a row (the
+		// handler already re-resolved once): retryable.
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrTooManyTasks), errors.Is(err, core.ErrBadAccuracy),
 		errors.Is(err, core.ErrNoTasks):
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
 
 // decodeJSON strictly decodes a request body into v.
@@ -318,6 +352,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	resp, cached, err := sess.Select(s.mgr.Now(), req.K)
+	if errors.Is(err, errSessionRetired) {
+		// The instance was unloaded/evicted between Get and Select;
+		// re-resolve once (reloading from the store if durable).
+		if sess, err = s.mgr.Get(r.PathValue("id")); err == nil {
+			resp, cached, err = sess.Select(s.mgr.Now(), req.K)
+		}
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -353,6 +394,15 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	resp, err := sess.Merge(s.mgr.Now(), &req)
+	if errors.Is(err, errSessionRetired) {
+		// The instance was unloaded/evicted between Get and Merge;
+		// re-resolve once. The reloaded instance has the full durable
+		// history, so idempotency and version checks behave as if the
+		// eviction never happened.
+		if sess, err = s.mgr.Get(r.PathValue("id")); err == nil {
+			resp, err = sess.Merge(s.mgr.Now(), &req)
+		}
+	}
 	if err != nil {
 		writeError(w, err)
 		return

@@ -10,6 +10,8 @@ import (
 
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/dist"
+	"crowdfusion/internal/eval"
+	"crowdfusion/internal/store"
 )
 
 // State machine errors, mapped to HTTP statuses by the server layer.
@@ -21,7 +23,18 @@ var (
 	// ErrBudgetExhausted is returned when a merge would spend more tasks
 	// than the session budget has left.
 	ErrBudgetExhausted = errors.New("service: session budget exhausted")
+	// ErrStore is returned when the session store fails: the merge was NOT
+	// applied (persistence happens before the in-memory commit, so a
+	// client seeing this error can safely retry).
+	ErrStore = errors.New("service: session store failure")
 )
+
+// errSessionRetired reports that this Session instance was evicted,
+// unloaded, or deleted after the caller obtained its pointer. Handlers
+// catch it and re-resolve the ID through the manager (one retry); it never
+// reaches the wire unless the session retires twice in a row, where it
+// maps to a retryable 503.
+var errSessionRetired = errors.New("service: session instance retired; re-resolve")
 
 // Session is one refinement loop: a posterior distribution refined round by
 // round through the select → await → merge state machine.
@@ -61,6 +74,26 @@ type Session struct {
 	// lastAccess is the eviction clock, guarded by mu (updated by every
 	// operation through touch).
 	lastAccess time.Time
+
+	// retired marks this instance as no longer the session's live one:
+	// the manager evicted, unloaded, or deleted it while some handler
+	// still held the pointer. Mutating operations refuse with
+	// errSessionRetired so the handler re-resolves the ID through the
+	// manager — otherwise an orphan instance could commit (and persist!)
+	// a merge invisible to the successor instance the map now serves.
+	retired bool
+
+	// Persistence. priorRec is the prior exactly as the client sent it
+	// (raw, pre-normalization), seed the selector seed, created the
+	// creation time — together with the rounds trace they are the
+	// session's full durable record. persist, when set, is called with
+	// each state transition BEFORE it is committed in memory: a merge is
+	// acknowledged only after the store has fsynced it. It is nil for
+	// sessions that are not manager-owned (tests, replay).
+	priorRec store.Prior
+	seed     int64
+	created  time.Time
+	persist  func(op store.Op) error
 }
 
 // newSession builds a session; the caller (Manager.Create) has validated
@@ -76,6 +109,7 @@ func newSession(id string, prior *dist.Joint, selector core.Selector, selName st
 		posterior:  prior,
 		merges:     make(map[uint64]*AnswersResponse),
 		lastAccess: now,
+		created:    now,
 	}
 }
 
@@ -139,6 +173,9 @@ func (s *Session) Info(now time.Time, withRounds bool) SessionInfo {
 func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.retired {
+		return nil, false, errSessionRetired
+	}
 	s.touch(now)
 
 	k := s.k
@@ -170,6 +207,13 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 		// later selects and Info report completion without re-sweeping.
 		s.done = true
 		resp.Done = true
+		if s.persist != nil {
+			// Best-effort: the latch is derived state — a restarted
+			// daemon re-derives it with one re-sweep — so a store
+			// hiccup must not fail the read. The persist hook records
+			// the failure in the store metrics.
+			_ = s.persist(store.Op{Kind: store.OpDone, Version: s.version, Time: now})
+		}
 	} else {
 		h, err := core.TaskEntropy(s.posterior, tasks, s.pc)
 		if err != nil {
@@ -227,6 +271,9 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.retired {
+		return nil, errSessionRetired
+	}
 	s.touch(now)
 
 	if req.Version != nil {
@@ -274,6 +321,22 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 	}
 
 	mergedAt := s.version
+	// Persist-then-commit: the op is durable (fsynced, for durable stores)
+	// before any in-memory state changes, so an acknowledged merge can
+	// never be lost — and a failed persist leaves the session exactly as
+	// it was, safe for the client to retry.
+	if s.persist != nil {
+		op := store.Op{
+			Kind:    store.OpMerge,
+			Version: mergedAt,
+			Tasks:   append([]int(nil), req.Tasks...),
+			Answers: append([]bool(nil), req.Answers...),
+			Time:    now,
+		}
+		if err := s.persist(op); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
 	s.posterior = updated
 	s.version++
 	s.spent += len(req.Tasks)
@@ -299,4 +362,127 @@ func (s *Session) Posterior() *dist.Joint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.posterior
+}
+
+// record snapshots the session's full durable state: creation parameters
+// plus the applied merge history (the rounds trace IS the op log). The
+// posterior itself is deliberately not serialized — recovery replays the
+// ops through the same conditioning arithmetic, which is what makes a
+// restored posterior bit-identical rather than merely close.
+func (s *Session) record() *store.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordLocked()
+}
+
+// recordLocked is record for callers already holding mu.
+func (s *Session) recordLocked() *store.Record {
+	rec := &store.Record{
+		ID:         s.id,
+		Selector:   s.selName,
+		Pc:         s.pc,
+		K:          s.k,
+		Budget:     s.budget,
+		Seed:       s.seed,
+		Prior:      s.priorRec,
+		Created:    s.created,
+		LastAccess: s.lastAccess,
+		Done:       s.done,
+	}
+	rec.Ops = make([]store.Op, len(s.rounds))
+	for i, r := range s.rounds {
+		rec.Ops[i] = store.Op{
+			Kind:    store.OpMerge,
+			Version: r.Round - 1, // Round is 1-based; the op version is the pre-merge version
+			Tasks:   append([]int(nil), r.Tasks...),
+			Answers: append([]bool(nil), r.Answers...),
+		}
+	}
+	return rec
+}
+
+// flush writes the session's full record to the store while HOLDING the
+// session mutex. The mutex matters: store.Put truncates the session's op
+// log, so a concurrent Merge (which appends to that log before committing)
+// slipping between the record snapshot and the Put could have its
+// acknowledged, fsynced op wiped. Serializing flush against the state
+// machine makes that interleaving impossible.
+func (s *Session) flush(st store.SessionStore) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.Put(s.recordLocked())
+}
+
+// retire marks this instance dead for mutations (see the retired field).
+func (s *Session) retire() {
+	s.mu.Lock()
+	s.retired = true
+	s.mu.Unlock()
+}
+
+// retireAndFlush atomically flushes the record and retires the instance:
+// no merge can land on this instance after the flushed snapshot, so the
+// snapshot plus the store's log is always the session's complete history.
+// The instance is retired even when the flush fails — it is leaving the
+// manager's map either way, and its merges are already in the op log.
+func (s *Session) retireAndFlush(st store.SessionStore) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := st.Put(s.recordLocked())
+	s.retired = true
+	return err
+}
+
+// restoreSession rebuilds a live session from its durable record by
+// replaying every merge against the reconstructed prior. Both steps run
+// the exact code paths that produced the original state — dist.Independent
+// or dist.New for the prior, Session.Merge for each op — so the recovered
+// posterior, version, budget accounting, rounds trace, and idempotency log
+// match the pre-crash session bit for bit. Random selectors are re-seeded
+// from the recorded seed; their stream position within the session is not
+// recovered (selection is a fresh draw after restart, which is sound: no
+// batch was outstanding durably).
+func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
+	var prior *dist.Joint
+	var err error
+	switch {
+	case len(rec.Prior.Marginals) > 0:
+		prior, err = dist.Independent(rec.Prior.Marginals)
+	case len(rec.Prior.Worlds) > 0:
+		ws := make([]dist.World, len(rec.Prior.Worlds))
+		for i, w := range rec.Prior.Worlds {
+			ws[i] = dist.World(w)
+		}
+		prior, err = dist.New(rec.Prior.N, ws, rec.Prior.Probs)
+	default:
+		err = fmt.Errorf("record has no prior")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: restoring session %s: %w", rec.ID, err)
+	}
+	selector, err := eval.NewSelector(eval.SelectorKind(rec.Selector), rec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("service: restoring session %s: %w", rec.ID, err)
+	}
+	// newSession stamps lastAccess = now deliberately: loading IS an
+	// access, so the TTL clock restarts rather than resuming from the
+	// recorded LastAccess (which would evict a just-recovered session on
+	// its next sweep). The persisted LastAccess exists for operators
+	// inspecting records on disk, not for the live eviction clock.
+	s := newSession(rec.ID, prior, selector, rec.Selector, rec.Pc, rec.K, rec.Budget, now)
+	s.priorRec = rec.Prior
+	s.seed = rec.Seed
+	s.created = rec.Created
+	// persist stays nil during replay: the ops are already durable.
+	for _, op := range rec.Ops {
+		v := op.Version
+		req := &AnswersRequest{Tasks: op.Tasks, Answers: op.Answers, Version: &v}
+		if _, err := s.Merge(now, req); err != nil {
+			return nil, fmt.Errorf("service: restoring session %s: replaying op %d: %w", rec.ID, v, err)
+		}
+	}
+	s.mu.Lock()
+	s.done = rec.Done
+	s.mu.Unlock()
+	return s, nil
 }

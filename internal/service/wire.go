@@ -14,10 +14,17 @@
 //   - session.go: the per-session serialized state machine
 //     (select → await → merge) with selection caching and idempotent
 //     merges;
-//   - manager.go: a sharded, mutex-striped in-memory session store with
-//     TTL eviction;
+//   - manager.go: a sharded, mutex-striped cache of live sessions over a
+//     pluggable store.SessionStore, with TTL eviction (flush-and-unload on
+//     durable stores, expiry on volatile ones) and lazy recovery;
 //   - server.go / metrics.go: the HTTP layer — routing, backpressure,
 //     request timeouts, /healthz, /metrics, graceful drain.
+//
+// Durability: every merge is persisted through the session store before it
+// is acknowledged (fsynced, when the store is durable), so a SIGKILL never
+// loses an acknowledged answer set; on restart the manager replays the
+// stored op log through the same conditioning arithmetic and recovers each
+// session bit-identically.
 package service
 
 import (
@@ -238,7 +245,21 @@ type AnswersResponse struct {
 	Merged bool `json:"merged"`
 }
 
+// Machine-readable error codes carried by ErrorResponse.Code, for clients
+// that branch on failure kind without parsing messages. Absent (empty) for
+// generic validation errors.
+const (
+	CodeNotFound        = "not_found"
+	CodeExpired         = "expired" // the TTL janitor dropped the session from a volatile store
+	CodeVersionConflict = "version_conflict"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeTooManySessions = "too_many_sessions"
+	CodeStoreFailure    = "store_failure"
+)
+
 // ErrorResponse is the uniform error envelope of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code, when set, names the failure class (see the Code constants).
+	Code string `json:"code,omitempty"`
 }

@@ -1,0 +1,295 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// reopen simulates a process restart: a fresh *File over the same
+// directory, with none of the in-memory bookkeeping.
+func reopen(t *testing.T, dir string, compactEvery int) *File {
+	t.Helper()
+	fs, err := NewFile(dir, compactEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFileSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 0)
+	rec := testRecord("sess-reopen")
+	if err := fs.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	op := Op{Kind: OpMerge, Version: 2, Tasks: []int{0}, Answers: []bool{true},
+		Time: time.Unix(5000, 0).UTC()}
+	if err := fs.Append(rec.ID, op); err != nil {
+		t.Fatal(err)
+	}
+
+	// No Close, no flush: everything acknowledged must already be on disk.
+	got, err := reopen(t, dir, 0).Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Clone()
+	want.Ops = append(want.Ops, op)
+	want.LastAccess = op.Time
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen lost state:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFileCorruptTailRecovers is the acceptance edge case: a log whose tail
+// is garbage (torn write, disk scribble) must recover to the last good
+// record, and the bad tail must be truncated so later appends extend valid
+// state.
+func TestFileCorruptTailRecovers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"garbage line", "{{{ not json\n"},
+		{"torn line", `{"op":"merge","version":2,"tasks":[1],"an`}, // no newline
+		{"version gap", `{"op":"merge","version":7,"tasks":[1],"answers":[true]}` + "\n"},
+		{"unknown kind", `{"op":"select","version":2}` + "\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := reopen(t, dir, 0)
+			rec := testRecord("sess-tail")
+			rec.Ops = nil
+			if err := fs.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+			good := []Op{
+				{Kind: OpMerge, Version: 0, Tasks: []int{0}, Answers: []bool{true}},
+				{Kind: OpMerge, Version: 1, Tasks: []int{2}, Answers: []bool{false}},
+			}
+			for _, op := range good {
+				if err := fs.Append(rec.ID, op); err != nil {
+					t.Fatal(err)
+				}
+			}
+			logPath := filepath.Join(dir, rec.ID+".log")
+			f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			fs2 := reopen(t, dir, 0)
+			got, err := fs2.Get(rec.ID)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			if len(got.Ops) != len(good) {
+				t.Fatalf("recovered %d ops, want %d", len(got.Ops), len(good))
+			}
+			for i, op := range good {
+				if got.Ops[i].Version != op.Version || !reflect.DeepEqual(got.Ops[i].Tasks, op.Tasks) {
+					t.Fatalf("op %d corrupted: %+v", i, got.Ops[i])
+				}
+			}
+			// The tail was repaired: the next append lands cleanly and a
+			// fresh reopen sees it.
+			next := Op{Kind: OpMerge, Version: 2, Tasks: []int{1}, Answers: []bool{true}}
+			if err := fs2.Append(rec.ID, next); err != nil {
+				t.Fatal(err)
+			}
+			got, err = reopen(t, dir, 0).Get(rec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Ops) != 3 || got.Ops[2].Version != 2 {
+				t.Fatalf("append after repair lost: %+v", got.Ops)
+			}
+		})
+	}
+}
+
+func TestFileCompactionFoldsLog(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 3)
+	rec := testRecord("sess-compact")
+	rec.Ops = nil
+	if err := fs.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 7; v++ {
+		if err := fs.Append(rec.ID, Op{Kind: OpMerge, Version: v, Tasks: []int{v % 3}, Answers: []bool{true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 7 appends with compactEvery=3: two compactions happened, one op in
+	// the live log.
+	logData, err := os.ReadFile(filepath.Join(dir, rec.ID+".log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Record
+	snapData, err := os.ReadFile(filepath.Join(dir, rec.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(snapData, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Ops) != 6 {
+		t.Fatalf("snapshot holds %d ops after compaction, want 6", len(snap.Ops))
+	}
+	if n := len(splitLines(logData)); n != 1 {
+		t.Fatalf("log holds %d ops after compaction, want 1", n)
+	}
+	got, err := reopen(t, dir, 3).Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 7 {
+		t.Fatalf("compaction lost ops: %d, want 7", len(got.Ops))
+	}
+}
+
+// TestFileCrashedCompactionHeals covers the crash window between writing
+// the compacted snapshot and truncating the log: the stale log ops carry
+// versions the snapshot already holds and must fold as no-ops.
+func TestFileCrashedCompactionHeals(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 0)
+	rec := testRecord("sess-crashed")
+	if err := fs.Put(rec); err != nil { // snapshot with ops 0 and 1 folded
+		t.Fatal(err)
+	}
+	// Hand-write the log a crashed compaction would leave behind: ops 0-2,
+	// of which 0 and 1 are already in the snapshot.
+	var log []byte
+	for _, op := range []Op{
+		{Kind: OpMerge, Version: 0, Tasks: []int{0, 1}, Answers: []bool{true, false}},
+		{Kind: OpMerge, Version: 1, Tasks: []int{2}, Answers: []bool{true}},
+		{Kind: OpMerge, Version: 2, Tasks: []int{1}, Answers: []bool{true}},
+	} {
+		line, err := json.Marshal(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log = append(log, line...)
+		log = append(log, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, rec.ID+".log"), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopen(t, dir, 0).Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 3 {
+		t.Fatalf("healed record has %d ops, want 3", len(got.Ops))
+	}
+	for v, op := range got.Ops {
+		if op.Version != v {
+			t.Fatalf("op %d has version %d after healing", v, op.Version)
+		}
+	}
+}
+
+func TestFileListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 0)
+	if err := fs.Put(testRecord("sess-listed")); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover temp file from a crashed snapshot write, a log, and noise.
+	for _, name := range []string{"sess-x.json.tmp", "sess-listed.log", "README"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "sess-listed" {
+		t.Fatalf("List = %v, want [sess-listed]", ids)
+	}
+}
+
+func TestFileLockExcludesSecondStore(t *testing.T) {
+	dir := t.TempDir()
+	fs1 := reopen(t, dir, 0)
+	if err := fs1.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same dir (separate file description, as a
+	// second process would have) must be refused while fs1 holds the lock.
+	fs2 := reopen(t, dir, 0)
+	if err := fs2.Lock(); err == nil {
+		t.Fatal("second store acquired the data-dir lock")
+	}
+	if err := fs1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Lock(); err != nil {
+		t.Fatalf("lock not released by Close: %v", err)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lock is idempotent on a held store.
+	fs3 := reopen(t, dir, 0)
+	if err := fs3.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs3.Lock(); err != nil {
+		t.Fatalf("re-Lock on the holder failed: %v", err)
+	}
+	fs3.Close()
+	// The LOCK file is store bookkeeping, not a session.
+	ids, err := fs3.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("List sees lock file: %v", ids)
+	}
+}
+
+func TestFileCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 0)
+	if err := os.WriteFile(filepath.Join(dir, "sess-bad.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("sess-bad"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot Get = %v, want ErrCorrupt", err)
+	}
+}
+
+// splitLines counts complete newline-terminated lines.
+func splitLines(b []byte) [][]byte {
+	var lines [][]byte
+	for len(b) > 0 {
+		i := -1
+		for j, c := range b {
+			if c == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			break
+		}
+		lines = append(lines, b[:i])
+		b = b[i+1:]
+	}
+	return lines
+}

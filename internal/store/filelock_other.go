@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// Lock is a no-op where flock is unavailable: single-writer discipline is
+// the operator's responsibility on non-unix platforms.
+func (s *File) Lock() error { return nil }
+
+func (s *File) unlock() error { return nil }

@@ -1,0 +1,50 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Lock takes an exclusive advisory flock on <dir>/LOCK, failing fast if
+// another process holds it. Two daemons pointed at one -data-dir would
+// otherwise interleave writers with independent version bookkeeping and
+// truncate each other's fsynced appends as "corrupt tails" — the exact
+// data loss the store exists to prevent. The kernel releases the lock when
+// the process dies (SIGKILL included), so crash-restart needs no cleanup.
+//
+// Locking is opt-in (the daemon calls it; tests that simulate crashes by
+// opening a second store in the same process do not, since flock conflicts
+// are per file description, not per process).
+func (s *File) Lock() error {
+	if s.lockFile != nil {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("store: data dir %s is in use by another process: %w", s.dir, err)
+	}
+	s.lockFile = f
+	return nil
+}
+
+// unlock releases the advisory lock (called from Close).
+func (s *File) unlock() error {
+	if s.lockFile == nil {
+		return nil
+	}
+	f := s.lockFile
+	s.lockFile = nil
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		f.Close()
+		return fmt.Errorf("store: releasing lock file: %w", err)
+	}
+	return f.Close()
+}

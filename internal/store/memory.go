@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the volatile SessionStore: records live in a map and vanish
+// with the process. It exists so the service always runs behind the same
+// store interface — and so the conformance suite can hold both
+// implementations to one contract.
+//
+// The records it holds are never reloaded in practice (volatile eviction
+// deletes them first and a restart empties the map); keeping them anyway
+// is a deliberate trade-off — one persistence code path, identically
+// exercised whichever store is configured — paid for with a record clone
+// per create and an op clone per merge, both small next to the posterior
+// conditioning a merge already performs.
+type Memory struct {
+	mu   sync.RWMutex
+	recs map[string]*Record
+}
+
+// NewMemory builds an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{recs: make(map[string]*Record)}
+}
+
+// Durable reports false: a restart loses everything.
+func (s *Memory) Durable() bool { return false }
+
+// Put stores a deep copy of the record, replacing any previous state.
+func (s *Memory) Put(rec *Record) error {
+	if err := checkID(rec.ID); err != nil {
+		return err
+	}
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[rec.ID] = rec.Clone()
+	return nil
+}
+
+// Append folds one op into the stored record. Ops are folded eagerly —
+// there is no separate log to compact in memory. Like the file store,
+// appends must extend the record in strict version order: a stale version
+// means a divergent second writer, not a retry (retries are deduplicated
+// in memory before they reach the store).
+func (s *Memory) Append(id string, op Op) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, id)
+	}
+	if op.Version != len(rec.Ops) || !rec.fold(op) {
+		return fmt.Errorf("%w: op %q version %d does not extend %d applied ops",
+			ErrCorrupt, op.Kind, op.Version, len(rec.Ops))
+	}
+	return nil
+}
+
+// Get returns a deep copy of the record.
+func (s *Memory) Get(id string) (*Record, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, id)
+	}
+	return rec.Clone(), nil
+}
+
+// Delete removes the record.
+func (s *Memory) Delete(id string) (bool, error) {
+	if err := checkID(id); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.recs[id]
+	delete(s.recs, id)
+	return ok, nil
+}
+
+// List returns every stored ID.
+func (s *Memory) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Close is a no-op.
+func (s *Memory) Close() error { return nil }

@@ -1,0 +1,234 @@
+// Package store persists refinement sessions for the crowdfusiond service.
+//
+// The refinement loop is stateful by construction: every crowd answer
+// conditions the joint posterior, so losing a session mid-refinement throws
+// away paid crowd budget. This package makes sessions durable behind one
+// small interface, SessionStore, with two implementations:
+//
+//   - Memory: the in-process store — fast, conformant, gone on restart;
+//   - File: a pure-stdlib durable store — one snapshot file plus one
+//     append-only op log per session, fsynced before a merge is
+//     acknowledged, with automatic log compaction back into the snapshot.
+//
+// A session is persisted as its Record: the creation parameters (the prior
+// in its raw wire shape, selector, pc, k, budget, seed) plus the ordered
+// log of applied merge Ops. The service layer reconstructs the live session
+// by replaying the ops through the same deterministic conditioning path
+// that produced the original posterior, which is what makes recovery
+// bit-identical: the posterior after a restart is not deserialized, it is
+// recomputed by exactly the arithmetic that built it the first time.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Store errors.
+var (
+	// ErrNotExist is returned by Get and Append for an ID with no record.
+	ErrNotExist = errors.New("store: session record does not exist")
+	// ErrBadID is returned for session IDs unsafe to use as file names.
+	ErrBadID = errors.New("store: invalid session id")
+	// ErrCorrupt is returned when a snapshot cannot be decoded or an op
+	// sequence has a version gap that replay cannot bridge. A corrupt log
+	// *tail* is not an error — Load recovers to the last good record.
+	ErrCorrupt = errors.New("store: corrupt session record")
+)
+
+// Op kinds. The op log records state transitions, not reads: merges (the
+// only transition that changes the posterior) and the done latch (a select
+// that proved no remaining task nets positive utility).
+const (
+	// OpMerge is one applied answer set: the session's posterior at
+	// Version was conditioned on (Tasks, Answers).
+	OpMerge = "merge"
+	// OpDone latches session completion at Version. It carries no tasks.
+	OpDone = "done"
+)
+
+// Op is one logged state transition. Merge ops are ordered by Version: the
+// op with Version v is the v'th merge applied to the session, so a
+// replayed record's ops always read 0, 1, 2, … — which is also what lets a
+// crashed compaction be healed by skipping already-folded versions.
+type Op struct {
+	Kind    string `json:"op"`
+	Version int    `json:"version"`
+	Tasks   []int  `json:"tasks,omitempty"`
+	Answers []bool `json:"answers,omitempty"`
+	// Time advances the record's LastAccess on load; it never affects
+	// replay arithmetic.
+	Time time.Time `json:"time,omitzero"`
+}
+
+// Prior is the session's initial distribution exactly as the client sent
+// it: either per-fact marginals or an explicit sparse joint in the wire
+// shape (n, worlds, probs). The raw form is stored — not the normalized
+// posterior — so rebuilding it passes through the same constructor with the
+// same inputs and yields the same bits.
+type Prior struct {
+	Marginals []float64 `json:"marginals,omitempty"`
+	N         int       `json:"n,omitempty"`
+	Worlds    []uint64  `json:"worlds,omitempty"`
+	Probs     []float64 `json:"probs,omitempty"`
+}
+
+// Record is the durable form of one session: creation parameters plus the
+// compacted op history. Ops holds merge ops only, in version order; the
+// done latch is folded into the Done flag.
+type Record struct {
+	ID       string  `json:"id"`
+	Selector string  `json:"selector"`
+	Pc       float64 `json:"pc"`
+	K        int     `json:"k"`
+	Budget   int     `json:"budget"`
+	Seed     int64   `json:"seed"`
+	Prior    Prior   `json:"prior"`
+
+	Created time.Time `json:"created"`
+	// LastAccess is the freshness of the record on disk (advanced by op
+	// times on load). It is operator-facing: the service restarts a
+	// recovered session's TTL clock at load time rather than resuming
+	// from this value.
+	LastAccess time.Time `json:"last_access"`
+
+	Done bool `json:"done,omitempty"`
+	Ops  []Op `json:"ops,omitempty"`
+}
+
+// SessionStore persists session records. Implementations must be safe for
+// concurrent use across sessions; per-session write ordering (op versions
+// arriving in sequence) is the caller's responsibility — the service layer
+// already serializes each session behind its mutex.
+type SessionStore interface {
+	// Durable reports whether records survive a process restart. The
+	// session manager uses it to pick TTL-eviction semantics: durable
+	// stores flush-and-unload (the session reloads lazily on next touch),
+	// volatile stores drop (the session is expired for good).
+	Durable() bool
+	// Put writes a full snapshot of the record, replacing any previous
+	// snapshot and discarding the session's op log — Put is also the
+	// compaction primitive. The record is copied; the caller keeps
+	// ownership.
+	Put(rec *Record) error
+	// Append durably logs one op for an existing record. For durable
+	// stores the op is synced to stable storage before Append returns:
+	// once a merge is acknowledged it survives SIGKILL. Ops must extend
+	// the record in strict version order — a stale or gapped version is
+	// rejected with ErrCorrupt (retries are the caller's to deduplicate;
+	// a stale append signals a divergent second writer).
+	Append(id string, op Op) error
+	// Get returns the record with all logged ops folded in, or
+	// ErrNotExist. The result is a private copy.
+	Get(id string) (*Record, error)
+	// Delete removes the record and its log, reporting whether it existed.
+	Delete(id string) (bool, error)
+	// List returns the IDs of every stored record, in no particular order.
+	List() ([]string, error)
+	// Close releases store resources. The store is unusable afterwards.
+	Close() error
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	c := *r
+	c.Prior.Marginals = append([]float64(nil), r.Prior.Marginals...)
+	c.Prior.Worlds = append([]uint64(nil), r.Prior.Worlds...)
+	c.Prior.Probs = append([]float64(nil), r.Prior.Probs...)
+	c.Ops = make([]Op, len(r.Ops))
+	for i, op := range r.Ops {
+		c.Ops[i] = op.clone()
+	}
+	return &c
+}
+
+// clone deep-copies one op.
+func (o Op) clone() Op {
+	c := o
+	c.Tasks = append([]int(nil), o.Tasks...)
+	c.Answers = append([]bool(nil), o.Answers...)
+	return c
+}
+
+// validate checks the structural invariants a snapshot must satisfy before
+// ops can be folded onto it: merge-only ops numbered 0..len-1.
+func (r *Record) validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrCorrupt)
+	}
+	for i, op := range r.Ops {
+		if op.Kind != OpMerge {
+			return fmt.Errorf("%w: snapshot op %d has kind %q", ErrCorrupt, i, op.Kind)
+		}
+		if op.Version != i {
+			return fmt.Errorf("%w: snapshot op %d has version %d", ErrCorrupt, i, op.Version)
+		}
+		if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) {
+			return fmt.Errorf("%w: snapshot op %d has %d tasks, %d answers",
+				ErrCorrupt, i, len(op.Tasks), len(op.Answers))
+		}
+	}
+	return nil
+}
+
+// fold applies one logged op to the record. It returns ok=false when the
+// op cannot extend the record — a version gap, an unknown kind, or a
+// malformed merge — which readers treat as the start of a corrupt tail.
+// Ops whose version is already folded (a compaction that crashed between
+// writing the snapshot and truncating the log) are skipped silently.
+func (r *Record) fold(op Op) (ok bool) {
+	switch op.Kind {
+	case OpMerge:
+		switch {
+		case op.Version < len(r.Ops):
+			// Already folded into the snapshot by a compaction.
+		case op.Version == len(r.Ops):
+			if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) {
+				return false
+			}
+			r.Ops = append(r.Ops, op.clone())
+			// A merge produces a fresh posterior whose uncertainty is
+			// unknown until the next select.
+			r.Done = false
+		default:
+			return false
+		}
+	case OpDone:
+		switch {
+		case op.Version < len(r.Ops):
+			// Stale latch: a later merge already superseded it.
+		case op.Version == len(r.Ops):
+			r.Done = true
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	if op.Time.After(r.LastAccess) {
+		r.LastAccess = op.Time
+	}
+	return true
+}
+
+// checkID vets an ID for use as (part of) a file name: non-empty, bounded,
+// and drawn from a character set with no path separators or dots, so a
+// hostile ID cannot traverse out of the data directory.
+func checkID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_':
+		default:
+			return fmt.Errorf("%w: %q", ErrBadID, id)
+		}
+	}
+	return nil
+}

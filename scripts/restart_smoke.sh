@@ -1,0 +1,133 @@
+#!/bin/sh
+# restart_smoke.sh — crash-recovery smoke test of the crowdfusiond binary.
+#
+# Starts the daemon with the durable file store, creates a session, merges
+# one answer set, SIGKILLs the daemon (no drain, no flush), restarts it
+# over the same -data-dir, and asserts the recovered session serves a
+# bit-identical posterior, version, and budget — then that an idempotent
+# replay of the merged answer set still doesn't double-spend, and that the
+# refinement loop finishes cleanly on the restarted daemon.
+# Run via `make smoke-restart`; CI runs it on every push.
+#
+# Usage: restart_smoke.sh [path-to-crowdfusiond]
+set -eu
+
+BIN="${1:-./bin/crowdfusiond}"
+PORT="${SMOKE_PORT:-18378}"
+BASE="http://127.0.0.1:${PORT}"
+LOG="$(mktemp)"
+DATA="$(mktemp -d)"
+DAEMON=""
+
+fail() {
+    echo "restart-smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+cleanup() {
+    [ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null || true
+    rm -rf "$LOG" "$DATA"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$BIN" -addr "127.0.0.1:${PORT}" -store file -data-dir "$DATA" >>"$LOG" 2>&1 &
+    DAEMON=$!
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || fail "daemon did not become healthy"
+        sleep 0.1
+    done
+}
+
+start_daemon
+echo "restart-smoke: daemon healthy on :$PORT (data dir $DATA)"
+
+# Create a session and merge one answer set.
+CREATE=$(curl -fsS -X POST "$BASE/v1/sessions" \
+    -H 'Content-Type: application/json' \
+    -d '{"marginals":[0.5,0.63,0.58,0.49],"pc":0.8,"k":2,"budget":6}') ||
+    fail "create session"
+ID=$(echo "$CREATE" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no session id in: $CREATE"
+
+SELECT=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/select") || fail "select"
+TASKS=$(echo "$SELECT" | tr -d '\n' | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+[ -n "$TASKS" ] || fail "could not parse tasks from: $SELECT"
+N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+MERGE_BODY="{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":0}"
+MERGE=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+    -H 'Content-Type: application/json' -d "$MERGE_BODY") || fail "answers"
+echo "$MERGE" | grep -q '"merged": true' || fail "merge not applied: $MERGE"
+echo "restart-smoke: merged tasks [$TASKS]"
+
+# Snapshot the acknowledged state, then SIGKILL — no drain, no flush.
+BEFORE=$(curl -fsS "$BASE/v1/sessions/$ID?rounds=true") || fail "get before kill"
+kill -KILL "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+curl -fsS "$BASE/healthz" >/dev/null 2>&1 && fail "daemon still serving after SIGKILL"
+echo "restart-smoke: daemon SIGKILLed"
+
+# Restart over the same data dir: the session must come back bit-identical.
+start_daemon
+grep -q "1 session(s) on disk" "$LOG" || fail "recovery scan did not find the session"
+AFTER=$(curl -fsS "$BASE/v1/sessions/$ID?rounds=true") || fail "get after restart"
+[ "$AFTER" = "$BEFORE" ] ||
+    fail "recovered state diverged:
+--- before ---
+$BEFORE
+--- after ---
+$AFTER"
+echo "restart-smoke: posterior, version and budget bit-identical after restart"
+
+# Idempotent replay of the pre-crash answer set: recognized, not re-spent.
+REPLAY=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+    -H 'Content-Type: application/json' -d "$MERGE_BODY") || fail "replay"
+echo "$REPLAY" | grep -q '"merged": false' || fail "retry was re-applied: $REPLAY"
+echo "$REPLAY" | grep -q "\"spent\": $N_TASKS" || fail "retry double-spent: $REPLAY"
+echo "restart-smoke: idempotent replay OK across restart"
+
+# Finish the refinement loop against the restarted daemon.
+ROUNDS=0
+while :; do
+    ROUNDS=$((ROUNDS + 1))
+    [ "$ROUNDS" -lt 20 ] || fail "loop did not finish"
+    SELECT=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/select") || fail "select (loop)"
+    if echo "$SELECT" | grep -q '"done": true'; then
+        break
+    fi
+    TASKS=$(echo "$SELECT" | tr -d '\n' | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+    [ -n "$TASKS" ] || break
+    VERSION=$(echo "$SELECT" | sed -n 's/.*"version": *\([0-9]*\).*/\1/p')
+    N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+    ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+    curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+        -H 'Content-Type: application/json' \
+        -d "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":$VERSION}" >/dev/null ||
+        fail "answers (loop)"
+done
+FINAL=$(curl -fsS "$BASE/v1/sessions/$ID") || fail "final get"
+echo "$FINAL" | grep -q '"done": true' || fail "session not done: $FINAL"
+echo "restart-smoke: refinement loop finished on the restarted daemon"
+
+# Recovery metrics are exposed.
+METRICS=$(curl -fsS "$BASE/metrics") || fail "metrics"
+echo "$METRICS" | grep -q '^crowdfusion_sessions_recovered_total 1$' || fail "recovered counter: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_store_appends_total' || fail "store counters missing"
+
+# Clean shutdown still works.
+kill -TERM "$DAEMON"
+i=0
+while kill -0 "$DAEMON" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+wait "$DAEMON" 2>/dev/null || fail "daemon exited non-zero"
+DAEMON=""
+echo "restart-smoke: PASS"
