@@ -14,7 +14,7 @@ BENCHTIME ?= 0.3s
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-cover lint cover bench bench-json smoke smoke-restart ci
+.PHONY: build test test-cover lint cover bench bench-json smoke smoke-restart smoke-cluster ci
 
 build:
 	$(GO) build ./...
@@ -78,4 +78,12 @@ smoke-restart:
 	$(GO) build -o bin/crowdfusiond ./cmd/crowdfusiond
 	./scripts/restart_smoke.sh ./bin/crowdfusiond
 
-ci: build lint test-cover bench bench-json smoke smoke-restart
+# Sharding smoke: boot a 3-node cluster over one shared file store, verify
+# not_owner routing, SIGKILL the node owning a mid-refinement session, and
+# assert the survivors adopt it by record replay (byte-identical GET,
+# idempotent answer replay, loop finishes). CI runs this on every push.
+smoke-cluster:
+	$(GO) build -o bin/crowdfusiond ./cmd/crowdfusiond
+	./scripts/cluster_smoke.sh ./bin/crowdfusiond
+
+ci: build lint test-cover bench bench-json smoke smoke-restart smoke-cluster

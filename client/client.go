@@ -9,18 +9,43 @@
 //	        Pc:        0.8, K: 2, Budget: 6,
 //	})
 //	final, _ := c.Refine(ctx, info.ID, crowdProvider)
+//
+// # Routing
+//
+// Pointed at a sharded deployment with NewCluster, the client is
+// ring-aware: it computes the same rendezvous placement the daemons use
+// and sends each session's requests straight to the owner. When its view
+// is stale it follows the service's machine-readable redirects (HTTP 421,
+// code "not_owner", owner address in the envelope), and when a node stops
+// answering it marks the node down for a while and walks the session's
+// rendezvous rank order — the same order sessions re-home along — so
+// failover needs no coordination: the client and the surviving daemons
+// independently agree on where each session went.
+//
+// # Backpressure
+//
+// The service sheds load with 503 + Retry-After when its compute gate is
+// saturated. The client honors that: requests are retried with bounded
+// exponential backoff plus jitter, never sooner than the server asked.
+// 503s without Retry-After (e.g. the session cap) are returned immediately
+// — they are decisions, not congestion.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
-	"strings"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/service"
 )
 
@@ -55,8 +80,19 @@ type APIError struct {
 	Message    string
 	// Code is the service's machine-readable failure class (the
 	// service.Code* constants, e.g. "expired" when the session's state was
-	// evicted from a volatile store), or empty for generic errors.
+	// evicted from a volatile store, or "not_owner" when another node
+	// serves the session), or empty for generic errors.
 	Code string
+	// Owner accompanies Code "not_owner": the address of the node that
+	// serves the session. The routing layer follows it automatically.
+	Owner string
+	// Throttled reports that the response carried a Retry-After header —
+	// the service's congestion signal, as opposed to a 503 that is a
+	// decision (e.g. the session cap). The retry layer backs off and
+	// retries throttled responses automatically.
+	Throttled bool
+	// RetryAfter is the parsed Retry-After value (zero when absent or 0).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -67,11 +103,33 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("crowdfusiond: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
-// Client talks to one crowdfusiond instance. The zero value is not usable;
-// construct with New. Safe for concurrent use.
+// downTTL is how long a node that failed at the transport level is skipped
+// before the client probes it again. Long enough to stop hammering a dead
+// node on every request, short enough that a restarted node is picked back
+// up about as fast as the daemons' own ring re-admits it.
+const downTTL = 3 * time.Second
+
+// Client talks to a crowdfusiond deployment — one node (New) or a sharded
+// fleet (NewCluster). The zero value is not usable; construct with New or
+// NewCluster. Safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	peers []string // normalized base URLs, rendezvous-hashed for routing
+	http  *http.Client
+
+	// 503+Retry-After backoff policy.
+	maxRetries  int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+
+	// rr spreads session creation across nodes.
+	rr atomic.Uint64
+
+	// downUntil is the transport-failure cache: nodes are skipped while
+	// their entry is in the future. This is the client's "view of the
+	// topology"; it refreshes by expiry, by a successful response, and by
+	// not_owner redirects that point somewhere livelier.
+	mu        sync.Mutex
+	downUntil map[string]time.Time
 }
 
 // Option customizes a Client.
@@ -83,40 +141,167 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// New builds a client for the service at baseURL (e.g.
+// WithBackoff tunes the 503+Retry-After retry policy: at most maxRetries
+// retries, exponential from base up to cap, with jitter. maxRetries 0
+// disables retrying (the 503 is returned to the caller); base and cap
+// zero keep the defaults (4 retries, 100ms base, 2s cap).
+func WithBackoff(maxRetries int, base, cap time.Duration) Option {
+	return func(c *Client) {
+		c.maxRetries = maxRetries
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if cap > 0 {
+			c.backoffCap = cap
+		}
+	}
+}
+
+// New builds a client for a single-node service at baseURL (e.g.
 // "http://localhost:8377").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{Timeout: 2 * time.Minute},
-	}
-	for _, o := range opts {
-		o(c)
+	c, err := NewCluster([]string{baseURL}, opts...)
+	if err != nil {
+		// Preserve New's historical can't-fail signature: a malformed URL
+		// surfaces on the first request instead.
+		c = &Client{peers: []string{baseURL}}
+		c.defaults()
+		for _, o := range opts {
+			o(c)
+		}
 	}
 	return c
 }
 
-// do issues one JSON request and decodes the response into out (when
-// non-nil).
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// NewCluster builds a ring-aware client for a sharded deployment. peers
+// must list every daemon's advertised address — the same -peers list the
+// daemons run with — because client and servers compute placement from the
+// same normalized strings.
+func NewCluster(peers []string, opts ...Option) (*Client, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("client: at least one peer address is required")
+	}
+	normalized, err := cluster.NormalizeList(peers)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{peers: normalized}
+	c.defaults()
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+func (c *Client) defaults() {
+	c.http = &http.Client{Timeout: 2 * time.Minute}
+	c.maxRetries = 4
+	c.backoffBase = 100 * time.Millisecond
+	c.backoffCap = 2 * time.Second
+	c.downUntil = make(map[string]time.Time)
+}
+
+// Peers returns the client's normalized view of the deployment.
+func (c *Client) Peers() []string { return append([]string(nil), c.peers...) }
+
+// markDown records a transport-level failure; the node is skipped until
+// the entry expires.
+func (c *Client) markDown(node string) {
+	c.mu.Lock()
+	c.downUntil[node] = time.Now().Add(downTTL)
+	c.mu.Unlock()
+}
+
+// markUp clears a node's down entry after a successful exchange.
+func (c *Client) markUp(node string) {
+	c.mu.Lock()
+	if len(c.downUntil) > 0 {
+		delete(c.downUntil, node)
+	}
+	c.mu.Unlock()
+}
+
+// pick chooses the next node to try: the redirect hint when usable,
+// otherwise the first candidate not currently marked down, otherwise the
+// top candidate regardless (when everything looks down, the best guess is
+// still the owner).
+func (c *Client) pick(order []string, hint string) string {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hint != "" && c.downUntil[hint].Before(now) {
+		return hint
+	}
+	for _, p := range order {
+		if c.downUntil[p].Before(now) {
+			return p
+		}
+	}
+	return order[0]
+}
+
+// backoffDelay computes the nth retry delay: exponential from base, capped,
+// with jitter over the upper half so synchronized clients spread out, and
+// never below the server's Retry-After floor.
+func (c *Client) backoffDelay(n int, floor time.Duration) time.Duration {
+	d := c.backoffBase
+	for i := 1; i < n && d < c.backoffCap; i++ {
+		d *= 2
+	}
+	if d > c.backoffCap {
+		d = c.backoffCap
+	}
+	d = d/2 + rand.N(d/2+1)
+	if floor > 0 && d < floor {
+		d = floor
+	}
+	return d
+}
+
+// permanentError marks client-side failures (request encoding, response
+// decoding) that no other node can fix — and that may follow a request the
+// server already applied, so retrying elsewhere would duplicate side
+// effects rather than recover from them. The routing layer returns them
+// immediately instead of treating them as node death.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// sleepCtx waits d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doNode issues one JSON request against one node and decodes the response
+// into out (when non-nil). Transport errors come back unwrapped inside the
+// fmt error; service errors come back as *APIError.
+func (c *Client) doNode(ctx context.Context, node, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
-			return fmt.Errorf("client: encoding request: %w", err)
+			return &permanentError{fmt.Errorf("client: encoding request: %w", err)}
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, node+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: building request: %w", err)
+		return &permanentError{fmt.Errorf("client: building request: %w", err)}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return fmt.Errorf("client: %s %s%s: %w", method, node, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
@@ -125,21 +310,127 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: apiErr.Code}
+		throttled := false
+		var retryAfter time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			throttled = true
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			Code:       apiErr.Code,
+			Owner:      apiErr.Owner,
+			Throttled:  throttled,
+			RetryAfter: retryAfter,
+		}
 	}
+	c.markUp(node)
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+		// The server already processed the request (2xx); this failure is
+		// ours, so it must not be mistaken for node death and replayed.
+		return &permanentError{fmt.Errorf("client: decoding response: %w", err)}
 	}
 	return nil
 }
 
-// CreateSession creates a refinement session and returns its initial state.
+// route drives one logical request to completion across the candidate
+// order: follow not_owner redirects, fail over past dead nodes along the
+// rendezvous rank (pausing between full cycles so daemon-side failure
+// detection can catch up), and absorb saturation 503s with backoff. Any
+// other error belongs to the caller.
+func (c *Client) route(ctx context.Context, order []string, method, path string, body, out any) error {
+	// Enough attempts to redirect or fail over across the fleet a few
+	// times with backoff in between; routing that hasn't settled by then
+	// reports the last error rather than retrying forever.
+	attempts := 4*len(order) + c.maxRetries + 4
+	var lastErr error
+	hint := ""   // owner address from a not_owner redirect
+	cycles := 0  // unproductive passes, drives the failover backoff
+	retries := 0 // 503+Retry-After retries, bounded by maxRetries
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		node := c.pick(order, hint)
+		hint = ""
+		err := c.doNode(ctx, node, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return err
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			if len(order) == 1 {
+				// Single node, nothing to fail over to: surface transport
+				// errors immediately (New's historical behavior).
+				return err
+			}
+			c.markDown(node)
+			cycles++
+			if err := sleepCtx(ctx, c.backoffDelay(cycles, 0)); err != nil {
+				return err
+			}
+			continue
+		}
+		switch {
+		case apiErr.Code == service.CodeNotOwner && apiErr.Owner != "":
+			// Stale view: jump to the claimed owner. If redirects chase
+			// each other (rings mid-convergence), pause each full lap so
+			// the daemons' failure detectors can settle.
+			if owner, err := cluster.Normalize(apiErr.Owner); err == nil {
+				hint = owner
+			}
+			cycles++
+			if cycles%(len(order)+1) == 0 {
+				if err := sleepCtx(ctx, c.backoffDelay(cycles/(len(order)+1), 0)); err != nil {
+					return err
+				}
+			}
+		case apiErr.StatusCode == http.StatusServiceUnavailable && apiErr.Throttled:
+			// Saturation backpressure: retry the same node, never sooner
+			// than it asked, with bounded exponential backoff + jitter.
+			retries++
+			if retries > c.maxRetries {
+				return err
+			}
+			if err := sleepCtx(ctx, c.backoffDelay(retries, apiErr.RetryAfter)); err != nil {
+				return err
+			}
+			hint = node
+		default:
+			return err
+		}
+	}
+	return lastErr
+}
+
+// routed sends one session-addressed request along the session's
+// rendezvous rank order — owner first, then the peers it would re-home to.
+func (c *Client) routed(ctx context.Context, sessionID, method, path string, body, out any) error {
+	return c.route(ctx, cluster.RankOrder(c.peers, sessionID), method, path, body, out)
+}
+
+// CreateSession creates a refinement session and returns its initial
+// state. Any node can create (each mints IDs it owns), so creates are
+// spread round-robin across the fleet.
 func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (*SessionInfo, error) {
+	start := int(c.rr.Add(1)-1) % len(c.peers)
+	order := make([]string, 0, len(c.peers))
+	order = append(order, c.peers[start:]...)
+	order = append(order, c.peers[:start]...)
 	var info SessionInfo
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions", &req, &info); err != nil {
+	if err := c.route(ctx, order, http.MethodPost, "/v1/sessions", &req, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -153,7 +444,7 @@ func (c *Client) GetSession(ctx context.Context, id string, withRounds bool) (*S
 		path += "?rounds=true"
 	}
 	var info SessionInfo
-	if err := c.do(ctx, http.MethodGet, path, nil, &info); err != nil {
+	if err := c.routed(ctx, id, http.MethodGet, path, nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -161,7 +452,7 @@ func (c *Client) GetSession(ctx context.Context, id string, withRounds bool) (*S
 
 // DeleteSession removes a session.
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+	return c.routed(ctx, id, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }
 
 // Select asks for the next task batch. k > 0 overrides the session's
@@ -169,7 +460,7 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 func (c *Client) Select(ctx context.Context, id string, k int) (*SelectResponse, error) {
 	var resp SelectResponse
 	req := service.SelectRequest{K: k}
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/select", &req, &resp); err != nil {
+	if err := c.routed(ctx, id, http.MethodPost, "/v1/sessions/"+id+"/select", &req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -177,11 +468,13 @@ func (c *Client) Select(ctx context.Context, id string, k int) (*SelectResponse,
 
 // SubmitAnswers merges an answered batch. version should be the Version
 // from the SelectResponse the batch came from; it makes retries idempotent
-// and stale submissions detectable (HTTP 409).
+// and stale submissions detectable (HTTP 409). Idempotency is what makes
+// the routing layer's failover safe here: a merge resubmitted to a
+// session's new owner after a node death replays, it never double-spends.
 func (c *Client) SubmitAnswers(ctx context.Context, id string, tasks []int, answers []bool, version int) (*AnswersResponse, error) {
 	var resp AnswersResponse
 	req := AnswersRequest{Tasks: tasks, Answers: answers, Version: &version}
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
+	if err := c.routed(ctx, id, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

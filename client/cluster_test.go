@@ -1,0 +1,305 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"crowdfusion/client"
+	"crowdfusion/internal/cluster"
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/service"
+	"crowdfusion/internal/store"
+)
+
+// testNode is one in-process daemon of a test cluster: its own HTTP
+// listener, ring view, and file-store handle — all three nodes share one
+// data directory, exactly like a fleet on one network file system.
+type testNode struct {
+	addr string
+	ring *cluster.Ring
+	svc  *service.Server
+	http *http.Server
+	ln   net.Listener
+}
+
+// kill simulates SIGKILL: the listener and connections drop, nothing is
+// flushed. The node's durable op log is all that survives — which is the
+// point.
+func (n *testNode) kill() {
+	n.ring.Stop()
+	_ = n.http.Close()
+}
+
+// startCluster boots size nodes over one shared data dir with fast failure
+// detection and returns them with a ring-aware client.
+func startCluster(t *testing.T, size int) ([]*testNode, *client.Client) {
+	t.Helper()
+	dir := t.TempDir()
+
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+
+	nodes := make([]*testNode, size)
+	for i := range nodes {
+		fs, err := store.NewFile(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring, err := cluster.New(cluster.Config{
+			Self:          addrs[i],
+			Peers:         addrs,
+			ProbeInterval: 25 * time.Millisecond,
+			// Generous probe timeout: under -race a loaded runner can take
+			// tens of ms to answer /healthz, and a false suspicion would
+			// make a node claim sessions it shouldn't. A killed node still
+			// fails fast (connection refused, no timeout involved).
+			ProbeTimeout: time.Second,
+			SuspectAfter: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.NewServer(service.Config{Store: fs, Cluster: ring})
+		node := &testNode{
+			addr: addrs[i],
+			ring: ring,
+			svc:  svc,
+			http: &http.Server{Handler: svc.Handler()},
+			ln:   listeners[i],
+		}
+		go func() { _ = node.http.Serve(node.ln) }()
+		ring.Start()
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.ring.Stop()
+			_ = n.http.Close()
+			// Killed nodes are deliberately NOT svc.Closed: a close would
+			// flush a stale snapshot over ops the adopter appended — the
+			// exact hazard relinquish-before-retire exists to prevent.
+		}
+	})
+
+	c, err := client.NewCluster(addrs,
+		client.WithBackoff(4, 5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, c
+}
+
+// TestClusterRoutesByOwnership: creates land on self-owned nodes, a
+// misrouted raw request answers 421 not_owner with the owner's address,
+// and the routing client reads every session wherever it lives.
+func TestClusterRoutesByOwnership(t *testing.T) {
+	nodes, c := startCluster(t, 3)
+	ctx := context.Background()
+
+	ids := make([]string, 6)
+	for i := range ids {
+		info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+			Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+			Pc:        0.8, K: 2, Budget: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+
+	for _, id := range ids {
+		owner := nodes[0].ring.StaticOwner(id)
+		// Raw HTTP against a non-owner must get the machine-readable
+		// redirect; against the owner, the session. (The client is not
+		// used here on purpose: even a single-node client follows
+		// not_owner redirects, which would hide the wire contract.)
+		for _, n := range nodes {
+			resp, err := http.Get(n.addr + "/v1/sessions/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.addr == owner {
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("owner %s answered %d for its session %s", n.addr, resp.StatusCode, id)
+				}
+				resp.Body.Close()
+				continue
+			}
+			if resp.StatusCode != http.StatusMisdirectedRequest {
+				t.Fatalf("non-owner %s answered %d for %s, want 421", n.addr, resp.StatusCode, id)
+			}
+			var envelope service.ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if envelope.Code != service.CodeNotOwner || envelope.Owner != owner {
+				t.Fatalf("non-owner %s envelope = %+v, want code=not_owner owner=%s",
+					n.addr, envelope, owner)
+			}
+		}
+		// The ring-aware client lands everywhere without seeing any of it.
+		if _, err := c.GetSession(ctx, id, false); err != nil {
+			t.Fatalf("routed GetSession(%s): %v", id, err)
+		}
+	}
+
+	// A single-node client pinned to the wrong node still reaches the
+	// session by following the redirect transparently.
+	id := ids[0]
+	for _, n := range nodes {
+		if n.addr == nodes[0].ring.StaticOwner(id) {
+			continue
+		}
+		single := client.New(n.addr, client.WithBackoff(0, time.Millisecond, time.Millisecond))
+		if _, err := single.GetSession(ctx, id, false); err != nil {
+			t.Fatalf("single-node client on %s did not follow the redirect: %v", n.addr, err)
+		}
+		break
+	}
+}
+
+// TestClusterFailoverMidLoop is the acceptance end-to-end: the full
+// select→answer loop through the ring-aware client against a 3-node
+// cluster reproduces core.Engine's posterior bit for bit, with the
+// session's owner SIGKILLed mid-loop. The surviving nodes adopt the
+// session via record replay with identical posterior/version/budget, the
+// pre-kill answer set replays idempotently (no double-spent crowd budget),
+// and the loop finishes on the adopter.
+func TestClusterFailoverMidLoop(t *testing.T) {
+	marginals := []float64{0.5, 0.63, 0.58, 0.49, 0.71}
+	truth := dist.World(0b10110)
+	const (
+		pc     = 0.8
+		k      = 2
+		budget = 10
+		seed   = 42
+	)
+
+	// The in-process reference: same prior, selector, accuracy, budget,
+	// and crowd seed, no network, no failover.
+	prior, err := dist.Independent(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &core.Engine{
+		Prior:    prior,
+		Selector: core.NewGreedyPrunePre(),
+		Crowd:    newPlatform(t, truth, seed),
+		Pc:       pc,
+		K:        k,
+		Budget:   budget,
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes, c := startCluster(t, 3)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: marginals,
+		Selector:  "Approx+Prune+Pre",
+		Pc:        pc,
+		K:         k,
+		Budget:    budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+
+	// Drive one full round against the original owner, then kill it.
+	crowdAnswers := newPlatform(t, truth, seed)
+	sel, err := c.Select(ctx, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := crowdAnswers.Answers(sel.Tasks)
+	if _, err := c.SubmitAnswers(ctx, id, sel.Tasks, answers, sel.Version); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.GetSession(ctx, id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ownerAddr := nodes[0].ring.StaticOwner(id)
+	var owner *testNode
+	for _, n := range nodes {
+		if n.addr == ownerAddr {
+			owner = n
+		}
+	}
+	if owner == nil {
+		t.Fatalf("no node serves %s", ownerAddr)
+	}
+	owner.kill()
+
+	// The surviving nodes adopt the session by replaying its op log from
+	// the shared store: state must come back bit-identical — not close,
+	// identical, because replay runs the same conditioning arithmetic.
+	after, err := c.GetSession(ctx, id, true)
+	if err != nil {
+		t.Fatalf("get after owner death: %v", err)
+	}
+	if !reflect.DeepEqual(after, before) {
+		t.Fatalf("re-homed session diverged:\n got %+v\nwant %+v", after, before)
+	}
+
+	// Replaying the pre-kill answer set against the adopter is recognized,
+	// not re-applied: no double-spent crowd budget across failover.
+	replay, err := c.SubmitAnswers(ctx, id, sel.Tasks, answers, sel.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Merged || replay.Spent != before.Spent {
+		t.Fatalf("replay across failover: merged=%v spent=%d, want merged=false spent=%d",
+			replay.Merged, replay.Spent, before.Spent)
+	}
+
+	// Finish the loop on the survivors and hold the result to the
+	// engine's bits.
+	final, err := c.Refine(ctx, id, crowdAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Spent != want.Cost {
+		t.Fatalf("cluster loop spent %d tasks, engine %d", final.Spent, want.Cost)
+	}
+	wantM := want.Final.Marginals()
+	for i := range wantM {
+		if final.Marginals[i] != wantM[i] {
+			t.Fatalf("marginal %d: cluster %v != engine %v", i, final.Marginals[i], wantM[i])
+		}
+	}
+	if final.Entropy != want.Final.Entropy() {
+		t.Fatalf("entropy: cluster %v != engine %v", final.Entropy, want.Final.Entropy())
+	}
+	if final.Version != len(want.Rounds) {
+		t.Fatalf("version %d != engine rounds %d", final.Version, len(want.Rounds))
+	}
+
+	// The whole post-kill history must live on surviving nodes: the dead
+	// owner cannot be the one answering.
+	for _, n := range nodes {
+		if n != owner && n.ring.Owner(id) == ownerAddr {
+			t.Fatalf("survivor %s still routes %s to the dead node", n.addr, id)
+		}
+	}
+}

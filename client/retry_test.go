@@ -1,0 +1,191 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdfusion/client"
+	"crowdfusion/internal/service"
+)
+
+// flakyHandler answers 503+Retry-After for the first fail requests to each
+// path, then delegates to ok.
+type flakyHandler struct {
+	fail int32
+	seen atomic.Int32
+	ok   http.Handler
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.seen.Add(1) <= h.fail {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: "service: saturated, retry later"})
+		return
+	}
+	h.ok.ServeHTTP(w, r)
+}
+
+// TestRetryOn503WithRetryAfter: the backpressure 503 is absorbed with
+// bounded backoff — the caller sees only the eventual success.
+func TestRetryOn503WithRetryAfter(t *testing.T) {
+	svc := service.NewServer(service.Config{})
+	defer svc.Close()
+	flaky := &flakyHandler{fail: 2, ok: svc.Handler()}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := client.New(ts.URL,
+		client.WithHTTPClient(ts.Client()),
+		client.WithBackoff(4, time.Millisecond, 5*time.Millisecond))
+	info, err := c.CreateSession(context.Background(), client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63}, Pc: 0.8, K: 1, Budget: 2,
+	})
+	if err != nil {
+		t.Fatalf("create through flaky server: %v", err)
+	}
+	if info.ID == "" {
+		t.Fatal("no session id")
+	}
+	if got := flaky.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 rejected + 1 served)", got)
+	}
+}
+
+// TestRetryGivesUpAfterBudget: a server that never stops shedding load
+// eventually surfaces the 503 instead of retrying forever.
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	flaky := &flakyHandler{fail: 1 << 30, ok: http.NotFoundHandler()}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	const retries = 3
+	c := client.New(ts.URL,
+		client.WithHTTPClient(ts.Client()),
+		client.WithBackoff(retries, time.Millisecond, 2*time.Millisecond))
+	_, err := c.Select(context.Background(), "0123456789abcdef0123456789abcdef", 0)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want surfaced 503", err)
+	}
+	if !apiErr.Throttled {
+		t.Fatalf("Retry-After presence not parsed: %+v", apiErr)
+	}
+	if got := flaky.seen.Load(); got != retries+1 {
+		t.Fatalf("server saw %d requests, want %d (1 + %d retries)", got, retries+1, retries)
+	}
+}
+
+// TestNoRetryWithoutRetryAfter: 503s that are decisions, not congestion
+// (the session cap's too_many_sessions), return immediately.
+func TestNoRetryWithoutRetryAfter(t *testing.T) {
+	var seen atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{
+			Error: "service: session limit reached", Code: service.CodeTooManySessions,
+		})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()),
+		client.WithBackoff(4, time.Millisecond, 2*time.Millisecond))
+	_, err := c.CreateSession(context.Background(), client.CreateSessionRequest{
+		Marginals: []float64{0.5}, Pc: 0.8, K: 1, Budget: 1,
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != service.CodeTooManySessions {
+		t.Fatalf("err = %v, want too_many_sessions", err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry)", got)
+	}
+}
+
+// TestRetryHonorsContext: cancellation interrupts the backoff sleep.
+func TestRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	start := time.Now()
+	_, err := c.Select(ctx, "0123456789abcdef0123456789abcdef", 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored the context deadline")
+	}
+}
+
+// TestFollowsNotOwnerRedirect: a misrouted request is transparently
+// re-sent to the owner named in the 421 envelope.
+func TestFollowsNotOwnerRedirect(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.SessionInfo{ID: id, Version: 7})
+	}))
+	defer owner.Close()
+	var bounced atomic.Int32
+	wrong := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bounced.Add(1)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{
+			Error: "not mine", Code: service.CodeNotOwner, Owner: owner.URL,
+		})
+	}))
+	defer wrong.Close()
+
+	// Both peers in the ring; whichever the rank order tries first, the
+	// wrong one bounces with the owner's address and the call still lands.
+	c, err := client.NewCluster([]string{wrong.URL, owner.URL},
+		client.WithBackoff(2, time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.GetSession(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 7 {
+		t.Fatalf("info = %+v, want version 7 from the owner", info)
+	}
+}
+
+// TestFailsOverPastDeadNode: with the ranked-first node unreachable, the
+// request lands on the next peer without caller involvement.
+func TestFailsOverPastDeadNode(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.SessionInfo{ID: id, Version: 3})
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	c, err := client.NewCluster([]string{deadURL, alive.URL},
+		client.WithBackoff(2, time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.GetSession(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 3 {
+		t.Fatalf("info = %+v, want version 3 from the surviving node", info)
+	}
+}

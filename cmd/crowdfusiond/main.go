@@ -15,6 +15,25 @@
 // log (lazily, on first touch). With the default -store memory, a restart
 // loses all sessions — PR 3's behavior.
 //
+// # Sharding
+//
+// A fleet of daemons splits the session space with -peers and -self:
+//
+//	crowdfusiond -addr :8377 -self 10.0.0.1:8377 \
+//	    -peers 10.0.0.1:8377,10.0.0.2:8377,10.0.0.3:8377 \
+//	    -store file -data-dir /mnt/shared/crowdfusion
+//
+// Every node (and the ring-aware client) computes the same rendezvous
+// placement over the -peers list, so each session has exactly one serving
+// node; misrouted requests answer HTTP 421 with code "not_owner" and the
+// owner's address. Nodes probe each other's /healthz every -heartbeat;
+// when one dies, its sessions deterministically re-home onto the
+// survivors, which rebuild them from the shared -data-dir by replaying
+// their op logs — the same path as crash recovery. Cluster mode therefore
+// requires -store file on storage all nodes share, and the per-directory
+// writer lock is left to the ring's ownership discipline instead of flock
+// (each session still has exactly one writer: its owner).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests (including merges) drain, live sessions
 // are flushed to a durable store, then the process exits.
@@ -25,12 +44,15 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/service"
 	"crowdfusion/internal/store"
 )
@@ -40,7 +62,7 @@ func main() {
 	log.SetPrefix("crowdfusiond: ")
 
 	var (
-		addr        = flag.String("addr", ":8377", "listen address")
+		addr        = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port; the bound address is logged)")
 		ttl         = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction (0 disables)")
 		maxSessions = flag.Int("max-sessions", 100_000, "live session cap (0 = unlimited)")
 		maxConc     = flag.Int("max-concurrent", 0, "concurrent select/merge requests (0 = one per hardware thread)")
@@ -51,8 +73,35 @@ func main() {
 		storeKind   = flag.String("store", "memory", "session store: memory (volatile) or file (durable)")
 		dataDir     = flag.String("data-dir", "", "data directory for -store file")
 		compactOps  = flag.Int("store-compact", 0, "ops per session before its log is compacted into the snapshot (0 = default)")
+		peersFlag   = flag.String("peers", "", "comma-separated cluster peer addresses (host:port or URL); enables shard-aware serving")
+		selfAddr    = flag.String("self", "", "this node's advertised address within -peers; required in cluster mode")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "peer liveness probe interval in cluster mode")
 	)
 	flag.Parse()
+
+	// Cluster topology first: store wiring depends on whether this node is
+	// part of a fleet.
+	var ring *cluster.Ring
+	if *peersFlag != "" {
+		if *selfAddr == "" {
+			log.Fatalf("-peers requires -self (this node's advertised address)")
+		}
+		if *storeKind != "file" {
+			log.Fatalf("-peers requires -store file on storage shared by all nodes: failover adopts sessions by replaying their records from the shared store")
+		}
+		var err error
+		ring, err = cluster.New(cluster.Config{
+			Self:          *selfAddr,
+			Peers:         strings.Split(*peersFlag, ","),
+			ProbeInterval: *heartbeat,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("building cluster ring: %v", err)
+		}
+	} else if *selfAddr != "" {
+		log.Fatalf("-self is only meaningful with -peers")
+	}
 
 	var sessions store.SessionStore
 	switch *storeKind {
@@ -70,20 +119,35 @@ func main() {
 			log.Fatalf("opening session store: %v", err)
 		}
 		fileStore.Logf = log.Printf
-		// One writer per data dir: a second daemon sharing it would
-		// corrupt session logs. The kernel drops the lock on process
-		// death, so crash-restart needs no cleanup.
-		if err := fileStore.Lock(); err != nil {
-			log.Fatalf("locking session store: %v", err)
+		if ring == nil {
+			// One writer per data dir: a second daemon sharing it would
+			// corrupt session logs. The kernel drops the lock on process
+			// death, so crash-restart needs no cleanup.
+			if err := fileStore.Lock(); err != nil {
+				log.Fatalf("locking session store: %v", err)
+			}
 		}
 		// Recovery scan: count what survived the last run. Sessions load
 		// lazily on first touch; the scan only proves the directory is
-		// readable and tells the operator what is there.
+		// readable and tells the operator what is there. In cluster mode it
+		// also reports how the ring partitions the on-disk sessions, so a
+		// misconfigured -peers list is visible at boot, not at first 421.
 		ids, err := fileStore.List()
 		if err != nil {
 			log.Fatalf("scanning session store: %v", err)
 		}
-		log.Printf("store: %d session(s) on disk in %s (loaded lazily on first touch)", len(ids), *dataDir)
+		if ring != nil {
+			owned := 0
+			for _, id := range ids {
+				if ring.StaticOwner(id) == ring.Self() {
+					owned++
+				}
+			}
+			log.Printf("store: %d session(s) on disk in %s; this node owns %d of them (loaded lazily on first touch)",
+				len(ids), *dataDir, owned)
+		} else {
+			log.Printf("store: %d session(s) on disk in %s (loaded lazily on first touch)", len(ids), *dataDir)
+		}
 		sessions = fileStore
 	default:
 		log.Fatalf("unknown -store %q (want memory or file)", *storeKind)
@@ -97,6 +161,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
 		Store:          sessions,
+		Cluster:        ring,
 		Logf:           log.Printf,
 	}
 	if *ttl == 0 {
@@ -104,17 +169,26 @@ func main() {
 	}
 	svc := service.NewServer(cfg)
 
+	// Bind before serving so -addr :0 can report the actual port — the
+	// contract multi-daemon test scripts rely on instead of hardcoding.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("listening on %s", ln.Addr())
+		errc <- httpSrv.Serve(ln)
 	}()
+	if ring != nil {
+		ring.Start()
+		log.Printf("cluster: self %s, %d peer(s), heartbeat %v", ring.Self(), ring.Size(), *heartbeat)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -128,7 +202,11 @@ func main() {
 
 	// Stop accepting, drain in-flight HTTP requests, then drain any
 	// compute the HTTP layer already timed out on, so every accepted
-	// merge completes before exit.
+	// merge completes before exit. The ring prober stops first so a
+	// topology flap cannot trigger relinquishments mid-drain.
+	if ring != nil {
+		ring.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

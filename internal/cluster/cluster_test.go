@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOwnerGolden pins placement: these exact (id, owner) pairs must hold
+// on every platform and every release, because daemons and clients compute
+// placement independently and must agree. If this test ever needs new
+// goldens, the wire format has broken: every deployed cluster would
+// re-home every session on upgrade.
+func TestOwnerGolden(t *testing.T) {
+	peers := []string{"http://10.0.0.1:8377", "http://10.0.0.2:8377", "http://10.0.0.3:8377"}
+	golden := []struct{ id, owner string }{
+		{"0123456789abcdef0123456789abcdef", "http://10.0.0.1:8377"},
+		{"00000000000000000000000000000000", "http://10.0.0.2:8377"},
+		{"ffffffffffffffffffffffffffffffff", "http://10.0.0.3:8377"},
+		{"a3f1c2d4e5b6978877665544332211aa", "http://10.0.0.2:8377"},
+		{"5e8d3b1f0a2c4e6d8b9f7a5c3e1d0b2f", "http://10.0.0.3:8377"},
+		{"deadbeefdeadbeefdeadbeefdeadbeef", "http://10.0.0.3:8377"},
+		{"cafebabecafebabecafebabecafebabe", "http://10.0.0.1:8377"},
+		{"1111111111111111111111111111111f", "http://10.0.0.3:8377"},
+	}
+	for _, g := range golden {
+		if got := Owner(peers, g.id); got != g.owner {
+			t.Errorf("Owner(%s) = %s, want %s", g.id, got, g.owner)
+		}
+	}
+	// Placement is order-independent: peers listed differently, same owner.
+	shuffled := []string{peers[2], peers[0], peers[1]}
+	for _, g := range golden {
+		if got := Owner(shuffled, g.id); got != g.owner {
+			t.Errorf("Owner(%s) over shuffled peers = %s, want %s", g.id, got, g.owner)
+		}
+	}
+	wantRank := []string{"http://10.0.0.1:8377", "http://10.0.0.3:8377", "http://10.0.0.2:8377"}
+	if got := RankOrder(peers, golden[0].id); !reflect.DeepEqual(got, wantRank) {
+		t.Errorf("RankOrder = %v, want %v", got, wantRank)
+	}
+}
+
+// testIDs generates count deterministic hex session IDs.
+func testIDs(count int) []string {
+	ids := make([]string, count)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%032x", uint64(i+1)*2654435761)
+	}
+	return ids
+}
+
+// TestRemoveNodeMovesOnlyItsSessions is the minimal-disruption property the
+// rebalance story rests on: dropping one node from the ring moves exactly
+// the sessions that node owned (~K/N of them) and re-homes each to its
+// rank-1 peer; every other session keeps its owner. Adding the node back
+// restores the original placement exactly.
+func TestRemoveNodeMovesOnlyItsSessions(t *testing.T) {
+	const nPeers, nIDs = 5, 4000
+	peers := make([]string, nPeers)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://node-%d:8377", i)
+	}
+	ids := testIDs(nIDs)
+	before := make(map[string]string, nIDs)
+	for _, id := range ids {
+		before[id] = Owner(peers, id)
+	}
+
+	removed := peers[2]
+	survivors := append(append([]string(nil), peers[:2]...), peers[3:]...)
+	moved := 0
+	for _, id := range ids {
+		after := Owner(survivors, id)
+		if before[id] != removed {
+			if after != before[id] {
+				t.Fatalf("session %s moved from %s to %s though its owner survived",
+					id, before[id], after)
+			}
+			continue
+		}
+		moved++
+		if after == removed {
+			t.Fatalf("session %s still owned by removed node", id)
+		}
+		if want := RankOrder(peers, id)[1]; after != want {
+			t.Fatalf("session %s re-homed to %s, want its rank-1 peer %s", id, after, want)
+		}
+	}
+	// The removed node owned ~K/N sessions (binomial, so allow 5 sigma).
+	mean := float64(nIDs) / float64(nPeers)
+	sigma := math.Sqrt(mean * (1 - 1/float64(nPeers)))
+	if d := math.Abs(float64(moved) - mean); d > 5*sigma {
+		t.Fatalf("topology change moved %d sessions, want ~%.0f (±%.0f)", moved, mean, 5*sigma)
+	}
+	// Restoring the node restores every placement bit-for-bit.
+	for _, id := range ids {
+		if got := Owner(peers, id); got != before[id] {
+			t.Fatalf("placement not restored for %s: %s != %s", id, got, before[id])
+		}
+	}
+}
+
+// TestOwnerBalance checks placement spreads evenly (each node within 10%
+// of its fair share over a large sample).
+func TestOwnerBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	counts := make(map[string]int)
+	ids := testIDs(8000)
+	for _, id := range ids {
+		counts[Owner(peers, id)]++
+	}
+	fair := float64(len(ids)) / float64(len(peers))
+	for _, p := range peers {
+		if d := math.Abs(float64(counts[p]) - fair); d > 0.1*fair {
+			t.Fatalf("unbalanced placement: %v (fair share %.0f)", counts, fair)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{"127.0.0.1:8377", "http://127.0.0.1:8377", false},
+		{"http://127.0.0.1:8377/", "http://127.0.0.1:8377", false},
+		{"https://fusion.example.com", "https://fusion.example.com", false},
+		{"  10.0.0.1:1 ", "http://10.0.0.1:1", false},
+		{"", "", true},
+		{"ftp://x", "", true},
+		{"http://", "", true},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("Normalize(%q) = %q, %v; want %q, err=%v", c.in, got, err, c.want, c.wantErr)
+		}
+	}
+	list, err := NormalizeList([]string{"b:2", "http://a:1", "a:1/"})
+	if err != nil || !reflect.DeepEqual(list, []string{"http://a:1", "http://b:2"}) {
+		t.Fatalf("NormalizeList = %v, %v", list, err)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{Self: "", Peers: []string{"a:1"}}); err == nil {
+		t.Fatal("New accepted empty self")
+	}
+	// Self absent from peers is added.
+	r, err := New(Config{Self: "c:3", Peers: []string{"a:1", "b:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if !reflect.DeepEqual(r.Peers(), want) {
+		t.Fatalf("Peers = %v, want %v", r.Peers(), want)
+	}
+	if r.Self() != "http://c:3" {
+		t.Fatalf("Self = %q", r.Self())
+	}
+}
+
+// fakeProbe is a controllable liveness oracle for ring tests.
+type fakeProbe struct {
+	mu   sync.Mutex
+	dead map[string]bool
+}
+
+func (f *fakeProbe) set(addr string, dead bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead == nil {
+		f.dead = make(map[string]bool)
+	}
+	f.dead[addr] = dead
+}
+
+func (f *fakeProbe) probe(_ context.Context, addr string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[addr] {
+		return errors.New("fake: down")
+	}
+	return nil
+}
+
+// TestRingFailoverAndRecovery drives a death and a revival through the
+// prober and checks owner movement, epoch advance, and OnChange firing.
+func TestRingFailoverAndRecovery(t *testing.T) {
+	fp := &fakeProbe{}
+	changes := make(chan struct{}, 16)
+	r, err := New(Config{
+		Self:          "http://a:1",
+		Peers:         []string{"http://a:1", "http://b:2", "http://c:3"},
+		ProbeInterval: 5 * time.Millisecond,
+		SuspectAfter:  2,
+		Probe:         fp.probe,
+		OnChange:      func() { changes <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	// Find an ID owned by b so the failover is observable from a.
+	var id string
+	for _, cand := range testIDs(64) {
+		if r.Owner(cand) == "http://b:2" {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no test ID owned by b")
+	}
+
+	epoch0 := r.Epoch()
+	fp.set("http://b:2", true)
+	select {
+	case <-changes:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer death not detected")
+	}
+	if r.Epoch() == epoch0 {
+		t.Fatal("epoch did not advance on death")
+	}
+	if got := r.Owner(id); got == "http://b:2" {
+		t.Fatal("dead peer still owns the session")
+	}
+	if want := RankOrder(r.Peers(), id)[1]; r.Owner(id) != want {
+		t.Fatalf("failover owner = %s, want rank-1 peer %s", r.Owner(id), want)
+	}
+	if len(r.Alive()) != 2 {
+		t.Fatalf("Alive = %v", r.Alive())
+	}
+
+	// One successful probe revives the peer and restores placement.
+	fp.set("http://b:2", false)
+	select {
+	case <-changes:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer revival not detected")
+	}
+	if got := r.Owner(id); got != "http://b:2" {
+		t.Fatalf("placement not restored after revival: owner = %s", got)
+	}
+}
+
+// TestRingSingleNode checks the degenerate ring: everything owned by self,
+// Start a no-op.
+func TestRingSingleNode(t *testing.T) {
+	r, err := New(Config{Self: "a:1", Peers: []string{"a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start() // must not spin up a prober
+	defer r.Stop()
+	for _, id := range testIDs(8) {
+		if !r.Owns(id) {
+			t.Fatalf("single node does not own %s", id)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package service
+
+// lifecycle.go is the residency core of the Manager: which sessions are
+// live in this process, how they get in (single-flight lazy loads from the
+// store), and how they get out (TTL eviction, relinquishment to a new
+// owner). manager.go layers the public API and the ownership gate on top;
+// this file owns every transition of the resident set.
+//
+// The file exists because residency transitions all share one delicate
+// invariant: the store side effect (flush or delete) and the map removal
+// must happen in ONE shard-lock critical section, or a concurrent lazy
+// load slips into the gap, publishes a second live instance, and the two
+// instances fork the session's history. Eviction, deletion, and
+// relinquishment are the same dance with different store side effects —
+// keeping them side by side keeps them honest.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/store"
+)
+
+// sessionShards is the number of mutex stripes in the resident set.
+// Requests for different sessions contend only within their stripe, so the
+// manager itself never serializes the (already per-session serialized) hot
+// path. Power of two so shard selection is a mask.
+const sessionShards = 16
+
+// shard is one stripe: a mutex, its slice of the session map, and the
+// in-flight lazy loads (single-flight: concurrent Gets for one unloaded
+// session share one store read + replay).
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	loading  map[string]*loadOp
+}
+
+// loadOp is one in-flight lazy load. done is closed when the load settles;
+// s/err hold the outcome. deleted is set (under the shard mutex) by a
+// concurrent Delete so the loader discards its result instead of
+// resurrecting a session whose record was just removed.
+type loadOp struct {
+	done    chan struct{}
+	s       *Session
+	err     error
+	deleted bool
+}
+
+// tombstoneTTLs is how many TTL periods an expiry tombstone outlives its
+// session, bounding tombstone memory in long-lived daemons.
+const tombstoneTTLs = 8
+
+// shardFor picks the stripe for an ID by FNV-1a of its bytes.
+func (m *Manager) shardFor(id string) *shard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &m.shards[h&(sessionShards-1)]
+}
+
+func (m *Manager) janitor(interval time.Duration) {
+	defer close(m.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-t.C:
+			m.Sweep(m.cfg.now())
+		}
+	}
+}
+
+// Sweep evicts every session idle since before now-TTL and returns how
+// many were evicted. Over a durable store eviction is an unload: the
+// session is flushed (final access time, done latch — its merges are
+// already durable) and drops out of memory, to be reloaded lazily on the
+// next touch. Over a volatile store it is a true expiry: the record is
+// deleted and a tombstone makes later requests fail with ErrExpired
+// instead of a generic not-found. Exposed for tests and for deployments
+// that prefer an external eviction cadence.
+func (m *Manager) Sweep(now time.Time) int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.cfg.TTL)
+	durable := m.store.Durable()
+	evicted := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		// Collect candidates under the read lock, then re-check under
+		// the write lock so a session touched in between survives.
+		sh.mu.RLock()
+		var stale []string
+		for id, s := range sh.sessions {
+			if s.idleSince().Before(cutoff) {
+				stale = append(stale, id)
+			}
+		}
+		sh.mu.RUnlock()
+		if len(stale) == 0 {
+			continue
+		}
+		// The store side effect (flush or delete) MUST happen before the
+		// session leaves the map, under the shard write lock. Otherwise a
+		// lazy reload could slip into the gap, publish a second live
+		// instance, and acknowledge merges that the victim's stale flush
+		// would then truncate out of the log (or whose record the volatile
+		// delete would pull out from under it).
+		sh.mu.Lock()
+		for _, id := range stale {
+			s, ok := sh.sessions[id]
+			if !ok || !s.idleSince().Before(cutoff) {
+				continue
+			}
+			if durable {
+				// Flush and retire in one critical section: no merge can
+				// land on this instance after the snapshot it flushed, so
+				// a handler still holding the pointer is bounced to the
+				// manager (and the reloaded successor) instead of
+				// committing to an orphan.
+				if err := s.retireAndFlush(m.store); err != nil {
+					// The merges themselves are already in the op log;
+					// only the final access time is at risk.
+					m.logf("session %s: eviction flush failed: %v", id, err)
+				}
+			} else {
+				info := s.Info(now, false)
+				s.retire()
+				if _, err := m.store.Delete(id); err != nil {
+					m.logf("session %s: eviction delete failed: %v", id, err)
+				}
+				m.tombMu.Lock()
+				m.tombs[id] = now
+				m.tombMu.Unlock()
+				m.logf("session %s: expired after idle TTL %v (version %d, spent %d/%d)",
+					id, m.cfg.TTL, info.Version, info.Spent, info.Budget)
+			}
+			delete(sh.sessions, id)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		m.countMu.Lock()
+		m.count -= evicted
+		m.countMu.Unlock()
+		if durable {
+			m.logf("unloaded %d idle session(s) to the store", evicted)
+		}
+		if m.evicted != nil {
+			m.evicted(evicted, !durable)
+		}
+	}
+	m.pruneTombs(now)
+	return evicted
+}
+
+// pruneTombs drops expiry tombstones older than tombstoneTTLs idle
+// lifetimes: after that horizon an expired session answers 404 like any
+// unknown ID, which bounds tombstone memory.
+func (m *Manager) pruneTombs(now time.Time) {
+	horizon := now.Add(-time.Duration(tombstoneTTLs) * m.cfg.TTL)
+	m.tombMu.Lock()
+	for id, t := range m.tombs {
+		if t.Before(horizon) {
+			delete(m.tombs, id)
+		}
+	}
+	m.tombMu.Unlock()
+}
+
+// wasExpired reports whether the janitor dropped this session from a
+// volatile store recently enough that its tombstone survives.
+func (m *Manager) wasExpired(id string) bool {
+	m.tombMu.Lock()
+	_, ok := m.tombs[id]
+	m.tombMu.Unlock()
+	return ok
+}
+
+// relinquish hands a resident session over to whichever node now owns it:
+// flush-and-retire under the shard write lock (the same critical section
+// discipline as eviction — no merge can land between the flushed snapshot
+// and the map removal), then drop it from memory. The new owner rebuilds
+// the session from the shared store by record replay, bit-identically,
+// exactly as crash recovery would. Reports whether an instance was
+// resident.
+//
+// Relinquishing is idempotent and safe to race with itself; a session
+// relinquished by mistake (ownership flapped back) just reloads from the
+// store on its next touch.
+func (m *Manager) relinquish(id string) bool {
+	sh := m.shardFor(id)
+	// Fast path under the read lock: the common misrouted request is for a
+	// session that was never resident here, and taking the write lock for
+	// every such 421 would serialize redirect storms against the stripe's
+	// owned-session traffic. A load that publishes between this check and
+	// the caller's redirect is a pre-ownership-change straggler; the next
+	// touch relinquishes it, which is the documented convergence path.
+	sh.mu.RLock()
+	_, resident := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !resident {
+		return false
+	}
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		if err := s.retireAndFlush(m.store); err != nil {
+			// The merges are already in the op log; only the final access
+			// time and done latch are at risk.
+			m.logf("session %s: relinquish flush failed: %v", id, err)
+		}
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		m.countMu.Lock()
+		m.count--
+		m.countMu.Unlock()
+		if m.relinquished != nil {
+			m.relinquished(1)
+		}
+		m.logf("session %s: relinquished to new owner", id)
+	}
+	return ok
+}
+
+// RelinquishNotOwned scans the resident set and relinquishes every session
+// this node no longer owns, returning how many moved. The server calls it
+// on ring topology changes; rebalance cost is bounded by the rendezvous
+// minimal-disruption property — only the ~K/N sessions the change actually
+// re-homed are touched, everything else stays resident and hot.
+func (m *Manager) RelinquishNotOwned() int {
+	if m.cfg.Ownership == nil {
+		return 0
+	}
+	moved := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		var stale []string
+		for id := range sh.sessions {
+			if !m.owns(id) {
+				stale = append(stale, id)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, id := range stale {
+			// Re-check under current ownership: the ring may have flapped
+			// back between the scan and the handoff.
+			if !m.owns(id) && m.relinquish(id) {
+				moved++
+			}
+		}
+	}
+	if moved > 0 {
+		m.logf("topology change: relinquished %d session(s) to new owners", moved)
+	}
+	return moved
+}
+
+// load lazily restores a session from the store — the recovery path after
+// a daemon restart or TTL unload, and equally the adoption path when this
+// node becomes a session's owner after a topology change. Loads are
+// single-flight per session: concurrent Gets share one store read +
+// replay, and a Delete racing the load invalidates it (via loadOp.deleted)
+// instead of letting a restored instance outlive its just-removed record.
+func (m *Manager) load(id string, sh *shard) (*Session, error) {
+	sh.mu.Lock()
+	if s, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return s, nil
+	}
+	if op, ok := sh.loading[id]; ok {
+		sh.mu.Unlock()
+		<-op.done
+		if op.err != nil {
+			return nil, op.err
+		}
+		if op.s == nil {
+			return nil, ErrNotFound // deleted while loading
+		}
+		return op.s, nil
+	}
+	op := &loadOp{done: make(chan struct{})}
+	sh.loading[id] = op
+	sh.mu.Unlock()
+
+	s, release, err := m.loadFromStore(id)
+
+	sh.mu.Lock()
+	delete(sh.loading, id)
+	if err == nil && op.deleted {
+		err = ErrNotFound
+		s.retire()
+		release()
+		s = nil
+	}
+	if err == nil {
+		sh.sessions[id] = s
+		op.s = s
+	}
+	op.err = err
+	sh.mu.Unlock()
+	close(op.done)
+	if err != nil {
+		return nil, err
+	}
+	info := s.Info(m.cfg.now(), false)
+	m.logf("session %s: recovered from store (version %d, spent %d/%d)",
+		id, info.Version, info.Spent, info.Budget)
+	if m.recovered != nil {
+		m.recovered()
+	}
+	return s, nil
+}
+
+// loadFromStore reads and replays one record, reserving a live-session
+// slot. On success the caller owns the slot and must call release if it
+// discards the session instead of publishing it.
+func (m *Manager) loadFromStore(id string) (s *Session, release func(), err error) {
+	rec, err := m.store.Get(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotExist) || errors.Is(err, store.ErrBadID) {
+			if m.wasExpired(id) {
+				return nil, nil, ErrExpired
+			}
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+
+	// A reloaded session occupies the same memory as a created one, so it
+	// takes a slot under the same cap.
+	m.countMu.Lock()
+	if m.cfg.MaxSessions > 0 && m.count >= m.cfg.MaxSessions {
+		m.countMu.Unlock()
+		return nil, nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	m.count++
+	m.countMu.Unlock()
+	release = func() {
+		m.countMu.Lock()
+		m.count--
+		m.countMu.Unlock()
+	}
+
+	s, err = restoreSession(rec, m.cfg.now())
+	if err != nil {
+		release()
+		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
+	return s, release, nil
+}

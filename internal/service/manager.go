@@ -28,30 +28,34 @@ var (
 	ErrTooManySessions = errors.New("service: session limit reached")
 )
 
-// sessionShards is the number of mutex stripes in the store. Requests for
-// different sessions contend only within their stripe, so the store itself
-// never serializes the (already per-session serialized) hot path. Power of
-// two so shard selection is a mask.
-const sessionShards = 16
-
-// shard is one stripe: a mutex, its slice of the session map, and the
-// in-flight lazy loads (single-flight: concurrent Gets for one unloaded
-// session share one store read + replay).
-type shard struct {
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	loading  map[string]*loadOp
+// Ownership is the manager's view of session placement: which sessions
+// this node serves, and where the others live. A nil Ownership means this
+// node owns everything — the single-node deployment. cluster.Ring is the
+// production implementation; tests substitute arbitrary partitions.
+//
+// Ownership answers are allowed to change over time (nodes die, rings
+// heal). The manager re-checks on every touch and relinquishes resident
+// sessions it no longer owns, so placement changes move sessions with at
+// most one flush-and-reload — never a fork.
+type Ownership interface {
+	// Owns reports whether this node currently serves id.
+	Owns(id string) bool
+	// Owner returns the address of the node that currently serves id.
+	Owner(id string) string
 }
 
-// loadOp is one in-flight lazy load. done is closed when the load settles;
-// s/err hold the outcome. deleted is set (under the shard mutex) by a
-// concurrent Delete so the loader discards its result instead of
-// resurrecting a session whose record was just removed.
-type loadOp struct {
-	done    chan struct{}
-	s       *Session
-	err     error
-	deleted bool
+// NotOwnerError reports that this node does not serve the session; the
+// request must be retried against Owner. The server layer maps it to
+// HTTP 421 with the machine-readable not_owner code, which is what lets
+// clients re-route instead of parsing prose.
+type NotOwnerError struct {
+	ID    string
+	Owner string
+}
+
+// Error implements error.
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("service: session %s is owned by %s, not this node", e.ID, e.Owner)
 }
 
 // ManagerConfig tunes the session manager.
@@ -72,18 +76,33 @@ type ManagerConfig struct {
 	// (store.NewMemory) — PR 3's in-memory-only behavior. The manager
 	// takes ownership: Manager.Close closes the store.
 	Store store.SessionStore
+	// Ownership partitions the session space across nodes. Nil means this
+	// node owns every session. When set, Create only mints IDs this node
+	// owns, and every touch of a non-owned ID fails with *NotOwnerError
+	// (after relinquishing any resident instance).
+	Ownership Ownership
 	// Logf, when set, receives operational log lines (evictions,
-	// recoveries, store failures). Nil discards them.
+	// recoveries, relinquishments, store failures). Nil discards them.
 	Logf func(format string, args ...any)
 	// now overrides the clock in tests.
 	now func() time.Time
 }
 
-// Manager is the sharded session cache in front of the SessionStore. All
-// methods are safe for concurrent use. Live sessions are in-memory
-// (selection caches, mutexes, idempotency log hot); every state transition
-// is persisted through the store before it is acknowledged, and sessions
-// not resident are reloaded from the store lazily on first touch.
+// Manager is the ownership-aware session cache in front of the
+// SessionStore. All methods are safe for concurrent use.
+//
+// It layers three concerns, outermost first:
+//
+//   - ownership (this file): every entry point resolves "does this node
+//     serve this ID?" before touching state, minting only owned IDs at
+//     create time and redirecting the rest with *NotOwnerError;
+//   - residency (lifecycle.go): live sessions are in-memory (selection
+//     caches, mutexes, idempotency log hot), with single-flight lazy
+//     loads, TTL eviction, and relinquishment on ownership change;
+//   - durability (store.SessionStore): every state transition is
+//     persisted before it is acknowledged, so any node can rebuild any
+//     session by record replay — the property that makes both crash
+//     recovery and cross-node migration the same code path.
 type Manager struct {
 	cfg   ManagerConfig
 	store store.SessionStore
@@ -106,14 +125,12 @@ type Manager struct {
 
 	// Metrics hooks, set by the server. evicted reports janitor activity
 	// (dropped=true when the state was discarded, false when it was
-	// flushed to a durable store); recovered reports one lazy reload.
-	evicted   func(n int, dropped bool)
-	recovered func()
+	// flushed to a durable store); recovered reports one lazy reload;
+	// relinquished reports sessions handed to another owner.
+	evicted      func(n int, dropped bool)
+	recovered    func()
+	relinquished func(n int)
 }
-
-// tombstoneTTLs is how many TTL periods an expiry tombstone outlives its
-// session, bounding tombstone memory in long-lived daemons.
-const tombstoneTTLs = 8
 
 // NewManager builds a manager over cfg.Store and starts its TTL janitor
 // (when TTL > 0).
@@ -148,6 +165,23 @@ func NewManager(cfg ManagerConfig) *Manager {
 // Store exposes the underlying session store (for tests and embedders).
 func (m *Manager) Store() store.SessionStore { return m.store }
 
+// owns reports whether this node serves id (nil Ownership owns all).
+func (m *Manager) owns(id string) bool {
+	return m.cfg.Ownership == nil || m.cfg.Ownership.Owns(id)
+}
+
+// checkOwnership gates every session-addressed entry point. For an ID this
+// node does not serve it relinquishes any resident instance (the bounded
+// part of rebalancing: a topology change moves only the sessions it
+// re-homed, each with one flush) and returns the redirect.
+func (m *Manager) checkOwnership(id string) error {
+	if m.owns(id) {
+		return nil
+	}
+	m.relinquish(id)
+	return &NotOwnerError{ID: id, Owner: m.cfg.Ownership.Owner(id)}
+}
+
 // Close stops the janitor, flushes every live session to a durable store
 // (merges are already durable — this captures final access times and done
 // latches), and closes the store. Sessions remain readable in memory
@@ -179,138 +213,6 @@ func (m *Manager) Close() {
 	}
 }
 
-func (m *Manager) janitor(interval time.Duration) {
-	defer close(m.janitorDone)
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-m.janitorStop:
-			return
-		case <-t.C:
-			m.Sweep(m.cfg.now())
-		}
-	}
-}
-
-// Sweep evicts every session idle since before now-TTL and returns how
-// many were evicted. Over a durable store eviction is an unload: the
-// session is flushed (final access time, done latch — its merges are
-// already durable) and drops out of memory, to be reloaded lazily on the
-// next touch. Over a volatile store it is a true expiry: the record is
-// deleted and a tombstone makes later requests fail with ErrExpired
-// instead of a generic not-found. Exposed for tests and for deployments
-// that prefer an external eviction cadence.
-func (m *Manager) Sweep(now time.Time) int {
-	if m.cfg.TTL <= 0 {
-		return 0
-	}
-	cutoff := now.Add(-m.cfg.TTL)
-	durable := m.store.Durable()
-	evicted := 0
-	for i := range m.shards {
-		sh := &m.shards[i]
-		// Collect candidates under the read lock, then re-check under
-		// the write lock so a session touched in between survives.
-		sh.mu.RLock()
-		var stale []string
-		for id, s := range sh.sessions {
-			if s.idleSince().Before(cutoff) {
-				stale = append(stale, id)
-			}
-		}
-		sh.mu.RUnlock()
-		if len(stale) == 0 {
-			continue
-		}
-		// The store side effect (flush or delete) MUST happen before the
-		// session leaves the map, under the shard write lock. Otherwise a
-		// lazy reload could slip into the gap, publish a second live
-		// instance, and acknowledge merges that the victim's stale flush
-		// would then truncate out of the log (or whose record the volatile
-		// delete would pull out from under it).
-		sh.mu.Lock()
-		for _, id := range stale {
-			s, ok := sh.sessions[id]
-			if !ok || !s.idleSince().Before(cutoff) {
-				continue
-			}
-			if durable {
-				// Flush and retire in one critical section: no merge can
-				// land on this instance after the snapshot it flushed, so
-				// a handler still holding the pointer is bounced to the
-				// manager (and the reloaded successor) instead of
-				// committing to an orphan.
-				if err := s.retireAndFlush(m.store); err != nil {
-					// The merges themselves are already in the op log;
-					// only the final access time is at risk.
-					m.logf("session %s: eviction flush failed: %v", id, err)
-				}
-			} else {
-				info := s.Info(now, false)
-				s.retire()
-				if _, err := m.store.Delete(id); err != nil {
-					m.logf("session %s: eviction delete failed: %v", id, err)
-				}
-				m.tombMu.Lock()
-				m.tombs[id] = now
-				m.tombMu.Unlock()
-				m.logf("session %s: expired after idle TTL %v (version %d, spent %d/%d)",
-					id, m.cfg.TTL, info.Version, info.Spent, info.Budget)
-			}
-			delete(sh.sessions, id)
-			evicted++
-		}
-		sh.mu.Unlock()
-	}
-	if evicted > 0 {
-		m.countMu.Lock()
-		m.count -= evicted
-		m.countMu.Unlock()
-		if durable {
-			m.logf("unloaded %d idle session(s) to the store", evicted)
-		}
-		if m.evicted != nil {
-			m.evicted(evicted, !durable)
-		}
-	}
-	m.pruneTombs(now)
-	return evicted
-}
-
-// pruneTombs drops expiry tombstones older than tombstoneTTLs idle
-// lifetimes: after that horizon an expired session answers 404 like any
-// unknown ID, which bounds tombstone memory.
-func (m *Manager) pruneTombs(now time.Time) {
-	horizon := now.Add(-time.Duration(tombstoneTTLs) * m.cfg.TTL)
-	m.tombMu.Lock()
-	for id, t := range m.tombs {
-		if t.Before(horizon) {
-			delete(m.tombs, id)
-		}
-	}
-	m.tombMu.Unlock()
-}
-
-// wasExpired reports whether the janitor dropped this session from a
-// volatile store recently enough that its tombstone survives.
-func (m *Manager) wasExpired(id string) bool {
-	m.tombMu.Lock()
-	_, ok := m.tombs[id]
-	m.tombMu.Unlock()
-	return ok
-}
-
-// shardFor picks the stripe for an ID by FNV-1a of its bytes.
-func (m *Manager) shardFor(id string) *shard {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 1099511628211
-	}
-	return &m.shards[h&(sessionShards-1)]
-}
-
 // newID returns a 128-bit random hex session ID.
 func newID() (string, error) {
 	var b [16]byte
@@ -320,8 +222,32 @@ func newID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// placementTries bounds the owned-ID rejection sampling in Create. IDs are
+// uniform, so each draw lands on this node with probability ~1/N; even a
+// 256-node ring fails 1024 draws with probability (1-1/256)^1024 ≈ 2%,
+// and any realistic ring effectively never does.
+const placementTries = 1024
+
+// placeID mints a session ID this node owns. Placement is a pure function
+// of the ID, so making the creating node the owner is just rejection
+// sampling over fresh random IDs — no coordination, and the client's
+// create lands on a node that can serve the whole session lifecycle.
+func (m *Manager) placeID() (string, error) {
+	for range placementTries {
+		id, err := newID()
+		if err != nil {
+			return "", err
+		}
+		if m.owns(id) {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("service: no self-owned session id in %d draws; is this node part of its own ring?",
+		placementTries)
+}
+
 // Create validates the request, builds the prior and selector, and stores
-// a fresh session.
+// a fresh session owned by this node.
 func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -376,7 +302,7 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 		release()
 		return nil, err
 	}
-	id, err := newID()
+	id, err := m.placeID()
 	if err != nil {
 		release()
 		return nil, err
@@ -412,9 +338,13 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 }
 
 // Get returns the session with the given ID, reloading it from the store
-// when it is not resident (a restart or a TTL unload dropped it from
-// memory).
+// when it is not resident (a restart, a TTL unload, or an ownership
+// migration dropped it from memory). For a session another node serves it
+// returns *NotOwnerError carrying the owner's address.
 func (m *Manager) Get(id string) (*Session, error) {
+	if err := m.checkOwnership(id); err != nil {
+		return nil, err
+	}
 	sh := m.shardFor(id)
 	sh.mu.RLock()
 	s, ok := sh.sessions[id]
@@ -425,106 +355,15 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return m.load(id, sh)
 }
 
-// load lazily restores a session from the store — the recovery path after
-// a daemon restart or TTL unload. Loads are single-flight per session:
-// concurrent Gets share one store read + replay, and a Delete racing the
-// load invalidates it (via loadOp.deleted) instead of letting a restored
-// instance outlive its just-removed record.
-func (m *Manager) load(id string, sh *shard) (*Session, error) {
-	sh.mu.Lock()
-	if s, ok := sh.sessions[id]; ok {
-		sh.mu.Unlock()
-		return s, nil
-	}
-	if op, ok := sh.loading[id]; ok {
-		sh.mu.Unlock()
-		<-op.done
-		if op.err != nil {
-			return nil, op.err
-		}
-		if op.s == nil {
-			return nil, ErrNotFound // deleted while loading
-		}
-		return op.s, nil
-	}
-	op := &loadOp{done: make(chan struct{})}
-	sh.loading[id] = op
-	sh.mu.Unlock()
-
-	s, release, err := m.loadFromStore(id)
-
-	sh.mu.Lock()
-	delete(sh.loading, id)
-	if err == nil && op.deleted {
-		err = ErrNotFound
-		s.retire()
-		release()
-		s = nil
-	}
-	if err == nil {
-		sh.sessions[id] = s
-		op.s = s
-	}
-	op.err = err
-	sh.mu.Unlock()
-	close(op.done)
-	if err != nil {
-		return nil, err
-	}
-	info := s.Info(m.cfg.now(), false)
-	m.logf("session %s: recovered from store (version %d, spent %d/%d)",
-		id, info.Version, info.Spent, info.Budget)
-	if m.recovered != nil {
-		m.recovered()
-	}
-	return s, nil
-}
-
-// loadFromStore reads and replays one record, reserving a live-session
-// slot. On success the caller owns the slot and must call release if it
-// discards the session instead of publishing it.
-func (m *Manager) loadFromStore(id string) (s *Session, release func(), err error) {
-	rec, err := m.store.Get(id)
-	if err != nil {
-		if errors.Is(err, store.ErrNotExist) || errors.Is(err, store.ErrBadID) {
-			if m.wasExpired(id) {
-				return nil, nil, ErrExpired
-			}
-			return nil, nil, ErrNotFound
-		}
-		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
-	}
-
-	// A reloaded session occupies the same memory as a created one, so it
-	// takes a slot under the same cap.
-	m.countMu.Lock()
-	if m.cfg.MaxSessions > 0 && m.count >= m.cfg.MaxSessions {
-		m.countMu.Unlock()
-		return nil, nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, m.cfg.MaxSessions)
-	}
-	m.count++
-	m.countMu.Unlock()
-	release = func() {
-		m.countMu.Lock()
-		m.count--
-		m.countMu.Unlock()
-	}
-
-	s, err = restoreSession(rec, m.cfg.now())
-	if err != nil {
-		release()
-		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
-	return s, release, nil
-}
-
 // Delete removes a session from memory and the store, reporting whether it
 // existed in either. The store delete runs under the shard lock so it
 // serializes with lazy loads: any load that could still observe the record
 // registered its loadOp before this lock and gets invalidated here — a
 // deleted session can never be resurrected by a racing reload.
-func (m *Manager) Delete(id string) bool {
+func (m *Manager) Delete(id string) (bool, error) {
+	if err := m.checkOwnership(id); err != nil {
+		return false, err
+	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	s, ok := sh.sessions[id]
@@ -546,7 +385,7 @@ func (m *Manager) Delete(id string) bool {
 		m.logf("session %s: store delete failed: %v", id, err)
 	}
 	// A session unloaded by the janitor exists only in the store.
-	return ok || stored
+	return ok || stored, nil
 }
 
 // Len returns the number of live sessions — the sessions_live gauge.

@@ -53,11 +53,11 @@ func TestManagerCreateGetDelete(t *testing.T) {
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", m.Len())
 	}
-	if !m.Delete(s.ID()) {
-		t.Fatal("Delete reported missing")
+	if ok, err := m.Delete(s.ID()); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
 	}
-	if m.Delete(s.ID()) {
-		t.Fatal("double Delete reported success")
+	if ok, err := m.Delete(s.ID()); err != nil || ok {
+		t.Fatalf("double Delete = %v, %v", ok, err)
 	}
 	if _, err := m.Get(s.ID()); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
@@ -103,7 +103,9 @@ func TestManagerSessionCap(t *testing.T) {
 			anyID = id
 		}
 	}
-	m.Delete(anyID)
+	if _, err := m.Delete(anyID); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := m.Create(testCreateReq()); err != nil {
 		t.Fatalf("create after delete: %v", err)
 	}

@@ -73,11 +73,15 @@ type Metrics struct {
 	SessionsUnloaded  atomic.Int64 // TTL flushes to a durable store (state kept)
 	SessionsRecovered atomic.Int64 // lazy reloads from the store
 	SessionsDeleted   atomic.Int64
-	SelectsServed     atomic.Int64
-	SelectCacheHits   atomic.Int64
-	MergesApplied     atomic.Int64
-	MergeReplays      atomic.Int64
-	RequestsRejected  atomic.Int64 // backpressure 503s
+	// Cluster traffic: sessions handed to a new owner on topology change
+	// or misrouted touch, and requests bounced with code not_owner.
+	SessionsRelinquished atomic.Int64
+	NotOwnerRejects      atomic.Int64
+	SelectsServed        atomic.Int64
+	SelectCacheHits      atomic.Int64
+	MergesApplied        atomic.Int64
+	MergeReplays         atomic.Int64
+	RequestsRejected     atomic.Int64 // backpressure 503s
 
 	// Store traffic, counted by the instrumented store wrapper.
 	StorePuts    atomic.Int64
@@ -104,6 +108,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
 		counter("crowdfusion_sessions_unloaded_total", "Sessions flushed to a durable store by TTL (state kept).", m.SessionsUnloaded.Load()) +
 		counter("crowdfusion_sessions_recovered_total", "Sessions lazily reloaded from the store after a restart or unload.", m.SessionsRecovered.Load()) +
 		counter("crowdfusion_sessions_deleted_total", "Sessions deleted by clients.", m.SessionsDeleted.Load()) +
+		counter("crowdfusion_sessions_relinquished_total", "Sessions flushed and handed to a new owner.", m.SessionsRelinquished.Load()) +
+		counter("crowdfusion_not_owner_rejects_total", "Requests bounced with code not_owner.", m.NotOwnerRejects.Load()) +
 		counter("crowdfusion_store_puts_total", "Session snapshots written to the store.", m.StorePuts.Load()) +
 		counter("crowdfusion_store_appends_total", "Ops appended to session logs.", m.StoreAppends.Load()) +
 		counter("crowdfusion_store_deletes_total", "Session records deleted from the store.", m.StoreDeletes.Load()) +

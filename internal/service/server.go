@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/parallel"
 	"crowdfusion/internal/store"
@@ -39,6 +40,15 @@ type Config struct {
 	// store (PR 3's in-memory-only behavior). The server takes ownership
 	// and closes it on Close.
 	Store store.SessionStore
+	// Cluster, when set, makes serving shard-aware: this node only serves
+	// sessions the ring places on it, answers misrouted requests with
+	// HTTP 421 code "not_owner" + the owner's address, and relinquishes
+	// resident sessions on topology changes so the new owner can adopt
+	// them from the shared Store by record replay. The caller keeps ring
+	// lifecycle (Start/Stop); the server registers its rebalance hook via
+	// the ring's OnChange. Clustered deployments must share a durable
+	// Store across nodes, or migrated sessions come up empty.
+	Cluster *cluster.Ring
 	// Logf receives operational log lines (evictions, recoveries, store
 	// failures). Nil discards them.
 	Logf func(format string, args ...any)
@@ -106,14 +116,18 @@ func NewServer(cfg Config) *Server {
 	if sessionStore == nil {
 		sessionStore = store.NewMemory()
 	}
-	s.mgr = NewManager(ManagerConfig{
+	mgrCfg := ManagerConfig{
 		TTL:         cfg.TTL,
 		MaxSessions: cfg.MaxSessions,
 		Seed:        cfg.Seed,
 		Store:       instrumentedStore{inner: sessionStore, m: s.metrics},
 		Logf:        cfg.Logf,
 		now:         cfg.now,
-	})
+	}
+	if cfg.Cluster != nil {
+		mgrCfg.Ownership = cfg.Cluster
+	}
+	s.mgr = NewManager(mgrCfg)
 	s.mgr.evicted = func(n int, dropped bool) {
 		if dropped {
 			s.metrics.SessionsEvicted.Add(int64(n))
@@ -122,6 +136,14 @@ func NewServer(cfg Config) *Server {
 		}
 	}
 	s.mgr.recovered = func() { s.metrics.SessionsRecovered.Add(1) }
+	s.mgr.relinquished = func(n int) { s.metrics.SessionsRelinquished.Add(int64(n)) }
+	if cfg.Cluster != nil {
+		// Eager rebalance: a topology change immediately hands off every
+		// resident session the ring re-homed (at most ~K/N of them), so
+		// the new owner adopts from a fresh flush instead of waiting for
+		// this node's next misrouted touch.
+		cfg.Cluster.SetOnChange(func() { s.mgr.RelinquishNotOwned() })
+	}
 	return s
 }
 
@@ -192,6 +214,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError maps service errors to HTTP statuses and machine-readable
 // codes inside the uniform envelope.
 func writeError(w http.ResponseWriter, err error) {
+	var notOwner *NotOwnerError
+	if errors.As(err, &notOwner) {
+		// 421 Misdirected Request: the session lives on another node. The
+		// envelope carries the owner's address so ring-aware clients hop
+		// straight there instead of probing the peer list.
+		writeJSON(w, http.StatusMisdirectedRequest,
+			ErrorResponse{Error: err.Error(), Code: CodeNotOwner, Owner: notOwner.Owner})
+		return
+	}
 	status := http.StatusBadRequest
 	code := ""
 	switch {
@@ -263,16 +294,43 @@ func writeShuttingDown(w http.ResponseWriter) {
 		ErrorResponse{Error: "service: shutting down"})
 }
 
+// countNotOwner bumps the misroute counter when err is a redirect.
+func (s *Server) countNotOwner(err error) {
+	var notOwner *NotOwnerError
+	if errors.As(err, &notOwner) {
+		s.metrics.NotOwnerRejects.Add(1)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":        "ok",
 		"sessions_live": s.mgr.Len(),
-	})
+	}
+	if s.cfg.Cluster != nil {
+		resp["cluster"] = map[string]any{
+			"self":        s.cfg.Cluster.Self(),
+			"peers":       s.cfg.Cluster.Peers(),
+			"peers_alive": len(s.cfg.Cluster.Alive()),
+			"epoch":       s.cfg.Cluster.Epoch(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.metrics.WritePrometheus(w, s.mgr.Len())
+	if err := s.metrics.WritePrometheus(w, s.mgr.Len()); err != nil {
+		return
+	}
+	if ring := s.cfg.Cluster; ring != nil {
+		fmt.Fprintf(w, "# HELP crowdfusion_cluster_peers Static cluster size.\n"+
+			"# TYPE crowdfusion_cluster_peers gauge\ncrowdfusion_cluster_peers %d\n", ring.Size())
+		fmt.Fprintf(w, "# HELP crowdfusion_cluster_peers_alive Peers currently considered alive.\n"+
+			"# TYPE crowdfusion_cluster_peers_alive gauge\ncrowdfusion_cluster_peers_alive %d\n", len(ring.Alive()))
+		fmt.Fprintf(w, "# HELP crowdfusion_cluster_epoch Topology epoch (advances on peer death/revival).\n"+
+			"# TYPE crowdfusion_cluster_epoch gauge\ncrowdfusion_cluster_epoch %d\n", ring.Epoch())
+	}
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +364,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
+		s.countNotOwner(err)
 		writeError(w, err)
 		return
 	}
@@ -315,7 +374,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.mgr.Delete(r.PathValue("id")) {
+	ok, err := s.mgr.Delete(r.PathValue("id"))
+	if err != nil {
+		s.countNotOwner(err)
+		writeError(w, err)
+		return
+	}
+	if !ok {
 		writeError(w, ErrNotFound)
 		return
 	}
@@ -326,6 +391,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
+		s.countNotOwner(err)
 		writeError(w, err)
 		return
 	}
@@ -374,6 +440,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
+		s.countNotOwner(err)
 		writeError(w, err)
 		return
 	}

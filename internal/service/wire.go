@@ -14,11 +14,22 @@
 //   - session.go: the per-session serialized state machine
 //     (select → await → merge) with selection caching and idempotent
 //     merges;
-//   - manager.go: a sharded, mutex-striped cache of live sessions over a
-//     pluggable store.SessionStore, with TTL eviction (flush-and-unload on
-//     durable stores, expiry on volatile ones) and lazy recovery;
+//   - manager.go / lifecycle.go: the ownership-aware session cache —
+//     manager.go gates every entry point on "does this node serve this
+//     ID?" (minting only self-owned IDs at create time, redirecting the
+//     rest with not_owner) over a pluggable store.SessionStore;
+//     lifecycle.go owns the resident set: single-flight lazy loads, TTL
+//     eviction (flush-and-unload on durable stores, expiry on volatile
+//     ones), and relinquishment when ownership moves;
 //   - server.go / metrics.go: the HTTP layer — routing, backpressure,
 //     request timeouts, /healthz, /metrics, graceful drain.
+//
+// Sharding: plugged into an internal/cluster ring, a fleet of daemons
+// partitions the session space deterministically by session ID. Misrouted
+// requests get HTTP 421 with code "not_owner" and the owner's address;
+// when a node dies or the topology changes, the new owner rebuilds each
+// re-homed session from the shared store by record replay — migration and
+// crash recovery are deliberately the same code path.
 //
 // Durability: every merge is persisted through the session store before it
 // is acknowledged (fsynced, when the store is durable), so a SIGKILL never
@@ -255,6 +266,9 @@ const (
 	CodeBudgetExhausted = "budget_exhausted"
 	CodeTooManySessions = "too_many_sessions"
 	CodeStoreFailure    = "store_failure"
+	// CodeNotOwner (HTTP 421) means another node serves this session; the
+	// envelope's Owner field carries its address. Clients retry there.
+	CodeNotOwner = "not_owner"
 )
 
 // ErrorResponse is the uniform error envelope of every non-2xx response.
@@ -262,4 +276,7 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code, when set, names the failure class (see the Code constants).
 	Code string `json:"code,omitempty"`
+	// Owner accompanies code "not_owner": the base address of the node
+	// that serves the session this request addressed.
+	Owner string `json:"owner,omitempty"`
 }

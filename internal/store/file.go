@@ -42,6 +42,17 @@ const fileStripes = 16
 // A torn or corrupt log tail (the crash arrived mid-write) is detected on
 // load: the session recovers to the last good record and the log is
 // truncated back to the good prefix so later appends extend valid state.
+//
+// Shared data dirs: a clustered deployment points several processes at
+// one directory, relying on session ownership for the one-writer-per-
+// session discipline instead of Lock. Append defends that discipline
+// across processes with a stat fence — when the log's on-disk size
+// differs from this process's bookkeeping, the state is re-read from disk
+// before the version gate runs, so a divergent second writer is refused
+// with ErrCorrupt rather than silently forking the history. The fence is
+// best-effort (a simultaneous stat→write race remains; per-session
+// leases would close it), but it shrinks the dual-writer window from a
+// session lifetime to a single append.
 type File struct {
 	dir          string
 	compactEvery int
@@ -67,8 +78,9 @@ type File struct {
 
 // fileSessionState is the in-memory bookkeeping for one session's files.
 type fileSessionState struct {
-	logged  int // ops in the log since the last snapshot
-	nextVer int // merge version the next logged op must carry
+	logged  int   // ops in the log since the last snapshot
+	nextVer int   // merge version the next logged op must carry
+	logSize int64 // verified log bytes on disk as of the last read/write
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -163,8 +175,19 @@ func (s *File) putLocked(rec *Record) error {
 	if err := os.Remove(s.logPath(rec.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: truncating log %s: %w", rec.ID, err)
 	}
-	s.setState(rec.ID, fileSessionState{logged: 0, nextVer: len(rec.Ops)})
+	s.setState(rec.ID, fileSessionState{logged: 0, nextVer: len(rec.Ops), logSize: 0})
 	return nil
+}
+
+// logSizeOnDisk returns the session log's current byte size (0 when the
+// log does not exist) — the cheap fence Append uses to notice another
+// process's writes in a shared data dir.
+func (s *File) logSizeOnDisk(id string) int64 {
+	fi, err := os.Stat(s.logPath(id))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
 }
 
 func (s *File) setState(id string, st fileSessionState) {
@@ -194,6 +217,19 @@ func (s *File) Append(id string, op Op) error {
 	if !seen {
 		// First touch since the store opened: verify the record exists and
 		// repair any torn log tail so this append extends valid state.
+		if _, err := s.getLocked(id); err != nil {
+			return err
+		}
+		st, _ = s.getState(id)
+	} else if size := s.logSizeOnDisk(id); size != st.logSize {
+		// The log changed under us: another PROCESS sharing the data dir
+		// (a cluster peer that adopted this session during an ownership
+		// flap) has written since our bookkeeping was current. Resync from
+		// disk so the version gate below judges this op against the real
+		// log, not a stale cache — the divergent writer gets ErrCorrupt
+		// instead of silently forking the history. (A simultaneous-append
+		// race narrower than stat→write remains; closing it fully needs
+		// per-session leases, which the ROADMAP tracks.)
 		if _, err := s.getLocked(id); err != nil {
 			return err
 		}
@@ -239,6 +275,7 @@ func (s *File) Append(id string, op Op) error {
 	}
 
 	st.logged++
+	st.logSize += int64(len(line))
 	if op.Kind == OpMerge {
 		st.nextVer++
 	}
@@ -327,7 +364,7 @@ func (s *File) getLocked(id string) (*Record, error) {
 			return nil, fmt.Errorf("store: repairing log %s: %w", id, err)
 		}
 	}
-	s.setState(id, fileSessionState{logged: logged, nextVer: len(rec.Ops)})
+	s.setState(id, fileSessionState{logged: logged, nextVer: len(rec.Ops), logSize: int64(good)})
 	return rec, nil
 }
 
@@ -358,7 +395,9 @@ func (s *File) Delete(id string) (bool, error) {
 	return false, nil
 }
 
-// List scans the data directory for snapshot files.
+// List scans the data directory for snapshot files. os.ReadDir returns
+// entries sorted by name, so the IDs come back in lexicographic order as
+// the interface requires.
 func (s *File) List() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {

@@ -263,6 +263,51 @@ func TestFileLockExcludesSecondStore(t *testing.T) {
 	}
 }
 
+// TestFileAppendFencesSecondProcess covers the shared-data-dir discipline
+// cluster mode relies on: when another process (here: a second *File over
+// the same dir) appends to a session's log, this process's next Append
+// must notice via the stat fence, resync from disk, and refuse a
+// divergent version with ErrCorrupt instead of forking the history — and
+// then continue correctly from the real head.
+func TestFileAppendFencesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	a := reopen(t, dir, 0)
+	defer a.Close()
+	b := reopen(t, dir, 0)
+	defer b.Close()
+
+	rec := testRecord("sess-fence")
+	rec.Ops = nil
+	if err := a.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(rec.ID, Op{Kind: OpMerge, Version: 0, Tasks: []int{0}, Answers: []bool{true}}); err != nil {
+		t.Fatal(err)
+	}
+	// Process B adopts the session (ownership flap) and appends v1.
+	theirs := Op{Kind: OpMerge, Version: 1, Tasks: []int{2}, Answers: []bool{false}}
+	if err := b.Append(rec.ID, theirs); err != nil {
+		t.Fatal(err)
+	}
+	// Process A, whose bookkeeping still says nextVer=1, tries its own,
+	// different v1: the fence must detect B's write and refuse.
+	ours := Op{Kind: OpMerge, Version: 1, Tasks: []int{1}, Answers: []bool{true}}
+	if err := a.Append(rec.ID, ours); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("divergent append = %v, want ErrCorrupt", err)
+	}
+	// A is resynced now: the in-order continuation lands.
+	if err := a.Append(rec.ID, Op{Kind: OpMerge, Version: 2, Tasks: []int{0}, Answers: []bool{false}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 3 || !reflect.DeepEqual(got.Ops[1].Tasks, theirs.Tasks) {
+		t.Fatalf("history forked: %+v", got.Ops)
+	}
+}
+
 func TestFileCorruptSnapshotIsAnError(t *testing.T) {
 	dir := t.TempDir()
 	fs := reopen(t, dir, 0)

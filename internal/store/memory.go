@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -91,14 +92,15 @@ func (s *Memory) Delete(id string) (bool, error) {
 	return ok, nil
 }
 
-// List returns every stored ID.
+// List returns every stored ID in lexicographic order.
 func (s *Memory) List() ([]string, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.recs))
 	for id := range s.recs {
 		ids = append(ids, id)
 	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
 	return ids, nil
 }
 

@@ -124,7 +124,10 @@ type SessionStore interface {
 	Get(id string) (*Record, error)
 	// Delete removes the record and its log, reporting whether it existed.
 	Delete(id string) (bool, error)
-	// List returns the IDs of every stored record, in no particular order.
+	// List returns the IDs of every stored record, sorted
+	// lexicographically, in a slice the caller owns. Deterministic order
+	// makes boot-time ownership scans and multi-node operator tooling
+	// comparable across stores and across nodes.
 	List() ([]string, error)
 	// Close releases store resources. The store is unusable afterwards.
 	Close() error

@@ -275,6 +275,110 @@ func TestConformanceMissingAndInvalidIDs(t *testing.T) {
 	})
 }
 
+// TestConformanceListOrderingAndIsolation pins the List contract both
+// implementations must share: IDs come back sorted lexicographically (so
+// boot scans and operator tooling compare across stores and nodes), each
+// exactly once, and the returned slice is the caller's — mutating it must
+// not corrupt later listings.
+func TestConformanceListOrderingAndIsolation(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		// Insert deliberately out of order.
+		for _, id := range []string{"sess-m", "sess-a", "sess-z", "sess-k"} {
+			if err := s.Put(testRecord(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := []string{"sess-a", "sess-k", "sess-m", "sess-z"}
+		got, err := s.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("List = %v, want sorted %v", got, want)
+		}
+		// The slice is a private copy: scribbling on it leaves the store's
+		// next answer untouched.
+		got[0] = "sess-corrupted"
+		again, err := s.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("List after caller mutation = %v, want %v", again, want)
+		}
+		// Ordering holds across inserts and deletes, not just one snapshot.
+		if err := s.Put(testRecord("sess-c")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Delete("sess-m"); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []string{"sess-a", "sess-c", "sess-k", "sess-z"}) {
+			t.Fatalf("List after churn = %v", got)
+		}
+	})
+}
+
+// TestConformanceConcurrentGetAfterDelete races readers against a deleter:
+// every Get must return either the complete record or ErrNotExist — never
+// an error of another class, never a partial record. Run with -race; this
+// is the read-side half of the contract the service relies on when a
+// Delete lands while another node's lazy load is mid-read.
+func TestConformanceConcurrentGetAfterDelete(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		const readers = 4
+		rec := testRecord("sess-racy")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		errs := make(chan error, readers+1)
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					got, err := s.Get(rec.ID)
+					if errors.Is(err, ErrNotExist) {
+						return // the delete won the race; done
+					}
+					if err != nil {
+						errs <- fmt.Errorf("reader: %w", err)
+						return
+					}
+					if len(got.Ops) != len(rec.Ops) || got.Prior.N != rec.Prior.N {
+						errs <- fmt.Errorf("reader saw a partial record: %+v", got)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := s.Delete(rec.ID); err != nil {
+				errs <- fmt.Errorf("deleter: %w", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(rec.ID); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("Get after settled delete = %v, want ErrNotExist", err)
+		}
+	})
+}
+
 // TestConformanceConcurrentSessions hammers the store from many goroutines,
 // one session each (per-session ordering is the caller's contract), and
 // verifies every record converges to its full op history. Run with -race.

@@ -1,0 +1,234 @@
+#!/bin/sh
+# cluster_smoke.sh — multi-node failover smoke test of crowdfusiond.
+#
+# Boots three daemons as a shard-aware cluster over ONE shared file-store
+# data directory, creates sessions through each node, verifies the
+# not_owner wire contract (HTTP 421 + owner address) and redirect routing,
+# then SIGKILLs one node mid-refinement and asserts the survivors adopt
+# its session by record replay: byte-identical GET, idempotent answer
+# replay with no double-spent budget, and a refinement loop that finishes
+# on the adopter. Run via `make smoke-cluster`; CI runs it on every push.
+#
+# Usage: cluster_smoke.sh [path-to-crowdfusiond]
+set -eu
+
+BIN="${1:-./bin/crowdfusiond}"
+BASE_PORT="${SMOKE_CLUSTER_PORT:-18390}"
+P1=$BASE_PORT
+P2=$((BASE_PORT + 1))
+P3=$((BASE_PORT + 2))
+N1="http://127.0.0.1:$P1"
+N2="http://127.0.0.1:$P2"
+N3="http://127.0.0.1:$P3"
+PEERS="127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3"
+DATA="$(mktemp -d)"
+LOG1="$(mktemp)"
+LOG2="$(mktemp)"
+LOG3="$(mktemp)"
+RESP="$(mktemp)"
+D1=""
+D2=""
+D3=""
+
+fail() {
+    echo "cluster-smoke: FAIL: $*" >&2
+    for log in "$LOG1" "$LOG2" "$LOG3"; do
+        echo "--- daemon log $log ---" >&2
+        cat "$log" >&2
+    done
+    exit 1
+}
+
+cleanup() {
+    for pid in $D1 $D2 $D3; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$LOG1" "$LOG2" "$LOG3" "$RESP" "$DATA"
+}
+trap cleanup EXIT
+
+# start_node port logfile — starts a daemon in THIS shell (no command
+# substitution: a subshell child could not be wait(2)ed on later); the pid
+# is left in $! for the caller.
+start_node() {
+    "$BIN" -addr "127.0.0.1:$1" -self "127.0.0.1:$1" -peers "$PEERS" \
+        -heartbeat 200ms -store file -data-dir "$DATA" >>"$2" 2>&1 &
+}
+
+wait_healthy() { # base
+    i=0
+    until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || fail "node $1 did not become healthy"
+        sleep 0.1
+    done
+}
+
+# req METHOD URL [BODY]: sets STATUS, leaves the body in $RESP.
+req() {
+    if [ -n "${3:-}" ]; then
+        STATUS=$(curl -s -o "$RESP" -w '%{http_code}' -X "$1" \
+            -H 'Content-Type: application/json' -d "$3" "$2" 2>/dev/null) || STATUS=000
+    else
+        STATUS=$(curl -s -o "$RESP" -w '%{http_code}' -X "$1" "$2" 2>/dev/null) || STATUS=000
+    fi
+}
+
+# routed METHOD PATH [BODY]: the shell version of the ring-aware client —
+# walk LIVE nodes, follow not_owner redirects, and keep retrying while the
+# cluster converges on a new topology. Success leaves the body in $RESP.
+routed() {
+    r_hint=""
+    r_try=0
+    while [ "$r_try" -lt 60 ]; do
+        r_try=$((r_try + 1))
+        for base in $r_hint $LIVE; do
+            req "$1" "$base$2" "${3:-}"
+            case "$STATUS" in
+            2*) return 0 ;;
+            421) r_hint=$(sed -n 's/.*"owner": *"\([^"]*\)".*/\1/p' "$RESP") ;;
+            000) r_hint="" ;; # dead or not yet up; fall through to the next
+            *) fail "routed $1 $2: HTTP $STATUS: $(cat "$RESP")" ;;
+            esac
+        done
+        sleep 0.2
+    done
+    fail "routed $1 $2 did not settle"
+}
+
+start_node "$P1" "$LOG1"
+D1=$!
+start_node "$P2" "$LOG2"
+D2=$!
+start_node "$P3" "$LOG3"
+D3=$!
+wait_healthy "$N1"
+wait_healthy "$N2"
+wait_healthy "$N3"
+LIVE="$N1 $N2 $N3"
+echo "cluster-smoke: 3 nodes healthy on :$P1 :$P2 :$P3 (shared data dir $DATA)"
+
+# Every node reports the shared topology.
+for base in $LIVE; do
+    req GET "$base/healthz"
+    grep -q '"peers_alive": 3' "$RESP" || fail "$base healthz lacks full cluster view: $(cat "$RESP")"
+done
+
+# Create one session through each node: each daemon mints IDs it owns, so
+# the creating node serves the session.
+CREATE_BODY='{"marginals":[0.5,0.63,0.58,0.49],"pc":0.8,"k":2,"budget":6}'
+SIDS=""
+for base in $LIVE; do
+    req POST "$base/v1/sessions" "$CREATE_BODY"
+    [ "$STATUS" = 201 ] || fail "create on $base: HTTP $STATUS: $(cat "$RESP")"
+    SID=$(sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' "$RESP")
+    [ -n "$SID" ] || fail "no id from create on $base"
+    req GET "$base/v1/sessions/$SID"
+    [ "$STATUS" = 200 ] || fail "creating node $base does not serve its own session $SID (HTTP $STATUS)"
+    SIDS="$SIDS $SID"
+done
+echo "cluster-smoke: created sessions$SIDS"
+
+# The not_owner wire contract: both non-owners answer 421 with the owner's
+# address; following it lands on the session.
+SID1=$(echo "$SIDS" | awk '{print $1}')
+MISROUTES=0
+for base in $N2 $N3; do
+    req GET "$base/v1/sessions/$SID1"
+    [ "$STATUS" = 421 ] || fail "non-owner $base: HTTP $STATUS, want 421"
+    grep -q '"code": *"not_owner"' "$RESP" || fail "421 without not_owner code: $(cat "$RESP")"
+    OWNER=$(sed -n 's/.*"owner": *"\([^"]*\)".*/\1/p' "$RESP")
+    [ "$OWNER" = "$N1" ] || fail "421 names owner $OWNER, want $N1"
+    req GET "$OWNER/v1/sessions/$SID1"
+    [ "$STATUS" = 200 ] || fail "owner $OWNER refused redirect target (HTTP $STATUS)"
+    MISROUTES=$((MISROUTES + 1))
+done
+[ "$MISROUTES" = 2 ] || fail "expected 2 misroutes, saw $MISROUTES"
+echo "cluster-smoke: not_owner redirects OK (owner $N1)"
+
+# One refinement round on node 1's session, through the owner.
+routed POST "/v1/sessions/$SID1/select"
+TASKS=$(tr -d '\n' <"$RESP" | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+[ -n "$TASKS" ] || fail "could not parse tasks from: $(cat "$RESP")"
+N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+MERGE_BODY="{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":0}"
+routed POST "/v1/sessions/$SID1/answers" "$MERGE_BODY"
+grep -q '"merged": true' "$RESP" || fail "merge not applied: $(cat "$RESP")"
+echo "cluster-smoke: merged tasks [$TASKS] on the owner"
+
+# Snapshot the acknowledged state, then SIGKILL the owner — no drain, no
+# flush. Everything that must survive is already fsynced in the op log.
+routed GET "/v1/sessions/$SID1?rounds=true"
+BEFORE=$(cat "$RESP")
+kill -KILL "$D1"
+wait "$D1" 2>/dev/null || true
+D1=""
+LIVE="$N2 $N3"
+echo "cluster-smoke: owner :$P1 SIGKILLed"
+
+# The survivors detect the death via heartbeats and adopt the session by
+# replaying its record from the shared store: the routed GET settles on a
+# byte-identical response.
+routed GET "/v1/sessions/$SID1?rounds=true"
+AFTER=$(cat "$RESP")
+[ "$AFTER" = "$BEFORE" ] || fail "adopted session diverged:
+--- before ---
+$BEFORE
+--- after ---
+$AFTER"
+echo "cluster-smoke: session adopted with byte-identical state"
+
+# Idempotent replay across the failover: recognized, not re-spent.
+routed POST "/v1/sessions/$SID1/answers" "$MERGE_BODY"
+grep -q '"merged": false' "$RESP" || fail "replay re-applied on adopter: $(cat "$RESP")"
+grep -q "\"spent\": $N_TASKS" "$RESP" || fail "replay double-spent: $(cat "$RESP")"
+echo "cluster-smoke: idempotent replay OK across failover"
+
+# Finish the refinement loop on the survivors.
+ROUNDS=0
+while :; do
+    ROUNDS=$((ROUNDS + 1))
+    [ "$ROUNDS" -lt 20 ] || fail "loop did not finish"
+    routed POST "/v1/sessions/$SID1/select"
+    if grep -q '"done": true' "$RESP"; then
+        break
+    fi
+    TASKS=$(tr -d '\n' <"$RESP" | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+    [ -n "$TASKS" ] || break
+    VERSION=$(sed -n 's/.*"version": *\([0-9]*\).*/\1/p' "$RESP")
+    N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+    ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+    routed POST "/v1/sessions/$SID1/answers" \
+        "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":$VERSION}"
+done
+routed GET "/v1/sessions/$SID1"
+grep -q '"done": true' "$RESP" || fail "session not done: $(cat "$RESP")"
+echo "cluster-smoke: refinement loop finished on the survivors"
+
+# The adoption is visible in the survivors' metrics.
+RECOVERED=0
+for base in $LIVE; do
+    req GET "$base/metrics"
+    n=$(sed -n 's/^crowdfusion_sessions_recovered_total \([0-9]*\)$/\1/p' "$RESP")
+    RECOVERED=$((RECOVERED + ${n:-0}))
+done
+[ "$RECOVERED" -ge 1 ] || fail "no survivor counted a recovered session"
+echo "cluster-smoke: adoption visible in metrics (recovered=$RECOVERED)"
+
+# Survivors drain cleanly.
+for pid in $D2 $D3; do
+    kill -TERM "$pid"
+done
+for pid in $D2 $D3; do
+    i=0
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || fail "daemon $pid did not exit after SIGTERM"
+        sleep 0.1
+    done
+    wait "$pid" 2>/dev/null || fail "daemon $pid exited non-zero"
+done
+D2=""
+D3=""
+echo "cluster-smoke: PASS"

@@ -10,8 +10,6 @@
 set -eu
 
 BIN="${1:-./bin/crowdfusiond}"
-PORT="${SMOKE_PORT:-18377}"
-BASE="http://127.0.0.1:${PORT}"
 LOG="$(mktemp)"
 
 fail() {
@@ -21,13 +19,31 @@ fail() {
     exit 1
 }
 
-"$BIN" -addr "127.0.0.1:${PORT}" >"$LOG" 2>&1 &
+# Bind an ephemeral port (-addr :0): the daemon logs the actual bound
+# address, which is the contract scripts use instead of hardcoding ports.
+# SMOKE_PORT overrides for environments that need a fixed port.
+if [ -n "${SMOKE_PORT:-}" ]; then
+    "$BIN" -addr "127.0.0.1:${SMOKE_PORT}" >"$LOG" 2>&1 &
+else
+    "$BIN" -addr "127.0.0.1:0" >"$LOG" 2>&1 &
+fi
 DAEMON=$!
 cleanup() {
     kill "$DAEMON" 2>/dev/null || true
     rm -f "$LOG"
 }
 trap cleanup EXIT
+
+# Parse the bound address from the startup log.
+i=0
+ADDR=""
+while [ -z "$ADDR" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "daemon did not log its bound address"
+    ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] || sleep 0.1
+done
+BASE="http://${ADDR}"
 
 # Wait for the daemon to accept requests.
 i=0
@@ -36,7 +52,7 @@ until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
     [ "$i" -lt 50 ] || fail "daemon did not become healthy"
     sleep 0.1
 done
-echo "smoke: daemon healthy on :$PORT"
+echo "smoke: daemon healthy on $ADDR"
 
 # Create a session from fused marginals.
 CREATE=$(curl -fsS -X POST "$BASE/v1/sessions" \
