@@ -40,6 +40,8 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -65,6 +67,47 @@ type (
 	WireJoint = service.WireJoint
 	// RoundInfo is one merged round of a session trace.
 	RoundInfo = service.RoundInfo
+	// SessionEvent is one frame of a session's live event stream (Watch).
+	SessionEvent = service.SessionEvent
+	// PendingInfo describes a partially answered batch in flight.
+	PendingInfo = service.PendingInfo
+	// AnswerEvent is one judgment inside a pending batch.
+	AnswerEvent = service.AnswerEvent
+	// SessionSummary is one row of a session listing.
+	SessionSummary = service.SessionSummary
+	// ListSessionsResponse is one page of a session listing.
+	ListSessionsResponse = service.ListSessionsResponse
+)
+
+// Event types delivered by Watch, re-exported for consumers switching on
+// SessionEvent.Type.
+const (
+	EventSnapshot = service.EventSnapshot
+	EventSelect   = service.EventSelect
+	EventPartial  = service.EventPartial
+	EventMerge    = service.EventMerge
+	EventDone     = service.EventDone
+	EventExpire   = service.EventExpire
+	EventDeleted  = service.EventDeleted
+	EventRedirect = service.EventRedirect
+	EventReset    = service.EventReset
+	EventError    = service.EventError
+)
+
+// Machine-readable failure codes surfaced in APIError.Code.
+const (
+	CodeNotFound           = service.CodeNotFound
+	CodeExpired            = service.CodeExpired
+	CodeVersionConflict    = service.CodeVersionConflict
+	CodeBudgetExhausted    = service.CodeBudgetExhausted
+	CodeTooManySessions    = service.CodeTooManySessions
+	CodeStoreFailure       = service.CodeStoreFailure
+	CodeNotOwner           = service.CodeNotOwner
+	CodeMethodNotAllowed   = service.CodeMethodNotAllowed
+	CodeNoPendingBatch     = service.CodeNoPendingBatch
+	CodeNotInBatch         = service.CodeNotInBatch
+	CodeAnswerConflict     = service.CodeAnswerConflict
+	CodeTooManySubscribers = service.CodeTooManySubscribers
 )
 
 // AnswerProvider supplies crowd answers for a batch of tasks — the same
@@ -72,6 +115,14 @@ type (
 // platform.Platform plug in directly.
 type AnswerProvider interface {
 	Answers(tasks []int) []bool
+}
+
+// ContextAnswerProvider is the context-aware upgrade of AnswerProvider.
+// Refine detects it and threads its own context through, so a provider
+// waiting on live crowd workers can abort when the refinement loop is
+// cancelled instead of blocking the loop past its deadline.
+type ContextAnswerProvider interface {
+	AnswersContext(ctx context.Context, tasks []int) ([]bool, error)
 }
 
 // APIError is a non-2xx response from the service.
@@ -305,25 +356,7 @@ func (c *Client) doNode(ctx context.Context, node, method, path string, body, ou
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var apiErr service.ErrorResponse
-		msg := resp.Status
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		throttled := false
-		var retryAfter time.Duration
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-			throttled = true
-			retryAfter = time.Duration(secs) * time.Second
-		}
-		return &APIError{
-			StatusCode: resp.StatusCode,
-			Message:    msg,
-			Code:       apiErr.Code,
-			Owner:      apiErr.Owner,
-			Throttled:  throttled,
-			RetryAfter: retryAfter,
-		}
+		return decodeAPIError(resp)
 	}
 	c.markUp(node)
 	if out == nil {
@@ -335,6 +368,30 @@ func (c *Client) doNode(ctx context.Context, node, method, path string, body, ou
 		return &permanentError{fmt.Errorf("client: decoding response: %w", err)}
 	}
 	return nil
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, reading the
+// service's JSON envelope when one is present. It does not close the body.
+func decodeAPIError(resp *http.Response) *APIError {
+	var envelope service.ErrorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	throttled := false
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		throttled = true
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    msg,
+		Code:       envelope.Code,
+		Owner:      envelope.Owner,
+		Throttled:  throttled,
+		RetryAfter: retryAfter,
+	}
 }
 
 // route drives one logical request to completion across the candidate
@@ -480,10 +537,72 @@ func (c *Client) SubmitAnswers(ctx context.Context, id string, tasks []int, answ
 	return &resp, nil
 }
 
+// SubmitAnswer submits a single judgment against the session's pending
+// batch — the incremental counterpart of SubmitAnswers. The service
+// journals the partial durably and returns the provisional posterior
+// (Partial true, Version unchanged); the judgment that completes its batch
+// commits the whole round exactly as one batched SubmitAnswers would, bit
+// for bit, and the response reports Merged true. Resubmitting an
+// already-journaled judgment replays idempotently, so the routing layer's
+// failover is as safe here as for full batches.
+func (c *Client) SubmitAnswer(ctx context.Context, id string, task int, answer bool, version int) (*AnswersResponse, error) {
+	var resp AnswersResponse
+	req := AnswersRequest{Tasks: []int{task}, Answers: []bool{answer}, Version: &version, Partial: true}
+	if err := c.routed(ctx, id, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ListSessions returns one page of the deployment's sessions in ID order,
+// resuming after the `after` cursor; limit <= 0 means the server default
+// (100). Against a fleet every peer is asked for its owned sessions and the
+// pages are merged, so a down node makes the listing fail rather than
+// silently shrink.
+func (c *Client) ListSessions(ctx context.Context, after string, limit int) (*ListSessionsResponse, error) {
+	path := "/v1/sessions"
+	q := url.Values{}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	} else {
+		limit = 100
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	all := []SessionSummary{}
+	more := false
+	for _, p := range c.peers {
+		var page ListSessionsResponse
+		if err := c.route(ctx, []string{p}, http.MethodGet, path, nil, &page); err != nil {
+			return nil, err
+		}
+		all = append(all, page.Sessions...)
+		if page.NextAfter != "" {
+			more = true
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if len(all) > limit {
+		all = all[:limit]
+		more = true
+	}
+	resp := &ListSessionsResponse{Sessions: all}
+	if more && len(all) > 0 {
+		resp.NextAfter = all[len(all)-1].ID
+	}
+	return resp, nil
+}
+
 // Refine drives the full select–ask–merge loop: select a batch, obtain the
 // crowd's answers from the provider, submit them, and repeat until the
 // service reports the session done (budget exhausted or nothing uncertain
-// left). It returns the final session state.
+// left). It returns the final session state. A provider that also
+// implements ContextAnswerProvider gets the loop's context and may abort
+// the refinement by returning an error.
 func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (*SessionInfo, error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -496,7 +615,15 @@ func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (*
 		if sel.Done || len(sel.Tasks) == 0 {
 			break
 		}
-		answers := crowd.Answers(sel.Tasks)
+		var answers []bool
+		if cp, ok := crowd.(ContextAnswerProvider); ok {
+			answers, err = cp.AnswersContext(ctx, sel.Tasks)
+			if err != nil {
+				return nil, fmt.Errorf("client: answer provider: %w", err)
+			}
+		} else {
+			answers = crowd.Answers(sel.Tasks)
+		}
 		if _, err := c.SubmitAnswers(ctx, id, sel.Tasks, answers, sel.Version); err != nil {
 			return nil, err
 		}

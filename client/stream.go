@@ -1,0 +1,267 @@
+package client
+
+// stream.go — the client side of the session event stream: Watch opens an
+// SSE connection to the session's owner and turns it into a channel of
+// SessionEvent, reconnecting across node failures, ownership moves, and
+// drop-and-mark resets. Resume uses Last-Event-ID against the same node,
+// so a short disconnect replays exactly the missed tail; a reconnect to a
+// different node (whose feed has its own sequence) starts from a fresh
+// snapshot instead — sequences are per-feed, never comparable across
+// owners.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"crowdfusion/internal/cluster"
+	"crowdfusion/internal/service"
+)
+
+// errWatchTerminal ends the watch loop after a terminal event (deleted,
+// expire) was delivered to the consumer.
+var errWatchTerminal = errors.New("client: watch ended by a terminal event")
+
+// watchState carries resume position and routing hints across reconnects.
+type watchState struct {
+	lastSeq uint64
+	hasLast bool
+	node    string // node the sequence belongs to; resume only against it
+	hint    string // owner address from a redirect event
+}
+
+// Watch subscribes to a session's live event stream. The returned channel
+// delivers every state transition (snapshot, select, partial, merge, done,
+// …) in commit order and closes when the session is deleted, its state
+// expires, or ctx ends. Transient failures — node death, ownership moves,
+// a dropped-subscriber reset — are handled inside: the client reconnects
+// along the session's rendezvous rank order and resumes. A failure no
+// reconnect can fix is delivered as a final event with Type EventError and
+// the message in Error, then the channel closes.
+//
+// The consumer should keep draining: a consumer that stalls long enough
+// fills the server-side buffer, gets dropped, and resumes from a snapshot
+// or replay after the reset — events between its drop point and the resume
+// may then be compressed into that snapshot.
+func (c *Client) Watch(ctx context.Context, id string) (<-chan SessionEvent, error) {
+	st := &watchState{}
+	body, node, err := c.openStream(ctx, id, st)
+	if err != nil {
+		return nil, err
+	}
+	st.node = node
+	out := make(chan SessionEvent, 16)
+	go c.watchLoop(ctx, id, body, st, out)
+	return out, nil
+}
+
+// watchLoop consumes one stream after another until a terminal condition.
+func (c *Client) watchLoop(ctx context.Context, id string, body io.ReadCloser, st *watchState, out chan SessionEvent) {
+	defer close(out)
+	for {
+		err := c.consumeStream(ctx, body, out, st)
+		body.Close()
+		if errors.Is(err, errWatchTerminal) || ctx.Err() != nil {
+			return
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			c.emitWatchError(ctx, out, id, err)
+			return
+		}
+		// Stream ended without a terminal event: server shutdown, network
+		// failure, a redirect goodbye, or a fell-behind reset. Reconnect and
+		// resume.
+		nb, node, err := c.openStream(ctx, id, st)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.emitWatchError(ctx, out, id, err)
+			}
+			return
+		}
+		body, st.node = nb, node
+	}
+}
+
+// emitWatchError synthesizes the terminal error event (best effort — the
+// consumer may already be gone).
+func (c *Client) emitWatchError(ctx context.Context, out chan<- SessionEvent, id string, err error) {
+	ev := SessionEvent{
+		Type:        service.EventError,
+		SessionInfo: SessionInfo{ID: id},
+		Error:       err.Error(),
+	}
+	select {
+	case out <- ev:
+	case <-ctx.Done():
+	}
+}
+
+// consumeStream parses SSE frames from body and delivers them. Returns
+// errWatchTerminal after a terminal event, nil on EOF (reconnect), a
+// permanentError on malformed frames, or ctx.Err().
+func (c *Client) consumeStream(ctx context.Context, body io.Reader, out chan<- SessionEvent, st *watchState) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var seq uint64
+	var typ string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			// Frame boundary: dispatch what accumulated.
+			if typ == "" && len(data) == 0 {
+				continue
+			}
+			var ev SessionEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return &permanentError{fmt.Errorf("client: decoding event %q: %w", typ, err)}
+			}
+			if ev.Type == "" {
+				ev.Type = typ
+			}
+			// The SSE id persists per spec; the seq inside the payload is
+			// authoritative when present, the id line covers synthetic frames.
+			if ev.Seq == 0 {
+				ev.Seq = seq
+			}
+			st.lastSeq, st.hasLast = seq, true
+			typ, data = "", nil
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			switch ev.Type {
+			case service.EventDeleted, service.EventExpire:
+				return errWatchTerminal
+			case service.EventRedirect:
+				// Ownership moved: reconnect straight to the claimed owner.
+				if ev.Owner != "" {
+					if owner, err := cluster.Normalize(ev.Owner); err == nil {
+						st.hint = owner
+					}
+				}
+				return nil
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // keepalive comment
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			if n, err := strconv.ParseUint(value, 10, 64); err == nil {
+				seq = n
+			}
+		case "event":
+			typ = value
+		case "data":
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err()
+}
+
+// streamClient derives an http.Client without an overall timeout from the
+// configured one — a response deadline would kill long-lived streams; the
+// stream's lifetime is bound by ctx instead.
+func (c *Client) streamClient() *http.Client {
+	return &http.Client{
+		Transport:     c.http.Transport,
+		CheckRedirect: c.http.CheckRedirect,
+		Jar:           c.http.Jar,
+	}
+}
+
+// openStream connects one event stream, walking the session's rendezvous
+// rank order the same way route does: follow not_owner redirects, skip
+// dead nodes, absorb saturation with backoff. Last-Event-ID is sent only
+// when reconnecting to the node the sequence came from.
+func (c *Client) openStream(ctx context.Context, id string, st *watchState) (io.ReadCloser, string, error) {
+	order := cluster.RankOrder(c.peers, id)
+	attempts := 4*len(order) + c.maxRetries + 4
+	var lastErr error
+	hint := st.hint
+	st.hint = ""
+	cycles, retries := 0, 0
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		node := c.pick(order, hint)
+		hint = ""
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/sessions/"+id+"/events", nil)
+		if err != nil {
+			return nil, "", &permanentError{fmt.Errorf("client: building request: %w", err)}
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if st.hasLast && node == st.node {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(st.lastSeq, 10))
+		}
+		resp, err := c.streamClient().Do(req)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, "", err
+			}
+			lastErr = fmt.Errorf("client: GET %s/v1/sessions/%s/events: %w", node, id, err)
+			if len(order) == 1 {
+				return nil, "", lastErr
+			}
+			c.markDown(node)
+			cycles++
+			if err := sleepCtx(ctx, c.backoffDelay(cycles, 0)); err != nil {
+				return nil, "", err
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			c.markUp(node)
+			return resp.Body, node, nil
+		}
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		lastErr = apiErr
+		switch {
+		case apiErr.Code == service.CodeNotOwner && apiErr.Owner != "":
+			if owner, err := cluster.Normalize(apiErr.Owner); err == nil {
+				hint = owner
+			}
+			cycles++
+			if cycles%(len(order)+1) == 0 {
+				if err := sleepCtx(ctx, c.backoffDelay(cycles/(len(order)+1), 0)); err != nil {
+					return nil, "", err
+				}
+			}
+		case (apiErr.StatusCode == http.StatusServiceUnavailable && apiErr.Throttled) ||
+			apiErr.StatusCode == http.StatusTooManyRequests:
+			// Saturation or the subscriber cap: back off and retry the same
+			// node, bounded like route's 503 handling.
+			retries++
+			if retries > c.maxRetries {
+				return nil, "", apiErr
+			}
+			if err := sleepCtx(ctx, c.backoffDelay(retries, apiErr.RetryAfter)); err != nil {
+				return nil, "", err
+			}
+			hint = node
+		default:
+			return nil, "", apiErr
+		}
+	}
+	return nil, "", lastErr
+}

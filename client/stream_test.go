@@ -1,0 +1,323 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crowdfusion/client"
+)
+
+// nextEvent pulls one event off a Watch channel or fails the test.
+func nextEvent(t *testing.T, ch <-chan client.SessionEvent) client.SessionEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("watch channel closed while an event was expected")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event within 5s")
+	}
+	panic("unreachable")
+}
+
+// waitForEvent drains the channel until an event of the wanted type arrives.
+// Interleaved events of other types (snapshots after a reconnect, keepalive
+// partials) are tolerated — order within a type is asserted by the callers
+// that need it.
+func waitForEvent(t *testing.T, ch <-chan client.SessionEvent, typ string) client.SessionEvent {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("watch channel closed while waiting for %q", typ)
+			}
+			if ev.Type == client.EventError {
+				t.Fatalf("watch error while waiting for %q: %s", typ, ev.Error)
+			}
+			if ev.Type == typ {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("no %q event within 10s", typ)
+		}
+	}
+}
+
+// TestWatchDeliversTransitions: Watch opens with a snapshot and then relays
+// every state transition — select, each journaled partial, the committing
+// merge — in order, and ends cleanly when the session is deleted.
+func TestWatchDeliversTransitions(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+		Pc:        0.8, K: 2, Budget: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Watch(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := nextEvent(t, ch)
+	if snap.Type != client.EventSnapshot || snap.ID != info.ID || snap.Version != 0 {
+		t.Fatalf("opening event = %+v, want version-0 snapshot", snap)
+	}
+
+	sel, err := c.Select(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSel := nextEvent(t, ch)
+	if evSel.Type != client.EventSelect || len(evSel.Tasks) != len(sel.Tasks) {
+		t.Fatalf("select event = %+v", evSel)
+	}
+	if evSel.Seq != snap.Seq+1 {
+		t.Fatalf("select seq %d, want %d", evSel.Seq, snap.Seq+1)
+	}
+
+	// Answer the batch one judgment at a time: every partial is a stream
+	// event carrying the provisional posterior, and the last one commits.
+	lastSeq := evSel.Seq
+	for i, task := range sel.Tasks {
+		resp, err := c.SubmitAnswer(ctx, info.ID, task, task%2 == 0, sel.Version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantType := client.EventPartial
+		if i == len(sel.Tasks)-1 {
+			if !resp.Merged {
+				t.Fatalf("final judgment did not commit: %+v", resp)
+			}
+			wantType = client.EventMerge
+		} else if resp.Merged || !resp.Partial {
+			t.Fatalf("judgment %d response = %+v, want uncommitted partial", i, resp)
+		}
+		ev := nextEvent(t, ch)
+		if ev.Type != wantType || ev.Seq != lastSeq+1 {
+			t.Fatalf("judgment %d event = type %q seq %d, want %q seq %d",
+				i, ev.Type, ev.Seq, wantType, lastSeq+1)
+		}
+		if resp.Entropy != ev.Entropy || resp.Version != ev.Version {
+			t.Fatalf("judgment %d event state (v%d, H=%v) != response (v%d, H=%v)",
+				i, ev.Version, ev.Entropy, resp.Version, resp.Entropy)
+		}
+		lastSeq = ev.Seq
+	}
+
+	if err := c.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitForEvent(t, ch, client.EventDeleted); ev.Seq <= lastSeq {
+		t.Fatalf("deleted event seq %d did not advance past %d", ev.Seq, lastSeq)
+	}
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("event after deletion: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch channel not closed after deletion")
+	}
+}
+
+// TestWatchUnknownSessionFailsFast: the first stream is opened synchronously
+// so a bad session ID surfaces as an error return, not a dead channel.
+func TestWatchUnknownSessionFailsFast(t *testing.T) {
+	c := newTestService(t)
+	_, err := c.Watch(context.Background(), "no-such-session")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 || apiErr.Code != client.CodeNotFound {
+		t.Fatalf("watch on unknown session = %v", err)
+	}
+}
+
+// TestSubmitAnswerMatchesBatched: driving a round through SubmitAnswer one
+// judgment at a time lands on exactly the posterior SubmitAnswers reaches in
+// one request — the wire-level face of the incremental-merge bit-identity
+// guarantee.
+func TestSubmitAnswerMatchesBatched(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+
+	req := client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63, 0.58, 0.49, 0.71},
+		Selector:  "Approx+Prune+Pre",
+		Pc:        0.8, K: 3, Budget: 9,
+	}
+	one, err := c.CreateSession(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := c.CreateSession(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var incr, bulk *client.AnswersResponse
+	for round := 0; round < 3; round++ {
+		selA, err := c.Select(ctx, one.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selB, err := c.Select(ctx, batched.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if selA.Done || selB.Done {
+			break
+		}
+		answers := make([]bool, len(selA.Tasks))
+		for i, task := range selA.Tasks {
+			answers[i] = task%2 == 0
+			if incr, err = c.SubmitAnswer(ctx, one.ID, task, answers[i], selA.Version); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bulk, err = c.SubmitAnswers(ctx, batched.ID, selB.Tasks, answers, selB.Version); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if incr == nil || bulk == nil {
+		t.Fatal("no rounds completed")
+	}
+	if incr.Entropy != bulk.Entropy || incr.Version != bulk.Version || incr.Spent != bulk.Spent {
+		t.Fatalf("incremental (v%d, H=%v, spent %d) != batched (v%d, H=%v, spent %d)",
+			incr.Version, incr.Entropy, incr.Spent, bulk.Version, bulk.Entropy, bulk.Spent)
+	}
+	for i := range incr.Marginals {
+		if incr.Marginals[i] != bulk.Marginals[i] {
+			t.Fatalf("marginal %d: incremental %v != batched %v", i, incr.Marginals[i], bulk.Marginals[i])
+		}
+	}
+}
+
+// TestClientListSessions: pagination walks every session exactly once in ID
+// order.
+func TestClientListSessions(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+
+	want := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+			Marginals: []float64{0.6, 0.4}, Pc: 0.9, K: 1, Budget: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[info.ID] = true
+	}
+
+	var got []string
+	after := ""
+	for {
+		page, err := c.ListSessions(ctx, after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Sessions) > 2 {
+			t.Fatalf("page of %d rows exceeds limit 2", len(page.Sessions))
+		}
+		for _, s := range page.Sessions {
+			got = append(got, s.ID)
+		}
+		if page.NextAfter == "" {
+			break
+		}
+		after = page.NextAfter
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paginated %d sessions, created %d: %v", len(got), len(want), got)
+	}
+	seen := make(map[string]bool)
+	for i, id := range got {
+		if !want[id] || seen[id] {
+			t.Fatalf("row %d (%s): unknown or duplicated session", i, id)
+		}
+		seen[id] = true
+		if i > 0 && got[i-1] >= id {
+			t.Fatalf("rows out of order: %q before %q", got[i-1], id)
+		}
+	}
+}
+
+// TestWatchResubscribesAcrossFailover: a Watch stream attached to a
+// session's owner survives that owner's death — the client re-subscribes on
+// the adopting node (opening with a fresh snapshot, since stream sequence
+// numbers are per-owner) and keeps relaying transitions.
+func TestWatchResubscribesAcrossFailover(t *testing.T) {
+	nodes, c := startCluster(t, 3)
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+		Selector:  "Approx+Prune+Pre",
+		Pc:        0.8, K: 2, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Watch(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := nextEvent(t, ch); ev.Type != client.EventSnapshot {
+		t.Fatalf("opening event = %+v", ev)
+	}
+
+	ownerAddr := nodes[0].ring.StaticOwner(info.ID)
+	for _, n := range nodes {
+		if n.addr == ownerAddr {
+			n.kill()
+		}
+	}
+
+	// The dropped stream re-subscribes on the adopting node, which opens
+	// with a fresh snapshot. Wait for it before driving the next round so
+	// the merge is a live delta, not state baked into the snapshot.
+	if ev := waitForEvent(t, ch, client.EventSnapshot); ev.ID != info.ID {
+		t.Fatalf("re-subscribe snapshot = %+v", ev)
+	}
+
+	// Drive a round on the adopter; the re-subscribed stream must relay it.
+	sel, err := c.Select(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := make([]bool, len(sel.Tasks))
+	for i, task := range sel.Tasks {
+		answers[i] = task%2 == 0
+	}
+	merged, err := c.SubmitAnswers(ctx, info.ID, sel.Tasks, answers, sel.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := waitForEvent(t, ch, client.EventMerge)
+	if ev.Version != merged.Version || ev.Entropy != merged.Entropy {
+		t.Fatalf("relayed merge (v%d, H=%v) != response (v%d, H=%v)",
+			ev.Version, ev.Entropy, merged.Version, merged.Entropy)
+	}
+
+	if err := c.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvent(t, ch, client.EventDeleted)
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("event after deletion: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch channel not closed after deletion")
+	}
+}

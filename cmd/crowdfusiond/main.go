@@ -76,6 +76,7 @@ func main() {
 		peersFlag   = flag.String("peers", "", "comma-separated cluster peer addresses (host:port or URL); enables shard-aware serving")
 		selfAddr    = flag.String("self", "", "this node's advertised address within -peers; required in cluster mode")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "peer liveness probe interval in cluster mode")
+		maxSubs     = flag.Int("max-subscribers", 0, "event-stream subscribers per session (0 = default)")
 	)
 	flag.Parse()
 
@@ -161,6 +162,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
 		Store:          sessions,
+		MaxSubscribers: *maxSubs,
 		Cluster:        ring,
 		Logf:           log.Printf,
 	}
@@ -179,6 +181,10 @@ func main() {
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Event streams are long-lived by design; Shutdown would wait on them
+	// forever. Ending them when Shutdown begins lets the graceful drain
+	// handle only request-response work (subscribers reconnect elsewhere).
+	httpSrv.RegisterOnShutdown(svc.StopStreams)
 
 	errc := make(chan error, 1)
 	go func() {

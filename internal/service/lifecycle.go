@@ -141,6 +141,11 @@ func (m *Manager) Sweep(now time.Time) int {
 				m.tombMu.Unlock()
 				m.logf("session %s: expired after idle TTL %v (version %d, spent %d/%d)",
 					id, m.cfg.TTL, info.Version, info.Spent, info.Budget)
+				// Volatile expiry is terminal: say goodbye to watchers.
+				m.events.terminate(id, &SessionEvent{
+					Type:        EventExpire,
+					SessionInfo: SessionInfo{ID: id},
+				}, now)
 			}
 			delete(sh.sessions, id)
 			evicted++
@@ -159,6 +164,10 @@ func (m *Manager) Sweep(now time.Time) int {
 		}
 	}
 	m.pruneTombs(now)
+	// Subscriber-less feeds idle past the TTL go too; feeds with live
+	// subscribers survive their session's unload by design (the reloaded
+	// instance publishes into the same feed).
+	m.events.prune(cutoff)
 	return evicted
 }
 
@@ -228,6 +237,17 @@ func (m *Manager) relinquish(id string) bool {
 		if m.relinquished != nil {
 			m.relinquished(1)
 		}
+		// Terminate streams with a redirect event carrying the new
+		// owner's address: subscribers re-subscribe there and resume.
+		owner := ""
+		if m.cfg.Ownership != nil {
+			owner = m.cfg.Ownership.Owner(id)
+		}
+		m.events.terminate(id, &SessionEvent{
+			Type:        EventRedirect,
+			SessionInfo: SessionInfo{ID: id},
+			Owner:       owner,
+		}, m.cfg.now())
 		m.logf("session %s: relinquished to new owner", id)
 	}
 	return ok
@@ -359,5 +379,10 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
+	// The emit hook is attached only after replay: recovery transitions
+	// are not republished (subscribers already saw them or will re-sync
+	// from their snapshot), and the reloaded instance feeds the same
+	// ID-keyed stream its predecessor did.
+	s.emit = m.eventSink(id)
 	return s, release, nil
 }

@@ -81,6 +81,10 @@ type ManagerConfig struct {
 	// owns, and every touch of a non-owned ID fails with *NotOwnerError
 	// (after relinquishing any resident instance).
 	Ownership Ownership
+	// MaxSubscribers caps concurrent event-stream subscribers per session
+	// (0 = DefaultMaxSubscribers). The cap bounds fan-out work on the
+	// merge path, which does one non-blocking channel send per subscriber.
+	MaxSubscribers int
 	// Logf, when set, receives operational log lines (evictions,
 	// recoveries, relinquishments, store failures). Nil discards them.
 	Logf func(format string, args ...any)
@@ -120,6 +124,12 @@ type Manager struct {
 	tombMu sync.Mutex
 	tombs  map[string]time.Time
 
+	// events fans state transitions out to SSE subscribers. Feeds are
+	// keyed by session ID, so the registry survives unload/reload; the
+	// terminate paths (delete, volatile expiry, relinquish) close streams
+	// with a final event.
+	events *eventHub
+
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
@@ -146,6 +156,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 		m.logf = func(string, ...any) {}
 	}
 	m.tombs = make(map[string]time.Time)
+	m.events = newEventHub(cfg.MaxSubscribers)
 	for i := range m.shards {
 		m.shards[i].sessions = make(map[string]*Session)
 		m.shards[i].loading = make(map[string]*loadOp)
@@ -192,6 +203,7 @@ func (m *Manager) Close() {
 		<-m.janitorDone
 		m.janitorStop = nil
 	}
+	m.events.closeAll()
 	if m.store.Durable() {
 		for i := range m.shards {
 			sh := &m.shards[i]
@@ -323,6 +335,7 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 		s.priorRec = store.Prior{Marginals: append([]float64(nil), req.Marginals...)}
 	}
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
+	s.emit = m.eventSink(id)
 
 	// The session must be durable before it is acknowledged: a created
 	// session that vanished in a crash would strand the client's ID.
@@ -385,7 +398,106 @@ func (m *Manager) Delete(id string) (bool, error) {
 		m.logf("session %s: store delete failed: %v", id, err)
 	}
 	// A session unloaded by the janitor exists only in the store.
-	return ok || stored, nil
+	existed := ok || stored
+	if existed {
+		m.events.terminate(id, &SessionEvent{
+			Type:        EventDeleted,
+			SessionInfo: SessionInfo{ID: id},
+		}, m.cfg.now())
+	}
+	return existed, nil
+}
+
+// eventSink returns a session's emit hook: publish into the hub, keyed by
+// ID so the feed survives unload/reload. The hook runs under the session
+// mutex; the hub is non-blocking by construction.
+func (m *Manager) eventSink(id string) func(SessionEvent) {
+	return func(ev SessionEvent) { m.events.publish(id, ev, m.cfg.now()) }
+}
+
+// Subscribe attaches an event-stream subscriber to the session, loading
+// it if needed. The snapshot-or-resume backlog is computed while holding
+// the session mutex — the same mutex transitions publish under — so the
+// stream a subscriber observes has no gap and no duplicate relative to
+// its starting state. hasLast marks a reconnect carrying Last-Event-ID.
+func (m *Manager) Subscribe(id string, lastID uint64, hasLast bool) (*subscription, error) {
+	s, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var sub *subscription
+	var serr error
+	now := m.cfg.now()
+	if err := s.withSnapshot(now, func(info SessionInfo) {
+		sub, serr = m.events.subscribe(id, lastID, hasLast, info, now)
+	}); err != nil {
+		return nil, err // instance retired under us; caller re-resolves
+	}
+	return sub, serr
+}
+
+// ListSessions pages through the sessions this node serves, in ID order,
+// starting after the `after` cursor (exclusive). Resident sessions report
+// live state including entropy; unloaded ones are summarized from their
+// store record without forcing a replay.
+func (m *Manager) ListSessions(after string, limit int) (*ListSessionsResponse, error) {
+	ids, err := m.store.List()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	resp := &ListSessionsResponse{Sessions: []SessionSummary{}}
+	for _, id := range ids {
+		if id <= after || !m.owns(id) {
+			continue
+		}
+		if len(resp.Sessions) >= limit {
+			resp.NextAfter = resp.Sessions[len(resp.Sessions)-1].ID
+			break
+		}
+		if sum, ok := m.summarize(id); ok {
+			resp.Sessions = append(resp.Sessions, sum)
+		}
+	}
+	return resp, nil
+}
+
+// summarize builds one listing row. ok=false when the session vanished
+// between List and here (a concurrent delete) — the row is skipped.
+func (m *Manager) summarize(id string) (SessionSummary, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, resident := sh.sessions[id]
+	sh.mu.RUnlock()
+	if resident {
+		// peekInfo deliberately skips the TTL touch: listing a node must
+		// not keep every session resident forever.
+		info := s.peekInfo()
+		e := info.Entropy
+		return SessionSummary{
+			ID:       id,
+			Version:  info.Version,
+			Spent:    info.Spent,
+			Budget:   info.Budget,
+			Done:     info.Done,
+			Resident: true,
+			Entropy:  &e,
+		}, true
+	}
+	rec, err := m.store.Get(id)
+	if err != nil {
+		return SessionSummary{}, false
+	}
+	spent := 0
+	for _, op := range rec.Ops {
+		spent += len(op.Tasks)
+	}
+	return SessionSummary{
+		ID:      id,
+		Version: len(rec.Ops),
+		Spent:   spent,
+		Budget:  rec.Budget,
+		Done:    rec.Done || spent >= rec.Budget,
+	}, true
 }
 
 // Len returns the number of live sessions — the sessions_live gauge.

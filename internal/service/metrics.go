@@ -81,7 +81,17 @@ type Metrics struct {
 	SelectCacheHits      atomic.Int64
 	MergesApplied        atomic.Int64
 	MergeReplays         atomic.Int64
+	PartialAnswers       atomic.Int64 // partial judgment sets journaled (not yet committed)
 	RequestsRejected     atomic.Int64 // backpressure 503s
+
+	// Event streaming. SubscribersLive is a gauge (subscribes minus
+	// detaches); EventsDropped counts events a slow subscriber missed at
+	// its drop point, SubscribersDropped the drop-and-mark detachments.
+	SubscribersLive    atomic.Int64
+	StreamsServed      atomic.Int64
+	EventsPublished    atomic.Int64
+	EventsDropped      atomic.Int64
+	SubscribersDropped atomic.Int64
 
 	// Store traffic, counted by the instrumented store wrapper.
 	StorePuts    atomic.Int64
@@ -118,7 +128,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
 		counter("crowdfusion_select_cache_hits_total", "Selects served from the posterior-version cache.", m.SelectCacheHits.Load()) +
 		counter("crowdfusion_merges_applied_total", "Answer sets merged into posteriors.", m.MergesApplied.Load()) +
 		counter("crowdfusion_merge_replays_total", "Idempotent replays of already-applied answer sets.", m.MergeReplays.Load()) +
-		counter("crowdfusion_requests_rejected_total", "Requests rejected by backpressure.", m.RequestsRejected.Load())
+		counter("crowdfusion_partial_answers_total", "Partial judgment sets journaled against pending batches.", m.PartialAnswers.Load()) +
+		counter("crowdfusion_requests_rejected_total", "Requests rejected by backpressure.", m.RequestsRejected.Load()) +
+		gauge("crowdfusion_subscribers_live", "Event-stream subscribers currently attached.", float64(m.SubscribersLive.Load())) +
+		counter("crowdfusion_streams_served_total", "Event streams accepted.", m.StreamsServed.Load()) +
+		counter("crowdfusion_events_published_total", "Session events published to feeds.", m.EventsPublished.Load()) +
+		counter("crowdfusion_events_dropped_total", "Events lost to slow subscribers at their drop point.", m.EventsDropped.Load()) +
+		counter("crowdfusion_subscribers_dropped_total", "Subscribers detached for falling behind (drop-and-mark).", m.SubscribersDropped.Load())
 	for _, lt := range []struct {
 		name string
 		t    *latencyTracker

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +41,11 @@ type Config struct {
 	// store (PR 3's in-memory-only behavior). The server takes ownership
 	// and closes it on Close.
 	Store store.SessionStore
+	// MaxSubscribers caps concurrent event-stream (SSE) subscribers per
+	// session (0 = DefaultMaxSubscribers; negative = the default too).
+	// The cap bounds the fan-out work a merge performs: one non-blocking
+	// channel send per subscriber.
+	MaxSubscribers int
 	// Cluster, when set, makes serving shard-aware: this node only serves
 	// sessions the ring places on it, answers misrouted requests with
 	// HTTP 421 code "not_owner" + the owner's address, and relinquishes
@@ -100,6 +106,13 @@ type Server struct {
 	// drain them even if the HTTP listener has already stopped accepting.
 	inflight sync.WaitGroup
 
+	// streamStop ends every live SSE stream. Streams deliberately do NOT
+	// register with the drain group — an idle subscriber would park Close
+	// forever — so the daemon calls StopStreams from the HTTP server's
+	// shutdown hook instead, and handlers also select on this channel.
+	streamStop chan struct{}
+	streamOnce sync.Once
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -108,26 +121,30 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: &Metrics{},
-		gate:    make(chan struct{}, cfg.MaxConcurrent),
+		cfg:        cfg,
+		metrics:    &Metrics{},
+		gate:       make(chan struct{}, cfg.MaxConcurrent),
+		streamStop: make(chan struct{}),
 	}
 	sessionStore := cfg.Store
 	if sessionStore == nil {
 		sessionStore = store.NewMemory()
 	}
 	mgrCfg := ManagerConfig{
-		TTL:         cfg.TTL,
-		MaxSessions: cfg.MaxSessions,
-		Seed:        cfg.Seed,
-		Store:       instrumentedStore{inner: sessionStore, m: s.metrics},
-		Logf:        cfg.Logf,
-		now:         cfg.now,
+		TTL:            cfg.TTL,
+		MaxSessions:    cfg.MaxSessions,
+		Seed:           cfg.Seed,
+		MaxSubscribers: cfg.MaxSubscribers,
+		Store:          instrumentedStore{inner: sessionStore, m: s.metrics},
+		Logf:           cfg.Logf,
+		now:            cfg.now,
 	}
 	if cfg.Cluster != nil {
 		mgrCfg.Ownership = cfg.Cluster
 	}
 	s.mgr = NewManager(mgrCfg)
+	// Give the hub its counters before any traffic exists.
+	s.mgr.events.metrics = s.metrics
 	s.mgr.evicted = func(n int, dropped bool) {
 		if dropped {
 			s.metrics.SessionsEvicted.Add(int64(n))
@@ -165,8 +182,17 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.StopStreams()
 	s.inflight.Wait()
 	s.mgr.Close()
+}
+
+// StopStreams ends every live event stream (idempotent). The daemon
+// registers it with http.Server.RegisterOnShutdown so Shutdown's graceful
+// drain isn't parked behind open SSE connections; Close also calls it for
+// embedded servers that never ran an http.Server.
+func (s *Server) StopStreams() {
+	s.streamOnce.Do(func() { close(s.streamStop) })
 }
 
 // beginWork registers a unit of compute with the drain group, refusing
@@ -187,19 +213,85 @@ func (s *Server) beginWork() bool {
 	return true
 }
 
-// Handler returns the service's HTTP handler, with the request timeout
-// applied to every route.
+// Handler returns the service's HTTP handler. Request-response routes sit
+// behind the request timeout and the error-envelope middleware; the event
+// stream is routed on an outer mux because http.TimeoutHandler's response
+// writer hides http.Flusher (and a timeout makes no sense for a stream).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout,
+	// Non-GET hits on the events path fall through the outer mux's "/"
+	// route to here; register the path methodless so they get a proper 405
+	// with Allow instead of a 404.
+	mux.HandleFunc("/v1/sessions/{id}/events", s.handleEventsBadMethod)
+	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout,
 		`{"error":"request timed out"}`)
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	outer.Handle("/", envelopeErrors(timed))
+	return outer
+}
+
+// envelopeErrors rewrites the plain-text 404/405 defaults that ServeMux
+// (and http.Error) produce into the service's JSON ErrorResponse envelope,
+// so every error a client can provoke is machine-readable. Responses that
+// already declare a JSON body — everything the handlers write — pass
+// through untouched, as does the Allow header ServeMux sets on 405.
+func envelopeErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	req         *http.Request
+	wroteHeader bool
+	intercepted bool // swallowing a plain-text default body
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.wroteHeader = true
+	replaceable := (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json")
+	if !replaceable {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.intercepted = true
+	code := CodeNotFound
+	msg := fmt.Sprintf("service: no route for %s %s", w.req.Method, w.req.URL.Path)
+	if status == http.StatusMethodNotAllowed {
+		code = CodeMethodNotAllowed
+		msg = fmt.Sprintf("service: method %s not allowed for %s", w.req.Method, w.req.URL.Path)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.ResponseWriter.WriteHeader(status)
+	data, _ := json.MarshalIndent(ErrorResponse{Error: msg, Code: code}, "", "  ")
+	_, _ = w.ResponseWriter.Write(append(data, '\n'))
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		// The plain-text default body was replaced by the envelope; report
+		// it written so http.Error's caller sees no failure.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // writeJSON encodes v with the status code.
@@ -238,6 +330,14 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusConflict, CodeBudgetExhausted
 	case errors.Is(err, ErrTooManySessions):
 		status, code = http.StatusServiceUnavailable, CodeTooManySessions
+	case errors.Is(err, ErrNoPendingBatch):
+		status, code = http.StatusConflict, CodeNoPendingBatch
+	case errors.Is(err, ErrNotInBatch):
+		status, code = http.StatusBadRequest, CodeNotInBatch
+	case errors.Is(err, ErrAnswerConflict):
+		status, code = http.StatusConflict, CodeAnswerConflict
+	case errors.Is(err, ErrTooManySubscribers):
+		status, code = http.StatusTooManyRequests, CodeTooManySubscribers
 	case errors.Is(err, ErrStore):
 		status, code = http.StatusInternalServerError, CodeStoreFailure
 	case errors.Is(err, errSessionRetired):
@@ -475,10 +575,168 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.MergeLatency.observe(time.Since(start))
-	if resp.Merged {
+	switch {
+	case resp.Merged:
 		s.metrics.MergesApplied.Add(1)
-	} else {
+		if resp.Partial {
+			// The partial that completed its batch and committed it.
+			s.metrics.PartialAnswers.Add(1)
+		}
+	case resp.Partial:
+		s.metrics.PartialAnswers.Add(1)
+	default:
 		s.metrics.MergeReplays.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleList serves the paginated session listing: IDs ascending, owned
+// sessions only, resuming after the `after` cursor.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			writeError(w, fmt.Errorf("service: limit %q outside 1..1000", v))
+			return
+		}
+		limit = n
+	}
+	resp, err := s.mgr.ListSessions(q.Get("after"), limit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEventsBadMethod answers non-GET methods on the events path. The
+// outer mux routes only "GET …/events"; everything else falls through to
+// the inner mux, which would otherwise 404 this perfectly real path.
+func (s *Server) handleEventsBadMethod(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Allow", "GET")
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
+		Error: fmt.Sprintf("service: method %s not allowed for %s", r.Method, r.URL.Path),
+		Code:  CodeMethodNotAllowed,
+	})
+}
+
+// streamKeepalive is the SSE comment-ping cadence; it keeps idle streams
+// alive through proxies and lets the handler notice dead peers.
+const streamKeepalive = 15 * time.Second
+
+// handleEvents serves GET /v1/sessions/{id}/events: a Server-Sent Events
+// stream of session state transitions. Routed outside the timeout handler
+// (it needs http.Flusher and has no natural deadline) and outside the
+// compute slot gate (it does no posterior math — fan-out cost was already
+// bounded by the hub's non-blocking sends).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.streamStop:
+		writeShuttingDown(w)
+		return
+	default:
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			ErrorResponse{Error: "service: connection does not support streaming"})
+		return
+	}
+	var lastID uint64
+	hasLast := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, fmt.Errorf("service: Last-Event-ID %q is not an event sequence", v))
+			return
+		}
+		lastID, hasLast = n, true
+	}
+	id := r.PathValue("id")
+	sub, err := s.mgr.Subscribe(id, lastID, hasLast)
+	if errors.Is(err, errSessionRetired) {
+		// Unloaded between resolve and snapshot; re-resolve once.
+		sub, err = s.mgr.Subscribe(id, lastID, hasLast)
+	}
+	if err != nil {
+		s.countNotOwner(err)
+		writeError(w, err)
+		return
+	}
+	defer sub.cancel()
+	s.metrics.StreamsServed.Add(1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// lastSeq tracks the newest delivered event so a synthesized reset
+	// frame can carry a resumable id.
+	var lastSeq uint64
+	write := func(ev SessionEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		lastSeq = ev.Seq
+		fl.Flush()
+		return true
+	}
+	for _, ev := range sub.backlog {
+		if !write(ev) {
+			return
+		}
+	}
+	keepalive := time.NewTicker(streamKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev := <-sub.ch:
+			if !write(ev) {
+				return
+			}
+		case <-sub.done:
+			// Detached: session deleted/expired/redirected, hub shutdown, or
+			// this subscriber fell behind. Drain what was buffered before the
+			// detach (terminal goodbyes arrive this way), then tell a dropped
+			// consumer to reconnect and resume.
+			for {
+				select {
+				case ev := <-sub.ch:
+					if !write(ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if sub.dropped {
+				write(SessionEvent{
+					Seq:         lastSeq,
+					Type:        EventReset,
+					SessionInfo: SessionInfo{ID: id},
+					Error:       "subscriber fell behind; reconnect with Last-Event-ID to resume",
+				})
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.streamStop:
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }

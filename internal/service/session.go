@@ -27,6 +27,15 @@ var (
 	// applied (persistence happens before the in-memory commit, so a
 	// client seeing this error can safely retry).
 	ErrStore = errors.New("service: session store failure")
+	// ErrNoPendingBatch rejects a partial answer when no selection is
+	// outstanding at the current version: there is no batch to answer.
+	ErrNoPendingBatch = errors.New("service: no batch pending at the current version; select first")
+	// ErrNotInBatch rejects a partial answer naming a task outside the
+	// pending selected batch.
+	ErrNotInBatch = errors.New("service: partial answer names a task outside the pending batch")
+	// ErrAnswerConflict rejects a judgment contradicting one already
+	// journaled for the same task in the pending batch.
+	ErrAnswerConflict = errors.New("service: judgment contradicts one already recorded for this task")
 )
 
 // errSessionRetired reports that this Session instance was evicted,
@@ -70,6 +79,30 @@ type Session struct {
 	// merges logs applied answer sets by content hash for idempotent
 	// replay of retried merges.
 	merges map[uint64]*AnswersResponse
+
+	// Pending-batch ledger for incremental (answer-at-a-time) merging.
+	// While pendBatch is non-nil, the selected batch at the current
+	// version is being answered one judgment at a time: pendAns holds the
+	// judgments received so far, pendTaskH the batch's H(T) from
+	// selection, and pendPost the PROVISIONAL posterior — the committed
+	// (round-start) posterior conditioned on the answered prefix in ONE
+	// batch-order conditioning pass. Recomputing the provisional from the
+	// round start on every partial is what makes the eventual commit
+	// bit-identical to a batched merge: when the ledger covers the batch,
+	// the provisional IS core.MergeAnswers(roundStart, batch, answers, pc)
+	// — the exact call the batched path makes. s.posterior itself never
+	// moves until commit, so budget and version advance exactly once.
+	pendBatch []int
+	pendAns   map[int]bool
+	pendTaskH float64
+	pendPost  *dist.Joint
+
+	// emit, when set, receives a SessionEvent for every state transition
+	// (select, partial, merge, done). It is invoked while HOLDING mu —
+	// transitions are published in exactly the order they commit — so the
+	// hook must never block (the manager's event hub fans out through
+	// bounded non-blocking buffers). Nil for sessions without a manager.
+	emit func(ev SessionEvent)
 
 	// lastAccess is the eviction clock, guarded by mu (updated by every
 	// operation through touch).
@@ -130,16 +163,23 @@ func (s *Session) idleSince() time.Time {
 	return s.lastAccess
 }
 
-// infoLocked snapshots the client-visible state; callers hold mu.
+// infoLocked snapshots the client-visible state; callers hold mu. While a
+// partial answer sequence is in flight the distribution fields reflect the
+// provisional posterior, Version stays at the committed version, and
+// Pending describes the ledger.
 func (s *Session) infoLocked(withRounds bool) SessionInfo {
+	post := s.posterior
+	if s.pendPost != nil {
+		post = s.pendPost
+	}
 	info := SessionInfo{
 		ID:          s.id,
 		Version:     s.version,
-		N:           s.posterior.N(),
-		SupportSize: s.posterior.SupportSize(),
-		Marginals:   append([]float64(nil), s.posterior.Marginals()...),
-		Entropy:     s.posterior.Entropy(),
-		Utility:     s.posterior.Utility(),
+		N:           post.N(),
+		SupportSize: post.SupportSize(),
+		Marginals:   append([]float64(nil), post.Marginals()...),
+		Entropy:     post.Entropy(),
+		Utility:     post.Utility(),
 		Spent:       s.spent,
 		Budget:      s.budget,
 		K:           s.k,
@@ -147,10 +187,62 @@ func (s *Session) infoLocked(withRounds bool) SessionInfo {
 		Selector:    s.selName,
 		Done:        s.done || s.spent >= s.budget,
 	}
+	if s.pendBatch != nil {
+		p := &PendingInfo{
+			Version:   s.version,
+			Tasks:     append([]int(nil), s.pendBatch...),
+			Answered:  []AnswerEvent{},
+			Remaining: []int{},
+		}
+		for _, t := range s.pendBatch {
+			if a, ok := s.pendAns[t]; ok {
+				p.Answered = append(p.Answered, AnswerEvent{Task: t, Answer: a})
+			} else {
+				p.Remaining = append(p.Remaining, t)
+			}
+		}
+		info.Pending = p
+	}
 	if withRounds {
 		info.Rounds = append([]RoundInfo(nil), s.rounds...)
 	}
 	return info
+}
+
+// emitLocked publishes a state-transition event; callers hold mu. mutate,
+// when non-nil, decorates the event (select batches, redirect owners).
+func (s *Session) emitLocked(typ string, mutate func(*SessionEvent)) {
+	if s.emit == nil {
+		return
+	}
+	ev := SessionEvent{Type: typ, SessionInfo: s.infoLocked(false)}
+	if mutate != nil {
+		mutate(&ev)
+	}
+	s.emit(ev)
+}
+
+// withSnapshot runs f with the current client-visible state while holding
+// the session mutex. Events are published under this same mutex, so
+// nothing can be published between the snapshot f sees and whatever
+// registration f performs — the foundation of gapless SSE subscription.
+func (s *Session) withSnapshot(now time.Time, f func(info SessionInfo)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return errSessionRetired
+	}
+	s.touch(now)
+	f(s.infoLocked(false))
+	return nil
+}
+
+// peekInfo returns the state WITHOUT advancing the TTL clock — listing a
+// node's sessions must not keep every listed session resident forever.
+func (s *Session) peekInfo() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(false)
 }
 
 // Info returns the session state, with the per-round trace when withRounds
@@ -177,6 +269,20 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 		return nil, false, errSessionRetired
 	}
 	s.touch(now)
+
+	if s.pendBatch != nil {
+		// An incremental answer sequence is in flight: the pending batch
+		// IS the outstanding selection. It stays pinned (even across a k
+		// override) until the ledger commits — swapping batches mid-answer
+		// would orphan journaled judgments.
+		cached := SelectResponse{
+			Tasks:       append([]int(nil), s.pendBatch...),
+			TaskEntropy: s.pendTaskH,
+			Version:     s.version,
+			Cached:      true,
+		}
+		return &cached, true, nil
+	}
 
 	k := s.k
 	if kOverride > 0 {
@@ -214,6 +320,7 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 			// the failure in the store metrics.
 			_ = s.persist(store.Op{Kind: store.OpDone, Version: s.version, Time: now})
 		}
+		s.emitLocked(EventDone, nil)
 	} else {
 		h, err := core.TaskEntropy(s.posterior, tasks, s.pc)
 		if err != nil {
@@ -224,6 +331,11 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 	s.sel = resp
 	s.selVersion = s.version
 	s.selK = k
+	if len(tasks) > 0 {
+		s.emitLocked(EventSelect, func(ev *SessionEvent) {
+			ev.Tasks = append([]int(nil), tasks...)
+		})
+	}
 	return resp, false, nil
 }
 
@@ -265,6 +377,13 @@ func answerSetHash(version int, tasks []int, answers []bool) uint64 {
 // as a retry; clients that intend to submit an identical answer set twice
 // (possible when the selector re-picks the same tasks and the crowd answers
 // identically) must thread the version through to disambiguate.
+//
+// Partial requests (and any request arriving while a partial sequence is
+// in flight) take the incremental path: judgments accumulate against the
+// pending selected batch, each journaled through the store before it is
+// acknowledged, and the batch commits — spending budget and advancing the
+// version exactly once — when the ledger covers the batch. Retried
+// prefixes replay idempotently, before and after the commit.
 func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -283,6 +402,11 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 			replay.Merged = false
 			return &replay, nil
 		}
+	}
+	if req.Partial || s.pendBatch != nil {
+		return s.mergePartialLocked(now, req)
+	}
+	if req.Version != nil {
 		if *req.Version != s.version {
 			return nil, ErrVersionConflict
 		}
@@ -319,18 +443,27 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 	if err != nil {
 		return nil, fmt.Errorf("service: merge: %w", err)
 	}
+	return s.commitLocked(now, req.Tasks, req.Answers, taskH, updated, false)
+}
 
+// commitLocked durably applies one complete answer set and advances the
+// version; callers hold mu and have already conditioned the posterior.
+// Persist-then-commit: the op is durable (fsynced, for durable stores)
+// before any in-memory state changes, so an acknowledged merge can never
+// be lost — and a failed persist leaves the session exactly as it was,
+// safe for the client to retry.
+func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH float64, updated *dist.Joint, partial bool) (*AnswersResponse, error) {
+	if s.spent+len(tasks) > s.budget {
+		return nil, fmt.Errorf("%w: %d spent of %d, %d more requested",
+			ErrBudgetExhausted, s.spent, s.budget, len(tasks))
+	}
 	mergedAt := s.version
-	// Persist-then-commit: the op is durable (fsynced, for durable stores)
-	// before any in-memory state changes, so an acknowledged merge can
-	// never be lost — and a failed persist leaves the session exactly as
-	// it was, safe for the client to retry.
 	if s.persist != nil {
 		op := store.Op{
 			Kind:    store.OpMerge,
 			Version: mergedAt,
-			Tasks:   append([]int(nil), req.Tasks...),
-			Answers: append([]bool(nil), req.Answers...),
+			Tasks:   append([]int(nil), tasks...),
+			Answers: append([]bool(nil), answers...),
 			Time:    now,
 		}
 		if err := s.persist(op); err != nil {
@@ -339,21 +472,163 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 	}
 	s.posterior = updated
 	s.version++
-	s.spent += len(req.Tasks)
+	s.spent += len(tasks)
 	s.sel = nil    // selection cache is bound to the previous posterior
 	s.done = false // the new posterior may be uncertain again; re-derive
+	s.pendBatch, s.pendAns, s.pendPost, s.pendTaskH = nil, nil, nil, 0
 	s.rounds = append(s.rounds, RoundInfo{
 		Round:   s.version,
-		Tasks:   append([]int(nil), req.Tasks...),
-		Answers: append([]bool(nil), req.Answers...),
+		Tasks:   append([]int(nil), tasks...),
+		Answers: append([]bool(nil), answers...),
 		CumCost: s.spent,
 		Entropy: updated.Entropy(),
 		TaskH:   taskH,
 	})
 
-	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: true}
-	s.merges[answerSetHash(mergedAt, req.Tasks, req.Answers)] = resp
+	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: true, Partial: partial}
+	s.merges[answerSetHash(mergedAt, tasks, answers)] = resp
+	s.emitLocked(EventMerge, nil)
 	return resp, nil
+}
+
+// mergePartialLocked is the incremental answer path; callers hold mu.
+//
+// The bit-identity contract: the ledger never conditions the committed
+// posterior step by step. Every partial recomputes the provisional
+// posterior as ONE batch conditioning of the answered prefix (in batch
+// order) against the round-start posterior, so when the final judgment
+// arrives the provisional is literally core.MergeAnswers(roundStart,
+// batch, answers, pc) — the same call, on the same inputs, the batched
+// path makes — and the commit reuses it. Budget is spent only inside that
+// commit, so no retry of any prefix can double-spend.
+func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
+	if req.Version != nil {
+		if *req.Version > s.version {
+			return nil, ErrVersionConflict
+		}
+		if *req.Version < s.version {
+			// The batch these judgments belong to already committed. A
+			// retried prefix replays idempotently iff every judgment
+			// matches the committed round; anything else is a conflict.
+			return s.replayCommittedPartialLocked(*req.Version, req)
+		}
+	}
+
+	batch := s.pendBatch
+	if batch == nil {
+		// First partial of a sequence: pin the outstanding selection.
+		if s.sel == nil || s.selVersion != s.version || len(s.sel.Tasks) == 0 {
+			return nil, ErrNoPendingBatch
+		}
+		batch = s.sel.Tasks
+	}
+
+	// Validate the judgments against the batch and the ledger before
+	// touching any state.
+	var newTasks []int
+	var newAns []bool
+	for i, t := range req.Tasks {
+		if !slices.Contains(batch, t) {
+			return nil, fmt.Errorf("%w: task %d", ErrNotInBatch, t)
+		}
+		if a, ok := s.pendAns[t]; ok {
+			if a != req.Answers[i] {
+				return nil, fmt.Errorf("%w: task %d", ErrAnswerConflict, t)
+			}
+			continue // idempotent duplicate of a journaled judgment
+		}
+		if j := slices.Index(newTasks, t); j >= 0 {
+			if newAns[j] != req.Answers[i] {
+				return nil, fmt.Errorf("%w: task %d (twice in one request)", ErrAnswerConflict, t)
+			}
+			continue
+		}
+		newTasks = append(newTasks, t)
+		newAns = append(newAns, req.Answers[i])
+	}
+	if len(newTasks) == 0 {
+		// Pure replay of already-journaled judgments.
+		return &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}, nil
+	}
+
+	if s.pendBatch == nil {
+		s.pendBatch = append([]int(nil), batch...)
+		s.pendAns = make(map[int]bool, len(batch))
+		s.pendTaskH = s.sel.TaskEntropy
+	}
+
+	// The provisional posterior: one batch conditioning of the answered
+	// prefix, in batch order, against the round-start posterior.
+	prefT := make([]int, 0, len(s.pendAns)+len(newTasks))
+	prefA := make([]bool, 0, len(s.pendAns)+len(newTasks))
+	for _, t := range s.pendBatch {
+		if a, ok := s.pendAns[t]; ok {
+			prefT = append(prefT, t)
+			prefA = append(prefA, a)
+		} else if j := slices.Index(newTasks, t); j >= 0 {
+			prefT = append(prefT, t)
+			prefA = append(prefA, newAns[j])
+		}
+	}
+	updated, err := core.MergeAnswers(s.posterior, prefT, prefA, s.pc)
+	if err != nil {
+		return nil, fmt.Errorf("service: merge: %w", err)
+	}
+
+	if len(prefT) == len(s.pendBatch) {
+		// The ledger now covers the batch: commit. The completing
+		// judgments are journaled as the batch's OpMerge (inside the
+		// commit), never as a partial op — the durable ledger stays a
+		// strict subset of its batch, so crash recovery always re-enters
+		// the incremental path instead of committing mid-replay.
+		resp, err := s.commitLocked(now, prefT, prefA, s.pendTaskH, updated, true)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+
+	// Journal-then-commit, same discipline as merges: the judgments are
+	// durable before they are acknowledged or visible.
+	if s.persist != nil {
+		op := store.Op{
+			Kind:    store.OpPartial,
+			Version: s.version,
+			Tasks:   append([]int(nil), newTasks...),
+			Answers: append([]bool(nil), newAns...),
+			Batch:   append([]int(nil), s.pendBatch...),
+			Time:    now,
+		}
+		if err := s.persist(op); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
+	for i, t := range newTasks {
+		s.pendAns[t] = newAns[i]
+	}
+	s.pendPost = updated
+	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}
+	s.emitLocked(EventPartial, nil)
+	return resp, nil
+}
+
+// replayCommittedPartialLocked serves a retried partial prefix whose batch
+// has already committed: idempotent (Merged=false, no spend) when every
+// judgment matches the committed round at that version, ErrVersionConflict
+// otherwise. The response carries the CURRENT state — the prefix's
+// provisional posteriors are gone once the batch commits.
+func (s *Session) replayCommittedPartialLocked(version int, req *AnswersRequest) (*AnswersResponse, error) {
+	if version < 0 || version >= len(s.rounds) {
+		return nil, ErrVersionConflict
+	}
+	r := s.rounds[version] // the round committed FROM that version
+	for i, t := range req.Tasks {
+		j := slices.Index(r.Tasks, t)
+		if j < 0 || r.Answers[j] != req.Answers[i] {
+			return nil, ErrVersionConflict
+		}
+	}
+	return &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}, nil
 }
 
 // Posterior returns the current posterior distribution (immutable; safe to
@@ -396,6 +671,15 @@ func (s *Session) recordLocked() *store.Record {
 			Version: r.Round - 1, // Round is 1-based; the op version is the pre-merge version
 			Tasks:   append([]int(nil), r.Tasks...),
 			Answers: append([]bool(nil), r.Answers...),
+		}
+	}
+	if s.pendBatch != nil {
+		rec.PendingBatch = append([]int(nil), s.pendBatch...)
+		for _, t := range s.pendBatch {
+			if a, ok := s.pendAns[t]; ok {
+				rec.PendingTasks = append(rec.PendingTasks, t)
+				rec.PendingAnswers = append(rec.PendingAnswers, a)
+			}
 		}
 	}
 	return rec
@@ -484,5 +768,39 @@ func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
 	s.mu.Lock()
 	s.done = rec.Done
 	s.mu.Unlock()
+	if len(rec.PendingBatch) > 0 {
+		// A partial answer sequence was in flight at the crash. Re-pin
+		// the recorded batch as the outstanding selection (TaskEntropy is
+		// deterministic in the posterior, so recomputing it reproduces
+		// the pre-crash value), then replay the journaled judgments
+		// through the same partial path that first recorded them — the
+		// provisional posterior comes back bit-identical.
+		s.mu.Lock()
+		taskH, err := core.TaskEntropy(s.posterior, rec.PendingBatch, s.pc)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("service: restoring session %s: pending batch: %w", rec.ID, err)
+		}
+		s.sel = &SelectResponse{
+			Tasks:       append([]int(nil), rec.PendingBatch...),
+			TaskEntropy: taskH,
+			Version:     s.version,
+		}
+		s.selVersion = s.version
+		s.selK = len(rec.PendingBatch)
+		v := s.version
+		s.mu.Unlock()
+		if len(rec.PendingTasks) > 0 {
+			req := &AnswersRequest{
+				Tasks:   rec.PendingTasks,
+				Answers: rec.PendingAnswers,
+				Version: &v,
+				Partial: true,
+			}
+			if _, err := s.Merge(now, req); err != nil {
+				return nil, fmt.Errorf("service: restoring session %s: replaying pending ledger: %w", rec.ID, err)
+			}
+		}
+	}
 	return s, nil
 }

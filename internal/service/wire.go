@@ -176,6 +176,12 @@ type SessionInfo struct {
 	// Done reports that no further refinement will happen: the budget is
 	// exhausted or the last selection found nothing uncertain to ask.
 	Done bool `json:"done"`
+	// Pending describes the partially answered batch, when an incremental
+	// answer sequence is in flight. While it is set, Marginals/Entropy/
+	// Utility reflect the *provisional* posterior — the round-start
+	// posterior conditioned on the judgments received so far — whereas
+	// Version still names the last committed posterior.
+	Pending *PendingInfo `json:"pending,omitempty"`
 	// Rounds is the per-round trace (tasks, answers, posterior entropy).
 	Rounds []RoundInfo `json:"rounds,omitempty"`
 }
@@ -234,6 +240,12 @@ type AnswersRequest struct {
 	Tasks   []int  `json:"tasks"`
 	Answers []bool `json:"answers"`
 	Version *int   `json:"version,omitempty"`
+	// Partial marks the judgments as a subset of the pending selected
+	// batch rather than a complete answer set. Partial submissions
+	// accumulate in a journaled ledger; when the ledger covers the batch,
+	// the merge commits with a posterior bit-identical to submitting the
+	// whole batch at once, and budget is spent exactly once, at commit.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Validate checks the shape of the request; semantic validation (range,
@@ -254,6 +266,32 @@ func (r *AnswersRequest) Validate() error {
 type AnswersResponse struct {
 	SessionInfo
 	Merged bool `json:"merged"`
+	// Partial reports that the request joined an incremental answer
+	// sequence: judgments were recorded (or replayed) against the pending
+	// batch. When Merged is also true, this request's judgments completed
+	// the batch and the merge committed.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// AnswerEvent is one crowd judgment: worker said Answer for task Task.
+type AnswerEvent struct {
+	Task   int  `json:"task"`
+	Answer bool `json:"answer"`
+}
+
+// PendingInfo describes a partially answered batch: the selection being
+// answered one judgment at a time, which judgments have arrived, and which
+// tasks remain before the batch commits.
+type PendingInfo struct {
+	// Version is the committed posterior version the batch was selected
+	// against — the version the commit will advance from.
+	Version int `json:"version"`
+	// Tasks is the full selected batch, in selection order.
+	Tasks []int `json:"tasks"`
+	// Answered lists the judgments received so far, in batch order.
+	Answered []AnswerEvent `json:"answered"`
+	// Remaining lists the batch tasks still awaiting judgments.
+	Remaining []int `json:"remaining"`
 }
 
 // Machine-readable error codes carried by ErrorResponse.Code, for clients
@@ -269,6 +307,20 @@ const (
 	// CodeNotOwner (HTTP 421) means another node serves this session; the
 	// envelope's Owner field carries its address. Clients retry there.
 	CodeNotOwner = "not_owner"
+	// CodeMethodNotAllowed (HTTP 405) accompanies an Allow header listing
+	// the methods the route supports.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNoPendingBatch rejects a partial answer when no selection is
+	// outstanding at the current version — select a batch first.
+	CodeNoPendingBatch = "no_pending_batch"
+	// CodeNotInBatch rejects a partial answer naming a task outside the
+	// pending selected batch.
+	CodeNotInBatch = "not_in_batch"
+	// CodeAnswerConflict rejects a judgment that contradicts one already
+	// journaled for the same task in the pending batch.
+	CodeAnswerConflict = "answer_conflict"
+	// CodeTooManySubscribers (HTTP 429) caps per-session SSE fan-out.
+	CodeTooManySubscribers = "too_many_subscribers"
 )
 
 // ErrorResponse is the uniform error envelope of every non-2xx response.
@@ -279,4 +331,77 @@ type ErrorResponse struct {
 	// Owner accompanies code "not_owner": the base address of the node
 	// that serves the session this request addressed.
 	Owner string `json:"owner,omitempty"`
+}
+
+// SSE event types carried by GET /v1/sessions/{id}/events. Each event's
+// data is a SessionEvent; the SSE id field is the event's Seq, which a
+// reconnecting subscriber echoes as Last-Event-ID to resume.
+const (
+	// EventSnapshot opens a stream (or re-opens one whose resume point
+	// fell outside the replay window): the full current state.
+	EventSnapshot = "snapshot"
+	// EventSelect announces a freshly selected batch (Tasks).
+	EventSelect = "select"
+	// EventPartial announces journaled judgments for the pending batch;
+	// the payload carries the provisional posterior.
+	EventPartial = "partial"
+	// EventMerge announces a committed answer set and the new posterior.
+	EventMerge = "merge"
+	// EventDone announces the done latch: nothing uncertain remains or the
+	// budget is exhausted.
+	EventDone = "done"
+	// EventExpire terminates the stream: the TTL janitor dropped the
+	// session from a volatile store.
+	EventExpire = "expire"
+	// EventDeleted terminates the stream: the session was deleted.
+	EventDeleted = "deleted"
+	// EventRedirect terminates the stream: ownership moved; Owner carries
+	// the address of the node now serving the session. Re-subscribe there.
+	EventRedirect = "redirect"
+	// EventReset terminates the stream server-side: this subscriber fell
+	// behind and events were dropped. Reconnect (Last-Event-ID resumes
+	// from the replay window, or a fresh snapshot is sent).
+	EventReset = "reset"
+	// EventError is synthesized by the Go client's Watch when a stream
+	// fails terminally; the server never sends it. Error carries details.
+	EventError = "error"
+)
+
+// SessionEvent is one state-transition delta on the session event stream.
+// Seq is the per-session stream sequence number (the SSE id); the embedded
+// SessionInfo is the state after the transition — provisional while a
+// partial sequence is in flight, committed otherwise.
+type SessionEvent struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+	SessionInfo
+	// Tasks accompanies select events: the batch just chosen.
+	Tasks []int `json:"tasks,omitempty"`
+	// Owner accompanies redirect events: where to re-subscribe.
+	Owner string `json:"owner,omitempty"`
+	// Error accompanies client-synthesized error events.
+	Error string `json:"error,omitempty"`
+}
+
+// SessionSummary is one row of GET /v1/sessions: enough to triage a node's
+// sessions without loading them.
+type SessionSummary struct {
+	ID      string `json:"id"`
+	Version int    `json:"version"`
+	Spent   int    `json:"spent"`
+	Budget  int    `json:"budget"`
+	Done    bool   `json:"done"`
+	// Resident reports whether the session is live in memory. Entropy is
+	// present only for resident sessions — computing it for an unloaded
+	// session would force a full record replay per listed row.
+	Resident bool     `json:"resident"`
+	Entropy  *float64 `json:"entropy,omitempty"`
+}
+
+// ListSessionsResponse is the paginated body of GET /v1/sessions.
+// Sessions are ordered by ID; NextAfter, when set, is the cursor for the
+// next page (pass it as ?after=).
+type ListSessionsResponse struct {
+	Sessions  []SessionSummary `json:"sessions"`
+	NextAfter string           `json:"next_after,omitempty"`
 }

@@ -77,10 +77,16 @@ type File struct {
 }
 
 // fileSessionState is the in-memory bookkeeping for one session's files.
+// pendBatch/pendDone mirror the record's pending ledger so partial appends
+// can be validated without re-reading the log: an append this state admits
+// is exactly an op the read path's fold will accept — the store never
+// acknowledges a partial that a later Get would truncate as corrupt.
 type fileSessionState struct {
-	logged  int   // ops in the log since the last snapshot
-	nextVer int   // merge version the next logged op must carry
-	logSize int64 // verified log bytes on disk as of the last read/write
+	logged    int   // ops in the log since the last snapshot
+	nextVer   int   // merge version the next logged op must carry
+	logSize   int64 // verified log bytes on disk as of the last read/write
+	pendBatch []int // pending batch, nil when no ledger is open
+	pendDone  []int // batch tasks already judged
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -175,7 +181,13 @@ func (s *File) putLocked(rec *Record) error {
 	if err := os.Remove(s.logPath(rec.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: truncating log %s: %w", rec.ID, err)
 	}
-	s.setState(rec.ID, fileSessionState{logged: 0, nextVer: len(rec.Ops), logSize: 0})
+	s.setState(rec.ID, fileSessionState{
+		logged:    0,
+		nextVer:   len(rec.Ops),
+		logSize:   0,
+		pendBatch: append([]int(nil), rec.PendingBatch...),
+		pendDone:  append([]int(nil), rec.PendingTasks...),
+	})
 	return nil
 }
 
@@ -243,7 +255,7 @@ func (s *File) Append(id string, op Op) error {
 	// would let its in-memory state part ways with disk. (The skip-stale
 	// tolerance lives only on the read path, where it heals the log a
 	// crashed compaction leaves behind.)
-	if op.Kind != OpMerge && op.Kind != OpDone {
+	if op.Kind != OpMerge && op.Kind != OpDone && op.Kind != OpPartial {
 		return fmt.Errorf("%w: op kind %q for %s", ErrCorrupt, op.Kind, id)
 	}
 	if op.Version != st.nextVer {
@@ -253,6 +265,41 @@ func (s *File) Append(id string, op Op) error {
 	if op.Kind == OpMerge && (len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers)) {
 		return fmt.Errorf("%w: merge op for %s has %d tasks, %d answers",
 			ErrCorrupt, id, len(op.Tasks), len(op.Answers))
+	}
+	if op.Kind == OpPartial {
+		if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) || len(op.Batch) == 0 {
+			return fmt.Errorf("%w: partial op for %s has %d tasks, %d answers, batch %d",
+				ErrCorrupt, id, len(op.Tasks), len(op.Answers), len(op.Batch))
+		}
+		// Semantic gate, mirroring fold: membership in the open ledger's
+		// batch, no duplicate judgments, strict subset of the batch.
+		batch := st.pendBatch
+		if len(batch) == 0 {
+			batch = op.Batch
+		}
+		inBatch := make(map[int]bool, len(batch))
+		for _, task := range batch {
+			inBatch[task] = true
+		}
+		judged := make(map[int]bool, len(st.pendDone))
+		for _, task := range st.pendDone {
+			judged[task] = true
+		}
+		for _, task := range op.Tasks {
+			if !inBatch[task] {
+				return fmt.Errorf("%w: partial op for %s judges task %d outside batch %v",
+					ErrCorrupt, id, task, batch)
+			}
+			if judged[task] {
+				return fmt.Errorf("%w: partial op for %s re-judges task %d",
+					ErrCorrupt, id, task)
+			}
+			judged[task] = true
+		}
+		if len(st.pendDone)+len(op.Tasks) >= len(batch) {
+			return fmt.Errorf("%w: partial ops for %s would cover batch %v; a complete round must arrive as its merge op",
+				ErrCorrupt, id, batch)
+		}
 	}
 
 	line, err := json.Marshal(op)
@@ -276,8 +323,15 @@ func (s *File) Append(id string, op Op) error {
 
 	st.logged++
 	st.logSize += int64(len(line))
-	if op.Kind == OpMerge {
+	switch op.Kind {
+	case OpMerge:
 		st.nextVer++
+		st.pendBatch, st.pendDone = nil, nil
+	case OpPartial:
+		if len(st.pendBatch) == 0 {
+			st.pendBatch = append([]int(nil), op.Batch...)
+		}
+		st.pendDone = append(append([]int(nil), st.pendDone...), op.Tasks...)
 	}
 	s.setState(id, st)
 	if st.logged >= s.compactEvery {
@@ -364,7 +418,13 @@ func (s *File) getLocked(id string) (*Record, error) {
 			return nil, fmt.Errorf("store: repairing log %s: %w", id, err)
 		}
 	}
-	s.setState(id, fileSessionState{logged: logged, nextVer: len(rec.Ops), logSize: int64(good)})
+	s.setState(id, fileSessionState{
+		logged:    logged,
+		nextVer:   len(rec.Ops),
+		logSize:   int64(good),
+		pendBatch: append([]int(nil), rec.PendingBatch...),
+		pendDone:  append([]int(nil), rec.PendingTasks...),
+	})
 	return rec, nil
 }
 

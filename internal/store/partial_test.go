@@ -1,0 +1,179 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestConformancePartialOpsFoldIntoPending: partial ops accumulate a
+// pending ledger without advancing the version, and the committing merge
+// clears it.
+func TestConformancePartialOpsFoldIntoPending(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-partial")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		// Two partial judgments against a three-task batch at version 2.
+		batch := []int{0, 1, 2}
+		if err := s.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{1}, Answers: []bool{true}, Batch: batch}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{0}, Answers: []bool{false}, Batch: batch}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Ops) != 2 {
+			t.Fatalf("partials advanced the version: %d ops", len(got.Ops))
+		}
+		if !reflect.DeepEqual(got.PendingBatch, batch) ||
+			!reflect.DeepEqual(got.PendingTasks, []int{1, 0}) ||
+			!reflect.DeepEqual(got.PendingAnswers, []bool{true, false}) {
+			t.Fatalf("pending ledger %v/%v/%v", got.PendingBatch, got.PendingTasks, got.PendingAnswers)
+		}
+		// The committing merge carries the whole batch at the same version
+		// and clears the ledger.
+		if err := s.Append(rec.ID, Op{Kind: OpMerge, Version: 2, Tasks: batch, Answers: []bool{false, true, true}}); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Ops) != 3 || got.PendingBatch != nil || got.PendingTasks != nil || got.PendingAnswers != nil {
+			t.Fatalf("commit did not clear the ledger: %d ops, pending %v", len(got.Ops), got.PendingBatch)
+		}
+	})
+}
+
+// TestConformancePartialOpValidation: malformed partials are rejected at
+// append time, never half-applied.
+func TestConformancePartialOpValidation(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-partial-bad")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		batch := []int{0, 1, 2}
+		bad := []Op{
+			// No batch.
+			{Kind: OpPartial, Version: 2, Tasks: []int{0}, Answers: []bool{true}},
+			// Unpaired judgments.
+			{Kind: OpPartial, Version: 2, Tasks: []int{0, 1}, Answers: []bool{true}, Batch: batch},
+			// Wrong version.
+			{Kind: OpPartial, Version: 5, Tasks: []int{0}, Answers: []bool{true}, Batch: batch},
+			// Task outside the batch.
+			{Kind: OpPartial, Version: 2, Tasks: []int{7}, Answers: []bool{true}, Batch: batch},
+			// Covers the whole batch: a complete ledger must arrive as its
+			// OpMerge, never as partials (the strict-subset invariant).
+			{Kind: OpPartial, Version: 2, Tasks: batch, Answers: []bool{true, true, true}, Batch: batch},
+		}
+		for i, op := range bad {
+			if err := s.Append(rec.ID, op); err == nil {
+				t.Fatalf("bad partial %d accepted: %+v", i, op)
+			}
+		}
+		// Duplicate judgment across two appends: second must fail.
+		if err := s.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{0}, Answers: []bool{true}, Batch: batch}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{0}, Answers: []bool{false}, Batch: batch}); err == nil {
+			t.Fatal("duplicate pending judgment accepted")
+		}
+		// Second fresh judgment completing the batch as partials: rejected.
+		if err := s.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{1, 2}, Answers: []bool{true, false}, Batch: batch}); err == nil {
+			t.Fatal("ledger-completing partial accepted")
+		}
+		// The record is still readable and unchanged beyond the one good op.
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.PendingTasks, []int{0}) {
+			t.Fatalf("pending after rejections: %v", got.PendingTasks)
+		}
+	})
+}
+
+// TestConformancePutValidatesPending: a snapshot whose ledger breaks the
+// invariants (complete coverage, unpaired slices) is refused.
+func TestConformancePutValidatesPending(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-pending-snapshot")
+		rec.PendingBatch = []int{0, 1}
+		rec.PendingTasks = []int{0}
+		rec.PendingAnswers = []bool{true}
+		if err := s.Put(rec); err != nil {
+			t.Fatalf("valid pending snapshot refused: %v", err)
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.PendingBatch, rec.PendingBatch) || !reflect.DeepEqual(got.PendingTasks, rec.PendingTasks) {
+			t.Fatalf("pending snapshot round trip: %+v", got)
+		}
+
+		complete := testRecord("sess-pending-complete")
+		complete.PendingBatch = []int{0, 1}
+		complete.PendingTasks = []int{0, 1}
+		complete.PendingAnswers = []bool{true, false}
+		if err := s.Put(complete); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("complete ledger snapshot: %v", err)
+		}
+		unpaired := testRecord("sess-pending-unpaired")
+		unpaired.PendingBatch = []int{0, 1}
+		unpaired.PendingTasks = []int{0}
+		if err := s.Put(unpaired); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unpaired ledger snapshot: %v", err)
+		}
+	})
+}
+
+// TestFilePartialSurvivesReopen: the pending ledger is durable — a fresh
+// store over the same directory folds the logged partials back in.
+func TestFilePartialSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("sess-partial-reopen")
+	if err := fs.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	batch := []int{0, 2}
+	if err := fs.Append(rec.ID, Op{Kind: OpPartial, Version: 2, Tasks: []int{2}, Answers: []bool{true}, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	fs2, err := NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, err := fs2.Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PendingBatch, batch) || !reflect.DeepEqual(got.PendingTasks, []int{2}) ||
+		!reflect.DeepEqual(got.PendingAnswers, []bool{true}) || len(got.Ops) != 2 {
+		t.Fatalf("reopened ledger %v/%v/%v with %d ops", got.PendingBatch, got.PendingTasks, got.PendingAnswers, len(got.Ops))
+	}
+	// The ledger can still be committed after reopen.
+	if err := fs2.Append(rec.ID, Op{Kind: OpMerge, Version: 2, Tasks: batch, Answers: []bool{true, false}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PendingBatch != nil || len(got.Ops) != 3 {
+		t.Fatalf("post-commit record: pending %v, %d ops", got.PendingBatch, len(got.Ops))
+	}
+}

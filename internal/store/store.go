@@ -46,6 +46,13 @@ const (
 	OpMerge = "merge"
 	// OpDone latches session completion at Version. It carries no tasks.
 	OpDone = "done"
+	// OpPartial journals single crowd judgments for the batch selected at
+	// Version, before the batch is complete. Partial ops accumulate into
+	// the record's pending ledger and do not advance the version; the
+	// OpMerge that eventually commits the batch supersedes them. Batch
+	// carries the full selected batch so recovery can re-pin the exact
+	// selection the judgments answer.
+	OpPartial = "partial"
 )
 
 // Op is one logged state transition. Merge ops are ordered by Version: the
@@ -57,6 +64,9 @@ type Op struct {
 	Version int    `json:"version"`
 	Tasks   []int  `json:"tasks,omitempty"`
 	Answers []bool `json:"answers,omitempty"`
+	// Batch is the full selected batch a partial op's judgments belong to,
+	// in selection order. Only OpPartial carries it.
+	Batch []int `json:"batch,omitempty"`
 	// Time advances the record's LastAccess on load; it never affects
 	// replay arithmetic.
 	Time time.Time `json:"time,omitzero"`
@@ -95,6 +105,18 @@ type Record struct {
 
 	Done bool `json:"done,omitempty"`
 	Ops  []Op `json:"ops,omitempty"`
+
+	// Pending ledger: crowd judgments journaled for the batch selected at
+	// version len(Ops) but not yet committed by a merge. PendingBatch is
+	// the full selected batch in selection order; PendingTasks/
+	// PendingAnswers are the judgments received so far, in arrival order.
+	// The ledger is always a strict subset of the batch — the judgment
+	// that completes a batch is journaled as its OpMerge, never as a
+	// partial — so recovery re-enters the incremental path rather than
+	// committing.
+	PendingBatch   []int  `json:"pending_batch,omitempty"`
+	PendingTasks   []int  `json:"pending_tasks,omitempty"`
+	PendingAnswers []bool `json:"pending_answers,omitempty"`
 }
 
 // SessionStore persists session records. Implementations must be safe for
@@ -143,6 +165,9 @@ func (r *Record) Clone() *Record {
 	for i, op := range r.Ops {
 		c.Ops[i] = op.clone()
 	}
+	c.PendingBatch = append([]int(nil), r.PendingBatch...)
+	c.PendingTasks = append([]int(nil), r.PendingTasks...)
+	c.PendingAnswers = append([]bool(nil), r.PendingAnswers...)
 	return &c
 }
 
@@ -151,6 +176,7 @@ func (o Op) clone() Op {
 	c := o
 	c.Tasks = append([]int(nil), o.Tasks...)
 	c.Answers = append([]bool(nil), o.Answers...)
+	c.Batch = append([]int(nil), o.Batch...)
 	return c
 }
 
@@ -172,6 +198,44 @@ func (r *Record) validate() error {
 				ErrCorrupt, i, len(op.Tasks), len(op.Answers))
 		}
 	}
+	if err := r.validatePending(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePending checks the pending-ledger invariants: paired judgment
+// slices, every answered task a member of the batch, no duplicate
+// judgments, and a ledger strictly smaller than its batch.
+func (r *Record) validatePending() error {
+	if len(r.PendingTasks) != len(r.PendingAnswers) {
+		return fmt.Errorf("%w: pending ledger has %d tasks, %d answers",
+			ErrCorrupt, len(r.PendingTasks), len(r.PendingAnswers))
+	}
+	if len(r.PendingBatch) == 0 {
+		if len(r.PendingTasks) != 0 {
+			return fmt.Errorf("%w: pending judgments without a pending batch", ErrCorrupt)
+		}
+		return nil
+	}
+	if len(r.PendingTasks) >= len(r.PendingBatch) {
+		return fmt.Errorf("%w: pending ledger (%d) not a strict subset of its batch (%d)",
+			ErrCorrupt, len(r.PendingTasks), len(r.PendingBatch))
+	}
+	inBatch := make(map[int]bool, len(r.PendingBatch))
+	for _, t := range r.PendingBatch {
+		inBatch[t] = true
+	}
+	seen := make(map[int]bool, len(r.PendingTasks))
+	for _, t := range r.PendingTasks {
+		if !inBatch[t] {
+			return fmt.Errorf("%w: pending judgment for task %d outside batch", ErrCorrupt, t)
+		}
+		if seen[t] {
+			return fmt.Errorf("%w: duplicate pending judgment for task %d", ErrCorrupt, t)
+		}
+		seen[t] = true
+	}
 	return nil
 }
 
@@ -192,8 +256,10 @@ func (r *Record) fold(op Op) (ok bool) {
 			}
 			r.Ops = append(r.Ops, op.clone())
 			// A merge produces a fresh posterior whose uncertainty is
-			// unknown until the next select.
+			// unknown until the next select. It also commits (and thereby
+			// clears) any pending ledger for this version.
 			r.Done = false
+			r.PendingBatch, r.PendingTasks, r.PendingAnswers = nil, nil, nil
 		default:
 			return false
 		}
@@ -203,6 +269,52 @@ func (r *Record) fold(op Op) (ok bool) {
 			// Stale latch: a later merge already superseded it.
 		case op.Version == len(r.Ops):
 			r.Done = true
+		default:
+			return false
+		}
+	case OpPartial:
+		switch {
+		case op.Version < len(r.Ops):
+			// The batch these judgments belong to was already committed by
+			// its merge (compaction crashed between snapshot and truncate).
+		case op.Version == len(r.Ops):
+			if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) || len(op.Batch) == 0 {
+				return false
+			}
+			batch := r.PendingBatch
+			if len(batch) == 0 {
+				batch = op.Batch
+			}
+			inBatch := make(map[int]bool, len(batch))
+			for _, t := range batch {
+				inBatch[t] = true
+			}
+			// Duplicates are rejected, not skipped: the session layer
+			// deduplicates retries before persisting, so a judgment already
+			// in the ledger means a divergent writer (or a log replayed onto
+			// a snapshot that folded it during a crashed compaction — where
+			// truncating it loses nothing).
+			answered := make(map[int]bool, len(r.PendingTasks))
+			for _, t := range r.PendingTasks {
+				answered[t] = true
+			}
+			for _, t := range op.Tasks {
+				if !inBatch[t] || answered[t] {
+					return false
+				}
+				answered[t] = true
+			}
+			// The completing judgment is journaled as the batch's OpMerge,
+			// never as a partial: a ledger covering its whole batch marks a
+			// corrupt tail, not a committable state.
+			if len(r.PendingTasks)+len(op.Tasks) >= len(batch) {
+				return false
+			}
+			if len(r.PendingBatch) == 0 {
+				r.PendingBatch = append([]int(nil), op.Batch...)
+			}
+			r.PendingTasks = append(r.PendingTasks, op.Tasks...)
+			r.PendingAnswers = append(r.PendingAnswers, op.Answers...)
 		default:
 			return false
 		}

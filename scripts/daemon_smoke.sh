@@ -28,9 +28,12 @@ else
     "$BIN" -addr "127.0.0.1:0" >"$LOG" 2>&1 &
 fi
 DAEMON=$!
+SSE_LOG="$(mktemp)"
+SSE_PID=""
 cleanup() {
+    [ -n "$SSE_PID" ] && kill "$SSE_PID" 2>/dev/null || true
     kill "$DAEMON" 2>/dev/null || true
-    rm -f "$LOG"
+    rm -f "$LOG" "$SSE_LOG"
 }
 trap cleanup EXIT
 
@@ -97,11 +100,62 @@ echo "$REPLAY" | grep -q '"merged": false' || fail "retry was re-applied: $REPLA
 echo "$REPLAY" | grep -q "\"spent\": $N_TASKS" || fail "retry double-spent: $REPLAY"
 echo "smoke: idempotent replay OK"
 
+# Incremental round under a live event stream: subscribe with curl -N,
+# drive the next round one judgment at a time via partial answers, and
+# check the final streamed posterior against the GET response bit for bit
+# (encoding/json emits the shortest round-tripping float representation,
+# so string equality is float equality).
+curl -sN "$BASE/v1/sessions/$ID/events" >"$SSE_LOG" &
+SSE_PID=$!
+i=0
+until grep -q '"type":"snapshot"' "$SSE_LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "subscriber saw no snapshot: $(cat "$SSE_LOG")"
+    sleep 0.1
+done
+
+SELECT2=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/select") || fail "second select"
+TASKS2=$(echo "$SELECT2" | tr -d '\n' | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+[ -n "$TASKS2" ] || fail "could not parse tasks from: $SELECT2"
+PART=""
+for TASK in $(echo "$TASKS2" | tr ',' ' '); do
+    PART=$(curl -fsS -X POST "$BASE/v1/sessions/$ID/answers" \
+        -H 'Content-Type: application/json' \
+        -d "{\"tasks\":[$TASK],\"answers\":[true],\"version\":1,\"partial\":true}") ||
+        fail "partial answer for task $TASK"
+done
+echo "$PART" | grep -q '"merged": true' || fail "incremental round did not commit: $PART"
+echo "smoke: incremental round committed"
+
+# The stream must deliver the partials and the committing merge.
+i=0
+until grep -q '"type":"merge"' "$SSE_LOG" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || fail "subscriber saw no merge: $(cat "$SSE_LOG")"
+    sleep 0.1
+done
+grep -q '"type":"select"' "$SSE_LOG" || fail "subscriber missed the select event"
+grep -q '"type":"partial"' "$SSE_LOG" || fail "subscriber missed the partial events"
+kill "$SSE_PID" 2>/dev/null || true
+wait "$SSE_PID" 2>/dev/null || true
+SSE_PID=""
+
+STREAMED=$(grep '"type":"merge"' "$SSE_LOG" | tail -n 1 |
+    sed -n 's/.*"marginals":\[\([^]]*\)\].*/\1/p')
+[ -n "$STREAMED" ] || fail "no marginals in streamed merge: $(cat "$SSE_LOG")"
+STATE2=$(curl -fsS "$BASE/v1/sessions/$ID") || fail "get session after stream"
+FETCHED=$(echo "$STATE2" | tr -d ' \n' | sed -n 's/.*"marginals":\[\([^]]*\)\].*/\1/p')
+[ "$STREAMED" = "$FETCHED" ] || fail "streamed posterior [$STREAMED] != fetched [$FETCHED]"
+echo "smoke: streamed posterior matches GET"
+
 # Operational endpoints.
+N_TASKS2=$(echo "$TASKS2" | awk -F, '{print NF}')
 METRICS=$(curl -fsS "$BASE/metrics") || fail "metrics"
 echo "$METRICS" | grep -q '^crowdfusion_sessions_live 1$' || fail "sessions_live gauge: $METRICS"
-echo "$METRICS" | grep -q '^crowdfusion_merges_applied_total 1$' || fail "merges counter: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_merges_applied_total 2$' || fail "merges counter: $METRICS"
 echo "$METRICS" | grep -q '^crowdfusion_merge_replays_total 1$' || fail "replays counter: $METRICS"
+echo "$METRICS" | grep -q "^crowdfusion_partial_answers_total $N_TASKS2\$" || fail "partials counter: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_streams_served_total 1$' || fail "streams counter: $METRICS"
 echo "smoke: metrics OK"
 
 # Graceful shutdown: SIGTERM must drain and exit zero.
