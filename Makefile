@@ -14,7 +14,7 @@ BENCHTIME ?= 0.3s
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test test-cover lint cover bench bench-json smoke smoke-restart smoke-cluster ci
+.PHONY: build test test-cover lint cover bench bench-json smoke smoke-restart smoke-cluster smoke-chaos ci
 
 build:
 	$(GO) build ./...
@@ -86,4 +86,15 @@ smoke-cluster:
 	$(GO) build -o bin/crowdfusiond ./cmd/crowdfusiond
 	./scripts/cluster_smoke.sh ./bin/crowdfusiond
 
-ci: build lint test-cover bench bench-json smoke smoke-restart smoke-cluster
+# Chaos smoke: boot a 3-node cluster with every node behind a
+# fault-injecting TCP proxy, netsplit the owner mid-refinement, and assert
+# the lease fence refuses the deposed owner's write (HTTP 421 "fenced"),
+# the history never forks, and the healed cluster converges on a posterior
+# bit-identical to an unfaulted run — under both a lease steal and a
+# clock-skewed expiry takeover. CI runs this on every push.
+smoke-chaos:
+	$(GO) build -o bin/crowdfusiond ./cmd/crowdfusiond
+	$(GO) build -o bin/chaosproxy ./cmd/chaosproxy
+	./scripts/chaos_smoke.sh ./bin/crowdfusiond ./bin/chaosproxy
+
+ci: build lint test-cover bench bench-json smoke smoke-restart smoke-cluster smoke-chaos

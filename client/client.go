@@ -103,6 +103,7 @@ const (
 	CodeTooManySessions    = service.CodeTooManySessions
 	CodeStoreFailure       = service.CodeStoreFailure
 	CodeNotOwner           = service.CodeNotOwner
+	CodeFenced             = service.CodeFenced
 	CodeMethodNotAllowed   = service.CodeMethodNotAllowed
 	CodeNoPendingBatch     = service.CodeNoPendingBatch
 	CodeNotInBatch         = service.CodeNotInBatch
@@ -134,8 +135,9 @@ type APIError struct {
 	// evicted from a volatile store, or "not_owner" when another node
 	// serves the session), or empty for generic errors.
 	Code string
-	// Owner accompanies Code "not_owner": the address of the node that
-	// serves the session. The routing layer follows it automatically.
+	// Owner accompanies Codes "not_owner" and "fenced": the address of the
+	// node that serves the session (for fenced, the current write-lease
+	// holder). The routing layer follows it automatically.
 	Owner string
 	// Throttled reports that the response carried a Retry-After header —
 	// the service's congestion signal, as opposed to a 503 that is a
@@ -395,10 +397,10 @@ func decodeAPIError(resp *http.Response) *APIError {
 }
 
 // route drives one logical request to completion across the candidate
-// order: follow not_owner redirects, fail over past dead nodes along the
-// rendezvous rank (pausing between full cycles so daemon-side failure
-// detection can catch up), and absorb saturation 503s with backoff. Any
-// other error belongs to the caller.
+// order: follow not_owner and fenced redirects, fail over past dead nodes
+// along the rendezvous rank (pausing between full cycles so daemon-side
+// failure detection can catch up), and absorb saturation 503s with
+// backoff. Any other error belongs to the caller.
 func (c *Client) route(ctx context.Context, order []string, method, path string, body, out any) error {
 	// Enough attempts to redirect or fail over across the fleet a few
 	// times with backoff in between; routing that hasn't settled by then
@@ -441,12 +443,22 @@ func (c *Client) route(ctx context.Context, order []string, method, path string,
 			continue
 		}
 		switch {
-		case apiErr.Code == service.CodeNotOwner && apiErr.Owner != "":
+		case apiErr.Code == service.CodeNotOwner && apiErr.Owner != "",
+			apiErr.Code == service.CodeFenced:
 			// Stale view: jump to the claimed owner. If redirects chase
 			// each other (rings mid-convergence), pause each full lap so
-			// the daemons' failure detectors can settle.
-			if owner, err := cluster.Normalize(apiErr.Owner); err == nil {
+			// the daemons' failure detectors can settle. A fenced answer
+			// is the same situation proved differently — the node's write
+			// lease was superseded — and is safe to retry elsewhere
+			// because the fenced write was never applied; without an
+			// owner hint it re-resolves along the rendezvous rank.
+			if owner, err := cluster.Normalize(apiErr.Owner); err == nil && apiErr.Owner != "" {
 				hint = owner
+			} else {
+				// No usable owner in the envelope: demote the bouncing node
+				// so pick advances to the next peer in rank order instead of
+				// retrying the same refusal.
+				c.markDown(node)
 			}
 			cycles++
 			if cycles%(len(order)+1) == 0 {

@@ -164,6 +164,86 @@ func TestFollowsNotOwnerRedirect(t *testing.T) {
 	}
 }
 
+// TestFollowsFencedRedirect: a write bounced with 421 "fenced" lands on
+// the lease holder named in the envelope, even when the holder is itself
+// flaky — and exactly one merge is applied, because the fenced write was
+// never applied and the 503 retry is idempotent.
+func TestFollowsFencedRedirect(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	var merges atomic.Int32
+	holder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Flaky on first contact: shed load once, then serve the merge.
+		if merges.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(service.ErrorResponse{Error: "service: saturated, retry later"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(service.AnswersResponse{
+			SessionInfo: service.SessionInfo{ID: id, Version: 2}, Merged: true,
+		})
+	}))
+	defer holder.Close()
+	var fenced atomic.Int32
+	deposed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fenced.Add(1)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{
+			Error: "service: write fenced", Code: service.CodeFenced, Owner: holder.URL,
+		})
+	}))
+	defer deposed.Close()
+
+	// Single-base client pointed at the deposed node: the fenced envelope
+	// alone must carry the request to the holder.
+	c := client.New(deposed.URL,
+		client.WithBackoff(3, time.Millisecond, 2*time.Millisecond))
+	resp, err := c.SubmitAnswers(context.Background(), id, []int{0}, []bool{true}, 1)
+	if err != nil {
+		t.Fatalf("submit through fenced node: %v", err)
+	}
+	if !resp.Merged || resp.Version != 2 {
+		t.Fatalf("resp = %+v, want merged at version 2 from the holder", resp)
+	}
+	if got := fenced.Load(); got != 1 {
+		t.Fatalf("deposed node saw %d requests, want 1 (no blind retry against a fence)", got)
+	}
+	if got := merges.Load(); got != 2 {
+		t.Fatalf("holder saw %d requests, want 2 (1 shed + 1 merged)", got)
+	}
+}
+
+// TestFencedWithoutOwnerReResolves: a fenced envelope with no owner hint
+// (the deposed node could not learn the new holder) still recovers — the
+// client re-resolves along the rendezvous rank until a peer serves it.
+func TestFencedWithoutOwnerReResolves(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.SessionInfo{ID: id, Version: 5})
+	}))
+	defer good.Close()
+	fencedSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		_ = json.NewEncoder(w).Encode(service.ErrorResponse{
+			Error: "service: lease superseded", Code: service.CodeFenced,
+		})
+	}))
+	defer fencedSrv.Close()
+
+	c, err := client.NewCluster([]string{fencedSrv.URL, good.URL},
+		client.WithBackoff(2, time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.GetSession(context.Background(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 5 {
+		t.Fatalf("info = %+v, want version 5 from the surviving peer", info)
+	}
+}
+
 // TestFailsOverPastDeadNode: with the ranked-first node unreachable, the
 // request lands on the next peer without caller involvement.
 func TestFailsOverPastDeadNode(t *testing.T) {

@@ -1,0 +1,110 @@
+// Command chaosproxy fronts one crowdfusiond node with a fault-injectable
+// TCP proxy for chaos testing. The node advertises the proxy address to
+// its peers (-self/-peers point at proxies, not nodes), so partitioning
+// the proxy makes the node unreachable WITHOUT stopping it — the deposed
+// owner keeps running, keeps believing it owns its sessions, and keeps
+// trying to write, which is exactly the dual-writer scenario the lease
+// fence must refuse.
+//
+// Usage:
+//
+//	chaosproxy -listen 127.0.0.1:9101 -target 127.0.0.1:8101 -ctl 127.0.0.1:9201
+//
+// The control API:
+//
+//	POST /partition      refuse new connections, sever established ones
+//	POST /heal           forward again
+//	POST /delay?d=50ms   add per-chunk latency both ways (d=0 clears)
+//	GET  /status         {"partitioned":bool,"delay":"50ms"}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdfusion/internal/chaos"
+)
+
+// newListener binds the control address, so ":0" reports its real port in
+// the log the way the daemon does — smoke scripts parse it.
+func newListener(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("chaosproxy: ")
+
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "address peers dial (the advertised address)")
+		target = flag.String("target", "", "the real node address to forward to (required)")
+		ctl    = flag.String("ctl", "127.0.0.1:0", "control API listen address")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("-target is required")
+	}
+
+	p, err := chaos.NewProxy(*listen, *target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	log.Printf("forwarding %s -> %s", p.Addr(), *target)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /partition", func(w http.ResponseWriter, _ *http.Request) {
+		p.Partition()
+		log.Printf("partitioned")
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /heal", func(w http.ResponseWriter, _ *http.Request) {
+		p.Heal()
+		log.Printf("healed")
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /delay", func(w http.ResponseWriter, r *http.Request) {
+		d, err := time.ParseDuration(r.URL.Query().Get("d"))
+		if err != nil || d < 0 {
+			http.Error(w, "bad ?d= duration", http.StatusBadRequest)
+			return
+		}
+		p.SetDelay(d)
+		log.Printf("delay %v", d)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"listen":      p.Addr(),
+			"target":      *target,
+			"partitioned": p.Partitioned(),
+			"delay":       p.Delay().String(),
+		})
+	})
+
+	ctlSrv := &http.Server{Addr: *ctl, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		ln, err := newListener(*ctl)
+		if err != nil {
+			errc <- err
+			return
+		}
+		log.Printf("control API on %s", ln.Addr())
+		errc <- ctlSrv.Serve(ln)
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sigc:
+	case err := <-errc:
+		log.Fatalf("control API: %v", err)
+	}
+}

@@ -30,9 +30,20 @@
 // when one dies, its sessions deterministically re-home onto the
 // survivors, which rebuild them from the shared -data-dir by replaying
 // their op logs — the same path as crash recovery. Cluster mode therefore
-// requires -store file on storage all nodes share, and the per-directory
-// writer lock is left to the ring's ownership discipline instead of flock
-// (each session still has exactly one writer: its owner).
+// requires -store file on storage all nodes share.
+//
+// # Fenced ownership
+//
+// Placement alone cannot close the dual-writer window: a partitioned node
+// that everyone else believes dead keeps serving its resident sessions
+// until its next probe round. Leases close it for real. With -lease, the
+// owner of a session holds a TTL'd write lease with a monotonic fencing
+// epoch, renewed every -lease-renew; every write is stamped with the
+// epoch, and the store refuses a deposed owner's write with HTTP 421 code
+// "fenced" + the new holder's address. Cluster mode defaults to
+// -lease 10s; single-node mode defaults to off (one process, one writer).
+// -clock-skew shifts this node's clock (lease arithmetic included) for
+// chaos testing — see scripts/chaos_smoke.sh.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests (including merges) drain, live sessions
@@ -77,8 +88,17 @@ func main() {
 		selfAddr    = flag.String("self", "", "this node's advertised address within -peers; required in cluster mode")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "peer liveness probe interval in cluster mode")
 		maxSubs     = flag.Int("max-subscribers", 0, "event-stream subscribers per session (0 = default)")
+		leaseTTL    = flag.Duration("lease", 0, "session write-lease TTL with fencing epochs (0 = off; cluster mode defaults to 10s)")
+		leaseRenew  = flag.Duration("lease-renew", 0, "lease heartbeat interval (0 = lease/3)")
+		clockSkew   = flag.Duration("clock-skew", 0, "shift this node's clock by the given offset (chaos testing; affects lease expiry arithmetic)")
 	)
 	flag.Parse()
+	leaseSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "lease" {
+			leaseSet = true
+		}
+	})
 
 	// Cluster topology first: store wiring depends on whether this node is
 	// part of a fleet.
@@ -154,6 +174,13 @@ func main() {
 		log.Fatalf("unknown -store %q (want memory or file)", *storeKind)
 	}
 
+	// Leases default on in cluster mode: that is where a second writer can
+	// exist. An explicit -lease 0 keeps them off (flag.Visit distinguishes
+	// "unset" from "set to zero").
+	if ring != nil && !leaseSet {
+		*leaseTTL = 10 * time.Second
+	}
+
 	cfg := service.Config{
 		TTL:            *ttl,
 		MaxSessions:    *maxSessions,
@@ -165,9 +192,19 @@ func main() {
 		MaxSubscribers: *maxSubs,
 		Cluster:        ring,
 		Logf:           log.Printf,
+		LeaseTTL:       *leaseTTL,
+		LeaseRenew:     *leaseRenew,
 	}
 	if *ttl == 0 {
 		cfg.TTL = -1 // Config treats 0 as "default"; negative disables.
+	}
+	if *clockSkew != 0 {
+		skew := *clockSkew
+		cfg.Clock = func() time.Time { return time.Now().Add(skew) }
+		log.Printf("chaos: clock skewed by %v", skew)
+	}
+	if *leaseTTL > 0 {
+		log.Printf("leases: ttl %v, fencing epochs on every write", *leaseTTL)
 	}
 	svc := service.NewServer(cfg)
 

@@ -1,0 +1,167 @@
+// Package chaos is the fault-injection toolkit behind the robustness
+// suite: a deterministic fault-injecting SessionStore wrapper, a torn-tail
+// helper for simulating half-written fsyncs, and an in-process TCP proxy
+// (proxy.go) for partitioning and delaying peers. Everything is
+// deterministic and explicit — faults fire when the test arms them, never
+// randomly — so a chaos run that fails is a chaos run that reproduces.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"crowdfusion/internal/store"
+)
+
+// ErrInjected is the error every armed fault returns, wrapped with the
+// operation it hit. Tests assert on it with errors.Is to distinguish an
+// injected fault from a real store failure.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Store wraps a SessionStore with armable faults: the next N appends or
+// puts fail with ErrInjected, and every operation can be slowed by a fixed
+// latency. Lease operations pass through unfaulted (the lease fence is the
+// mechanism under test; the faults model the data path failing around it),
+// but they do observe the injected latency — a slow store must not let a
+// renewal outrun a steal.
+type Store struct {
+	inner store.SessionStore
+
+	mu          sync.Mutex
+	failAppends int
+	failPuts    int
+	latency     time.Duration
+}
+
+// Wrap builds a fault-injecting wrapper around inner. The wrapper owns
+// inner: Close closes it.
+func Wrap(inner store.SessionStore) *Store { return &Store{inner: inner} }
+
+// FailAppends arms the next n Append calls to fail with ErrInjected.
+func (s *Store) FailAppends(n int) {
+	s.mu.Lock()
+	s.failAppends = n
+	s.mu.Unlock()
+}
+
+// FailPuts arms the next n Put calls to fail with ErrInjected.
+func (s *Store) FailPuts(n int) {
+	s.mu.Lock()
+	s.failPuts = n
+	s.mu.Unlock()
+}
+
+// SetLatency makes every store operation sleep d before running (0 turns
+// the delay off).
+func (s *Store) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+// delay applies the configured latency.
+func (s *Store) delay() {
+	s.mu.Lock()
+	d := s.latency
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// take consumes one unit of an armed fault budget.
+func take(counter *int) bool {
+	if *counter > 0 {
+		*counter--
+		return true
+	}
+	return false
+}
+
+func (s *Store) Durable() bool { return s.inner.Durable() }
+
+func (s *Store) Put(rec *store.Record) error {
+	s.delay()
+	s.mu.Lock()
+	fail := take(&s.failPuts)
+	s.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: put %s", ErrInjected, rec.ID)
+	}
+	return s.inner.Put(rec)
+}
+
+func (s *Store) Append(id string, op store.Op) error {
+	s.delay()
+	s.mu.Lock()
+	fail := take(&s.failAppends)
+	s.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: append %s", ErrInjected, id)
+	}
+	return s.inner.Append(id, op)
+}
+
+func (s *Store) Get(id string) (*store.Record, error) {
+	s.delay()
+	return s.inner.Get(id)
+}
+
+func (s *Store) Delete(id string) (bool, error) {
+	s.delay()
+	return s.inner.Delete(id)
+}
+
+func (s *Store) List() ([]string, error) {
+	s.delay()
+	return s.inner.List()
+}
+
+func (s *Store) Close() error { return s.inner.Close() }
+
+func (s *Store) AcquireLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
+	s.delay()
+	return s.inner.AcquireLease(id, owner, ttl, now)
+}
+
+func (s *Store) StealLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
+	s.delay()
+	return s.inner.StealLease(id, owner, ttl, now)
+}
+
+func (s *Store) RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (store.Lease, error) {
+	s.delay()
+	return s.inner.RenewLease(id, owner, epoch, ttl, now)
+}
+
+func (s *Store) ReleaseLease(id, owner string, epoch uint64) error {
+	s.delay()
+	return s.inner.ReleaseLease(id, owner, epoch)
+}
+
+func (s *Store) GetLease(id string) (*store.Lease, error) {
+	s.delay()
+	return s.inner.GetLease(id)
+}
+
+// TearLogTail truncates n bytes off the tail of a session's op log in a
+// file-store data dir, simulating a torn write (power loss mid-append).
+// The store's CRC-framed log format must detect the damage on the next
+// read and recover every intact prefix entry. No-op (with an error) when
+// the session has no log.
+func TearLogTail(dir, id string, n int64) error {
+	path := filepath.Join(dir, id+".log")
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("chaos: tearing log tail: %w", err)
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"crowdfusion/internal/store"
+)
+
+func testRecord(id string) *store.Record {
+	return &store.Record{
+		ID:       id,
+		Selector: "Approx+Prune+Pre",
+		Pc:       0.8,
+		K:        2,
+		Budget:   8,
+		Prior:    store.Prior{Marginals: []float64{0.6, 0.7}},
+		Created:  time.Unix(1000, 0).UTC(),
+	}
+}
+
+func TestStoreFaultInjectionIsDeterministic(t *testing.T) {
+	s := Wrap(store.NewMemory())
+	defer s.Close()
+	if err := s.Put(testRecord("sess-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.FailAppends(2)
+	op := store.Op{Kind: store.OpMerge, Version: 0, Tasks: []int{0}, Answers: []bool{true}}
+	for i := 0; i < 2; i++ {
+		if err := s.Append("sess-a", op); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed append %d = %v, want ErrInjected", i, err)
+		}
+	}
+	// The budget is spent: the third attempt goes through, and the two
+	// refused appends left no trace in the history.
+	if err := s.Append("sess-a", op); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Get("sess-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != 1 {
+		t.Fatalf("injected failures leaked into history: %d ops", len(rec.Ops))
+	}
+
+	s.FailPuts(1)
+	if err := s.Put(testRecord("sess-b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed put = %v, want ErrInjected", err)
+	}
+	if err := s.Put(testRecord("sess-b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLatencyInjection(t *testing.T) {
+	s := Wrap(store.NewMemory())
+	defer s.Close()
+	if err := s.Put(testRecord("sess-slow")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetLatency(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := s.Get("sess-slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency not applied: Get took %v", d)
+	}
+	s.SetLatency(0)
+}
+
+// TestTearLogTailRecovers: a torn append (simulated power loss) must cost
+// at most the torn entry — the file store detects the damage and serves
+// every intact prefix op.
+func TestTearLogTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testRecord("sess-torn")); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if err := fs.Append("sess-torn", store.Op{
+			Kind: store.OpMerge, Version: v, Tasks: []int{v % 2}, Answers: []bool{true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := TearLogTail(dir, "sess-torn", 3); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := store.NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	rec, err := fs2.Get("sess-torn")
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	if len(rec.Ops) != 2 {
+		t.Fatalf("torn tail recovery kept %d ops, want the 2 intact ones", len(rec.Ops))
+	}
+}
+
+// lineEcho is a minimal line-oriented TCP echo backend for proxy tests.
+func lineEcho(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// roundTrip sends one line through addr and returns the echoed reply.
+func roundTrip(addr string, deadline time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, deadline)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(deadline))
+	if _, err := fmt.Fprintf(conn, "ping\n"); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return reply, nil
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	backend := lineEcho(t)
+	p, err := NewProxy("127.0.0.1:0", backend.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if reply, err := roundTrip(p.Addr(), time.Second); err != nil || reply != "ping\n" {
+		t.Fatalf("healthy proxy: %q %v", reply, err)
+	}
+
+	// A connection alive across the partition moment is severed, and new
+	// connections fail until heal.
+	held, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+	held.SetDeadline(time.Now().Add(time.Second))
+	if _, err := bufio.NewReader(held).ReadString('\n'); err == nil {
+		t.Fatal("held connection survived the partition")
+	}
+	if _, err := roundTrip(p.Addr(), 300*time.Millisecond); err == nil {
+		t.Fatal("new connection succeeded through a partition")
+	}
+
+	p.Heal()
+	if reply, err := roundTrip(p.Addr(), time.Second); err != nil || reply != "ping\n" {
+		t.Fatalf("healed proxy: %q %v", reply, err)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	backend := lineEcho(t)
+	p, err := NewProxy("127.0.0.1:0", backend.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(40 * time.Millisecond)
+	start := time.Now()
+	if reply, err := roundTrip(p.Addr(), 2*time.Second); err != nil || reply != "ping\n" {
+		t.Fatalf("delayed proxy: %q %v", reply, err)
+	}
+	// One delay each way at minimum.
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("delay not applied: round trip took %v", d)
+	}
+}

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a minimal in-process TCP forwarder for chaos tests: a node
+// listens behind it (peers dial the proxy address, the proxy forwards to
+// the real listener), and the test can partition it — refuse new
+// connections and sever established ones — or add per-chunk latency,
+// then heal it again. Partitioning the proxy a node advertises makes that
+// node unreachable WITHOUT stopping it: the deposed-owner scenario, where
+// a process everyone believes dead keeps running and keeps trying to
+// write.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy listens on listen (e.g. "127.0.0.1:0") and forwards every
+// connection to target.
+func NewProxy(listen, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the fronted node should
+// advertise to its peers.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition makes the fronted node unreachable: new connections are
+// refused and established ones are severed mid-stream.
+func (p *Proxy) Partition() { p.setPartitioned(true) }
+
+// Heal reconnects the fronted node: new connections forward again.
+// (Connections severed by Partition stay dead; clients redial.)
+func (p *Proxy) Heal() { p.setPartitioned(false) }
+
+// Partitioned reports the current partition state.
+func (p *Proxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+func (p *Proxy) setPartitioned(v bool) {
+	p.mu.Lock()
+	p.partitioned = v
+	var sever []net.Conn
+	if v {
+		for c := range p.conns {
+			sever = append(sever, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// SetDelay adds d of latency before each forwarded chunk in both
+// directions (0 turns it off). Applies to connections accepted after the
+// call.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// Delay returns the configured per-chunk latency.
+func (p *Proxy) Delay() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delay
+}
+
+// Close stops the listener and severs every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range sever {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		refuse := p.partitioned || p.closed
+		delay := p.delay
+		p.mu.Unlock()
+		if refuse {
+			conn.Close()
+			continue
+		}
+		upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.track(conn)
+		p.track(upstream)
+		p.wg.Add(2)
+		go p.pipe(upstream, conn, delay)
+		go p.pipe(conn, upstream, delay)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// pipe forwards src→dst chunk by chunk, applying the per-chunk delay, and
+// closes both ends on EOF or error so the peer notices promptly.
+func (p *Proxy) pipe(dst, src net.Conn, delay time.Duration) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer p.untrack(dst)
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				_ = err // severed or reset; nothing to report
+			}
+			return
+		}
+	}
+}

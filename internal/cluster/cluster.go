@@ -272,6 +272,30 @@ func (r *Ring) Alive() []string {
 	return r.aliveLocked()
 }
 
+// PeerAlive reports whether addr is currently considered alive. The
+// session layer's lease steal policy consults it: a held lease is only
+// taken over when its holder looks dead from here, so two nodes with
+// disagreeing partition views don't steal a session back and forth.
+// Unknown addresses (not in the membership) report dead.
+func (r *Ring) PeerAlive(addr string) bool {
+	if addr == r.self {
+		return true
+	}
+	known := false
+	for _, p := range r.peers {
+		if p == addr {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return !r.down[addr]
+}
+
 func (r *Ring) aliveLocked() []string {
 	alive := make([]string, 0, len(r.peers))
 	for _, p := range r.peers {

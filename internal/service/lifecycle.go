@@ -148,6 +148,12 @@ func (m *Manager) Sweep(now time.Time) int {
 				}, now)
 			}
 			delete(sh.sessions, id)
+			// An evicted session's lease goes with it: release (keeping
+			// the epoch as the fence) so a future owner adopts without
+			// waiting out the TTL. On the volatile path the store delete
+			// already removed the lease record; releaseLease then only
+			// clears the bookkeeping entry.
+			m.releaseLease(id)
 			evicted++
 		}
 		sh.mu.Unlock()
@@ -231,6 +237,10 @@ func (m *Manager) relinquish(id string) bool {
 	}
 	sh.mu.Unlock()
 	if ok {
+		// Hand the lease over with the session: release AFTER the flush
+		// (release keeps our epoch, so the flush was not fenced by it) and
+		// the new owner's acquisition bumps past it immediately.
+		m.releaseLease(id)
 		m.countMu.Lock()
 		m.count--
 		m.countMu.Unlock()
@@ -358,11 +368,34 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 
+	// Take the write lease before replaying: adoption must fence the old
+	// owner BEFORE this node starts serving, or both could acknowledge
+	// merges for one session. Acquisition runs after the existence check so
+	// probes for unknown IDs never mint lease records.
+	epoch, err := m.acquireLease(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if epoch > 0 {
+		// Re-read under our fence: anything the deposed owner flushed
+		// before our acquisition landed is visible now, and nothing more
+		// can land after it.
+		rec, err = m.store.Get(id)
+		if err != nil {
+			m.releaseLease(id)
+			if errors.Is(err, store.ErrNotExist) {
+				return nil, nil, ErrNotFound
+			}
+			return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
+
 	// A reloaded session occupies the same memory as a created one, so it
 	// takes a slot under the same cap.
 	m.countMu.Lock()
 	if m.cfg.MaxSessions > 0 && m.count >= m.cfg.MaxSessions {
 		m.countMu.Unlock()
+		m.releaseLease(id)
 		return nil, nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, m.cfg.MaxSessions)
 	}
 	m.count++
@@ -371,6 +404,7 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		m.countMu.Lock()
 		m.count--
 		m.countMu.Unlock()
+		m.releaseLease(id)
 	}
 
 	s, err = restoreSession(rec, m.cfg.now())
@@ -378,6 +412,7 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		release()
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	s.leaseEpoch = epoch
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
 	// The emit hook is attached only after replay: recovery transitions
 	// are not republished (subscribers already saw them or will re-sync

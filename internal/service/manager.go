@@ -58,6 +58,26 @@ func (e *NotOwnerError) Error() string {
 	return fmt.Sprintf("service: session %s is owned by %s, not this node", e.ID, e.Owner)
 }
 
+// FencedError reports that this node's write lease for the session was
+// superseded (or could not be acquired because a live holder has it):
+// another node serves the session now. The difference from NotOwnerError
+// is the evidence — not_owner comes from placement (the ring says the ID
+// hashes elsewhere), fenced comes from the lease fence in the store (a
+// write or takeover was actually refused). Both are mapped to HTTP 421 so
+// clients handle them identically: re-resolve the owner and retry there.
+type FencedError struct {
+	ID    string
+	Owner string // current lease holder, "" when unknown
+}
+
+// Error implements error.
+func (e *FencedError) Error() string {
+	if e.Owner == "" {
+		return fmt.Sprintf("service: session %s write fenced: lease superseded", e.ID)
+	}
+	return fmt.Sprintf("service: session %s write fenced: lease held by %s", e.ID, e.Owner)
+}
+
 // ManagerConfig tunes the session manager.
 type ManagerConfig struct {
 	// TTL is the idle lifetime of a session: sessions untouched for TTL
@@ -85,6 +105,20 @@ type ManagerConfig struct {
 	// (0 = DefaultMaxSubscribers). The cap bounds fan-out work on the
 	// merge path, which does one non-blocking channel send per subscriber.
 	MaxSubscribers int
+	// LeaseTTL enables write-lease fencing: the manager acquires a lease
+	// (TTL-long, renewed on a heartbeat) for every session it serves, and
+	// the store refuses writes stamped with a superseded lease epoch. Zero
+	// disables leasing — writes carry epoch 0 and the store lets them
+	// through as long as no lease was ever taken.
+	LeaseTTL time.Duration
+	// LeaseRenew is the heartbeat interval for lease renewal. Zero defaults
+	// to LeaseTTL/3. Must be well under LeaseTTL: a node that misses
+	// renewals for a full TTL can have its sessions stolen.
+	LeaseRenew time.Duration
+	// Self is this node's advertised address, recorded as the lease owner
+	// so peers (and operators reading lease files) can see who holds a
+	// session. Defaults to "local" for single-node deployments.
+	Self string
 	// Logf, when set, receives operational log lines (evictions,
 	// recoveries, relinquishments, store failures). Nil discards them.
 	Logf func(format string, args ...any)
@@ -133,13 +167,26 @@ type Manager struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
+	// held tracks the lease epochs this node holds, keyed by session ID —
+	// the renewal loop's work list and the leases_held gauge. An entry
+	// exists iff this node believes it holds the session's lease; the
+	// store's lease record is the ground truth the renewal loop checks
+	// against.
+	leaseMu   sync.Mutex
+	held      map[string]uint64
+	leaseStop chan struct{}
+	leaseDone chan struct{}
+
 	// Metrics hooks, set by the server. evicted reports janitor activity
 	// (dropped=true when the state was discarded, false when it was
 	// flushed to a durable store); recovered reports one lazy reload;
-	// relinquished reports sessions handed to another owner.
-	evicted      func(n int, dropped bool)
-	recovered    func()
-	relinquished func(n int)
+	// relinquished reports sessions handed to another owner; fencedBounced
+	// reports an acquisition bounced off a live holder's lease (store-level
+	// fenced writes are counted by the instrumented store instead).
+	evicted       func(n int, dropped bool)
+	recovered     func()
+	relinquished  func(n int)
+	fencedBounced func()
 }
 
 // NewManager builds a manager over cfg.Store and starts its TTL janitor
@@ -156,10 +203,24 @@ func NewManager(cfg ManagerConfig) *Manager {
 		m.logf = func(string, ...any) {}
 	}
 	m.tombs = make(map[string]time.Time)
+	m.held = make(map[string]uint64)
 	m.events = newEventHub(cfg.MaxSubscribers)
 	for i := range m.shards {
 		m.shards[i].sessions = make(map[string]*Session)
 		m.shards[i].loading = make(map[string]*loadOp)
+	}
+	if cfg.LeaseTTL > 0 {
+		interval := cfg.LeaseRenew
+		if interval <= 0 {
+			interval = cfg.LeaseTTL / 3
+		}
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		m.cfg.LeaseRenew = interval
+		m.leaseStop = make(chan struct{})
+		m.leaseDone = make(chan struct{})
+		go m.leaseLoop(interval)
 	}
 	if cfg.TTL > 0 {
 		m.janitorStop = make(chan struct{})
@@ -203,6 +264,11 @@ func (m *Manager) Close() {
 		<-m.janitorDone
 		m.janitorStop = nil
 	}
+	if m.leaseStop != nil {
+		close(m.leaseStop)
+		<-m.leaseDone
+		m.leaseStop = nil
+	}
 	m.events.closeAll()
 	if m.store.Durable() {
 		for i := range m.shards {
@@ -218,6 +284,18 @@ func (m *Manager) Close() {
 					m.logf("session %s: final flush failed: %v", s.ID(), err)
 				}
 			}
+		}
+	}
+	// Release held leases after the final flush (release keeps the epoch,
+	// so our own flush is never fenced by it) — a clean shutdown lets the
+	// next owner adopt immediately instead of waiting out the TTL.
+	m.leaseMu.Lock()
+	held := m.held
+	m.held = make(map[string]uint64)
+	m.leaseMu.Unlock()
+	for id, epoch := range held {
+		if err := m.store.ReleaseLease(id, m.leaseSelf(), epoch); err != nil {
+			m.logf("session %s: lease release failed: %v", id, err)
 		}
 	}
 	if err := m.store.Close(); err != nil {
@@ -334,12 +412,22 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 	} else {
 		s.priorRec = store.Prior{Marginals: append([]float64(nil), req.Marginals...)}
 	}
+	// Take the write lease before the first Put so the record (and every
+	// later op) is stamped with our epoch. A fresh random ID cannot have a
+	// live holder, so this only ever fails on store trouble.
+	epoch, err := m.acquireLease(id)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	s.leaseEpoch = epoch
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
 	s.emit = m.eventSink(id)
 
 	// The session must be durable before it is acknowledged: a created
 	// session that vanished in a crash would strand the client's ID.
 	if err := m.store.Put(s.record()); err != nil {
+		m.releaseLease(id)
 		release()
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
@@ -389,6 +477,11 @@ func (m *Manager) Delete(id string) (bool, error) {
 	}
 	stored, err := m.store.Delete(id)
 	sh.mu.Unlock()
+	// The store delete removed the lease record with the session; only the
+	// local bookkeeping entry is left to drop.
+	m.leaseMu.Lock()
+	delete(m.held, id)
+	m.leaseMu.Unlock()
 	if ok {
 		m.countMu.Lock()
 		m.count--
@@ -505,6 +598,182 @@ func (m *Manager) Len() int {
 	m.countMu.Lock()
 	defer m.countMu.Unlock()
 	return m.count
+}
+
+// leaseSelf is the owner identity recorded in lease records.
+func (m *Manager) leaseSelf() string {
+	if m.cfg.Self != "" {
+		return m.cfg.Self
+	}
+	return "local"
+}
+
+// LeasesHeld returns the number of session write leases this node holds —
+// the leases_held gauge, also reported by /healthz.
+func (m *Manager) LeasesHeld() int {
+	m.leaseMu.Lock()
+	defer m.leaseMu.Unlock()
+	return len(m.held)
+}
+
+// holderGone reports whether the node blocking a lease acquisition can be
+// presumed dead. The ring's liveness view is authoritative when the
+// Ownership implementation exposes one (cluster.Ring does); without
+// liveness information, placement already routed this ID here, so the
+// blocker is presumed a dead or deposed predecessor and the steal
+// proceeds — the fence, not the guess, is what protects the history.
+func (m *Manager) holderGone(owner string) bool {
+	if owner == "" || owner == m.leaseSelf() {
+		return true
+	}
+	if pa, ok := m.cfg.Ownership.(interface{ PeerAlive(string) bool }); ok {
+		return !pa.PeerAlive(owner)
+	}
+	return true
+}
+
+// acquireLease takes (or steals) the write lease for id and records it in
+// the held map, returning the fencing epoch to stamp on the session's
+// writes. Returns epoch 0 with no store traffic when leasing is disabled.
+//
+// Steal policy: a held, unexpired lease is taken over only when the ring
+// considers the holder dead. If the holder still looks alive — the
+// asymmetric-partition case, where placement moved the session here but
+// the old owner is still breathing — the acquisition bounces with
+// *FencedError instead, pointing the client at the holder. This keeps two
+// nodes with disagreeing ring views from stealing the lease back and
+// forth; whichever side the client can actually reach wins, and the loser
+// fences on its next write.
+func (m *Manager) acquireLease(id string) (uint64, error) {
+	if m.cfg.LeaseTTL <= 0 {
+		return 0, nil
+	}
+	now := m.cfg.now()
+	l, err := m.store.AcquireLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
+	var held *store.LeaseHeldError
+	if errors.As(err, &held) {
+		if !m.holderGone(held.Lease.Owner) {
+			if m.fencedBounced != nil {
+				m.fencedBounced()
+			}
+			return 0, &FencedError{ID: id, Owner: held.Lease.Owner}
+		}
+		m.logf("session %s: stealing lease from %s (epoch %d): holder presumed dead",
+			id, held.Lease.Owner, held.Lease.Epoch)
+		l, err = m.store.StealLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.leaseMu.Lock()
+	m.held[id] = l.Epoch
+	m.leaseMu.Unlock()
+	return l.Epoch, nil
+}
+
+// releaseLease gives up the lease for id. Release keeps the epoch in the
+// store as a permanent fence, so this node's already-stamped writes stay
+// valid while the next owner's acquisition outranks them.
+func (m *Manager) releaseLease(id string) {
+	m.leaseMu.Lock()
+	epoch, ok := m.held[id]
+	delete(m.held, id)
+	m.leaseMu.Unlock()
+	if !ok {
+		return
+	}
+	if err := m.store.ReleaseLease(id, m.leaseSelf(), epoch); err != nil {
+		// Losing the release race just means someone already superseded
+		// us — exactly the state release was trying to reach.
+		m.logf("session %s: lease release failed: %v", id, err)
+	}
+}
+
+// leaseLoop renews held leases on the heartbeat interval until Close.
+func (m *Manager) leaseLoop(interval time.Duration) {
+	defer close(m.leaseDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.leaseStop:
+			return
+		case <-t.C:
+			m.RenewHeldLeases(m.cfg.now())
+		}
+	}
+}
+
+// RenewHeldLeases renews every lease this node holds against the store,
+// retiring any session whose lease another node took. Returns the renewed
+// and lost counts. The lease loop calls it on the heartbeat; it is
+// exported so tests (and deployments with an external cadence) can drive
+// renewal with an explicit clock.
+func (m *Manager) RenewHeldLeases(now time.Time) (renewed, lost int) {
+	if m.cfg.LeaseTTL <= 0 {
+		return 0, 0
+	}
+	m.leaseMu.Lock()
+	snap := make(map[string]uint64, len(m.held))
+	for id, epoch := range m.held {
+		snap[id] = epoch
+	}
+	m.leaseMu.Unlock()
+	for id, epoch := range snap {
+		_, err := m.store.RenewLease(id, m.leaseSelf(), epoch, m.cfg.LeaseTTL, now)
+		switch {
+		case err == nil:
+			renewed++
+		case errors.Is(err, store.ErrFenced):
+			m.logf("session %s: lease superseded at epoch %d; retiring local instance", id, epoch)
+			m.RetireFenced(id)
+			lost++
+		default:
+			// A store hiccup is not a deposition: keep serving — the epoch
+			// fence still protects every write — and retry next tick.
+			m.logf("session %s: lease renewal failed: %v", id, err)
+		}
+	}
+	return renewed, lost
+}
+
+// RetireFenced drops a resident session whose write lease another node
+// superseded. The instance must not serve another request from memory —
+// its state may already trail the new owner's — so it is retired without
+// a flush (a flush would fence anyway) and its event streams are closed
+// with a redirect pointing at the new holder. Reports whether an instance
+// was resident.
+func (m *Manager) RetireFenced(id string) bool {
+	m.leaseMu.Lock()
+	delete(m.held, id)
+	m.leaseMu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		s.retire()
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m.countMu.Lock()
+	m.count--
+	m.countMu.Unlock()
+	owner := ""
+	if l, err := m.store.GetLease(id); err == nil && l != nil {
+		owner = l.Owner
+	}
+	if owner == "" && m.cfg.Ownership != nil {
+		owner = m.cfg.Ownership.Owner(id)
+	}
+	m.events.terminate(id, &SessionEvent{
+		Type:        EventRedirect,
+		SessionInfo: SessionInfo{ID: id},
+		Owner:       owner,
+	}, m.cfg.now())
+	return true
 }
 
 // Now returns the manager's clock reading (test-overridable).

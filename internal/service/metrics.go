@@ -77,12 +77,21 @@ type Metrics struct {
 	// or misrouted touch, and requests bounced with code not_owner.
 	SessionsRelinquished atomic.Int64
 	NotOwnerRejects      atomic.Int64
-	SelectsServed        atomic.Int64
-	SelectCacheHits      atomic.Int64
-	MergesApplied        atomic.Int64
-	MergeReplays         atomic.Int64
-	PartialAnswers       atomic.Int64 // partial judgment sets journaled (not yet committed)
-	RequestsRejected     atomic.Int64 // backpressure 503s
+
+	// Lease fencing. LeasesRenewed counts successful heartbeat renewals,
+	// LeasesStolen the takeovers of an unexpired lease this node performed,
+	// FencedWritesRefused every write or takeover attempt the lease fence
+	// bounced (the deposed-owner signal: a nonzero value during an
+	// ownership flap is the fence doing its job).
+	LeasesRenewed       atomic.Int64
+	LeasesStolen        atomic.Int64
+	FencedWritesRefused atomic.Int64
+	SelectsServed       atomic.Int64
+	SelectCacheHits     atomic.Int64
+	MergesApplied       atomic.Int64
+	MergeReplays        atomic.Int64
+	PartialAnswers      atomic.Int64 // partial judgment sets journaled (not yet committed)
+	RequestsRejected    atomic.Int64 // backpressure 503s
 
 	// Event streaming. SubscribersLive is a gauge (subscribes minus
 	// detaches); EventsDropped counts events a slow subscriber missed at
@@ -103,9 +112,9 @@ type Metrics struct {
 	MergeLatency  latencyTracker
 }
 
-// WritePrometheus renders the snapshot. sessionsLive is passed in because
-// the gauge belongs to the Manager, not the counter set.
-func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
+// WritePrometheus renders the snapshot. sessionsLive and leasesHeld are
+// passed in because the gauges belong to the Manager, not the counter set.
+func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) error {
 	counter := func(name, help string, v int64) string {
 		return fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -120,6 +129,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive int) error {
 		counter("crowdfusion_sessions_deleted_total", "Sessions deleted by clients.", m.SessionsDeleted.Load()) +
 		counter("crowdfusion_sessions_relinquished_total", "Sessions flushed and handed to a new owner.", m.SessionsRelinquished.Load()) +
 		counter("crowdfusion_not_owner_rejects_total", "Requests bounced with code not_owner.", m.NotOwnerRejects.Load()) +
+		gauge("crowdfusion_leases_held", "Session write leases this node currently holds.", float64(leasesHeld)) +
+		counter("crowdfusion_leases_renewed_total", "Successful lease heartbeat renewals.", m.LeasesRenewed.Load()) +
+		counter("crowdfusion_leases_stolen_total", "Unexpired leases this node took over from a deposed owner.", m.LeasesStolen.Load()) +
+		counter("crowdfusion_fenced_writes_refused_total", "Writes and takeover attempts refused by the lease fence.", m.FencedWritesRefused.Load()) +
 		counter("crowdfusion_store_puts_total", "Session snapshots written to the store.", m.StorePuts.Load()) +
 		counter("crowdfusion_store_appends_total", "Ops appended to session logs.", m.StoreAppends.Load()) +
 		counter("crowdfusion_store_deletes_total", "Session records deleted from the store.", m.StoreDeletes.Load()) +
@@ -162,7 +175,12 @@ type instrumentedStore struct {
 
 func (s instrumentedStore) count(c *atomic.Int64, err error) error {
 	c.Add(1)
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrFenced):
+		// A fenced write is the lease gate working, not a store failure.
+		s.m.FencedWritesRefused.Add(1)
+	default:
 		s.m.StoreErrors.Add(1)
 	}
 	return err
@@ -197,3 +215,33 @@ func (s instrumentedStore) Delete(id string) (bool, error) {
 func (s instrumentedStore) List() ([]string, error) { return s.inner.List() }
 
 func (s instrumentedStore) Close() error { return s.inner.Close() }
+
+// Lease operations pass through uncounted except for the renewal and
+// fence signals the manager cares about operationally.
+func (s instrumentedStore) AcquireLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
+	return s.inner.AcquireLease(id, owner, ttl, now)
+}
+
+func (s instrumentedStore) StealLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
+	l, err := s.inner.StealLease(id, owner, ttl, now)
+	if err == nil {
+		s.m.LeasesStolen.Add(1)
+	}
+	return l, err
+}
+
+func (s instrumentedStore) RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (store.Lease, error) {
+	l, err := s.inner.RenewLease(id, owner, epoch, ttl, now)
+	if err == nil {
+		s.m.LeasesRenewed.Add(1)
+	}
+	return l, err
+}
+
+func (s instrumentedStore) ReleaseLease(id, owner string, epoch uint64) error {
+	return s.inner.ReleaseLease(id, owner, epoch)
+}
+
+func (s instrumentedStore) GetLease(id string) (*store.Lease, error) {
+	return s.inner.GetLease(id)
+}

@@ -59,7 +59,19 @@ type Config struct {
 	// failures). Nil discards them.
 	Logf func(format string, args ...any)
 
-	// now overrides the clock in tests.
+	// LeaseTTL enables per-session write leases with fencing epochs: the
+	// node acquires a lease for every session it serves, stamps the epoch
+	// on every write, and the store refuses writes from a deposed owner
+	// with ErrFenced (HTTP 421, code "fenced"). Zero disables leasing.
+	LeaseTTL time.Duration
+	// LeaseRenew is the lease heartbeat interval (0 = LeaseTTL/3).
+	LeaseRenew time.Duration
+	// Clock overrides the wall clock (the daemon's -clock-skew flag uses
+	// it to simulate a node whose lease arithmetic runs ahead or behind).
+	// Nil means time.Now.
+	Clock func() time.Time
+
+	// now overrides the clock in tests (takes precedence over Clock).
 	now func() time.Time
 }
 
@@ -87,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.now == nil {
+		c.now = c.Clock
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -137,12 +152,16 @@ func NewServer(cfg Config) *Server {
 		MaxSubscribers: cfg.MaxSubscribers,
 		Store:          instrumentedStore{inner: sessionStore, m: s.metrics},
 		Logf:           cfg.Logf,
+		LeaseTTL:       cfg.LeaseTTL,
+		LeaseRenew:     cfg.LeaseRenew,
 		now:            cfg.now,
 	}
 	if cfg.Cluster != nil {
 		mgrCfg.Ownership = cfg.Cluster
+		mgrCfg.Self = cfg.Cluster.Self()
 	}
 	s.mgr = NewManager(mgrCfg)
+	s.mgr.fencedBounced = func() { s.metrics.FencedWritesRefused.Add(1) }
 	// Give the hub its counters before any traffic exists.
 	s.mgr.events.metrics = s.metrics
 	s.mgr.evicted = func(n int, dropped bool) {
@@ -315,6 +334,16 @@ func writeError(w http.ResponseWriter, err error) {
 			ErrorResponse{Error: err.Error(), Code: CodeNotOwner, Owner: notOwner.Owner})
 		return
 	}
+	var fenced *FencedError
+	if errors.As(err, &fenced) {
+		// Also 421, but with code "fenced": the lease fence — not ring
+		// placement — refused this node. Same client response either way:
+		// re-resolve the owner (the envelope names the lease holder when
+		// known) and retry there; the refused write was never applied.
+		writeJSON(w, http.StatusMisdirectedRequest,
+			ErrorResponse{Error: err.Error(), Code: CodeFenced, Owner: fenced.Owner})
+		return
+	}
 	status := http.StatusBadRequest
 	code := ""
 	switch {
@@ -394,11 +423,21 @@ func writeShuttingDown(w http.ResponseWriter) {
 		ErrorResponse{Error: "service: shutting down"})
 }
 
-// countNotOwner bumps the misroute counter when err is a redirect.
-func (s *Server) countNotOwner(err error) {
+// noteRedirect does the bookkeeping for 421 outcomes: bump the misroute
+// counter for not_owner, and retire the local instance on fenced — a
+// session whose lease another node took must not serve another request
+// from memory. (The fenced metric is counted where the refusal happened:
+// the instrumented store for fenced writes, the acquire bounce hook for
+// fenced adoptions.)
+func (s *Server) noteRedirect(id string, err error) {
 	var notOwner *NotOwnerError
 	if errors.As(err, &notOwner) {
 		s.metrics.NotOwnerRejects.Add(1)
+		return
+	}
+	var fenced *FencedError
+	if errors.As(err, &fenced) {
+		s.mgr.RetireFenced(id)
 	}
 }
 
@@ -406,6 +445,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{
 		"status":        "ok",
 		"sessions_live": s.mgr.Len(),
+	}
+	if s.cfg.LeaseTTL > 0 {
+		resp["leases"] = map[string]any{
+			"held":  s.mgr.LeasesHeld(),
+			"owner": s.mgr.leaseSelf(),
+			"ttl":   s.cfg.LeaseTTL.String(),
+			"renew": s.mgr.cfg.LeaseRenew.String(),
+		}
 	}
 	if s.cfg.Cluster != nil {
 		resp["cluster"] = map[string]any{
@@ -420,7 +467,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if err := s.metrics.WritePrometheus(w, s.mgr.Len()); err != nil {
+	if err := s.metrics.WritePrometheus(w, s.mgr.Len(), s.mgr.LeasesHeld()); err != nil {
 		return
 	}
 	if ring := s.cfg.Cluster; ring != nil {
@@ -464,7 +511,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		s.countNotOwner(err)
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -476,7 +523,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	ok, err := s.mgr.Delete(r.PathValue("id"))
 	if err != nil {
-		s.countNotOwner(err)
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -491,7 +538,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		s.countNotOwner(err)
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -526,6 +573,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -540,7 +588,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		s.countNotOwner(err)
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -571,6 +619,10 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		// A fenced merge means another node took the session mid-flight:
+		// retire the stale instance so the next request here redirects
+		// cleanly instead of replaying from trailing memory.
+		s.noteRedirect(r.PathValue("id"), err)
 		writeError(w, err)
 		return
 	}
@@ -661,7 +713,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		sub, err = s.mgr.Subscribe(id, lastID, hasLast)
 	}
 	if err != nil {
-		s.countNotOwner(err)
+		s.noteRedirect(id, err)
 		writeError(w, err)
 		return
 	}

@@ -127,6 +127,14 @@ type Session struct {
 	seed     int64
 	created  time.Time
 	persist  func(op store.Op) error
+
+	// leaseEpoch is the fencing epoch of the write lease this instance
+	// holds, stamped on every persisted op and flushed record so the store
+	// can refuse writes from a deposed incarnation with ErrFenced. Set by
+	// the manager before the instance is published and immutable after —
+	// a new acquisition always builds a new instance. 0 when leasing is
+	// disabled.
+	leaseEpoch uint64
 }
 
 // newSession builds a session; the caller (Manager.Create) has validated
@@ -318,7 +326,7 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 			// daemon re-derives it with one re-sweep — so a store
 			// hiccup must not fail the read. The persist hook records
 			// the failure in the store metrics.
-			_ = s.persist(store.Op{Kind: store.OpDone, Version: s.version, Time: now})
+			_ = s.persist(store.Op{Kind: store.OpDone, Version: s.version, Epoch: s.leaseEpoch, Time: now})
 		}
 		s.emitLocked(EventDone, nil)
 	} else {
@@ -337,6 +345,19 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 		})
 	}
 	return resp, false, nil
+}
+
+// persistError maps a persist failure for the caller: a fenced write
+// surfaces as *FencedError — the session has a new owner, the handler
+// retires this instance and redirects — while anything else is ErrStore
+// (the op was NOT applied; persistence happens before the in-memory
+// commit, so the client can safely retry).
+func persistError(id string, err error) error {
+	var fe *store.FencedError
+	if errors.As(err, &fe) {
+		return &FencedError{ID: id, Owner: fe.Lease.Owner}
+	}
+	return fmt.Errorf("%w: %v", ErrStore, err)
 }
 
 // answerSetHash fingerprints an answer set (tasks, answers, version) for
@@ -464,10 +485,11 @@ func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH
 			Version: mergedAt,
 			Tasks:   append([]int(nil), tasks...),
 			Answers: append([]bool(nil), answers...),
+			Epoch:   s.leaseEpoch,
 			Time:    now,
 		}
 		if err := s.persist(op); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+			return nil, persistError(s.id, err)
 		}
 	}
 	s.posterior = updated
@@ -597,10 +619,11 @@ func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*Answe
 			Tasks:   append([]int(nil), newTasks...),
 			Answers: append([]bool(nil), newAns...),
 			Batch:   append([]int(nil), s.pendBatch...),
+			Epoch:   s.leaseEpoch,
 			Time:    now,
 		}
 		if err := s.persist(op); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+			return nil, persistError(s.id, err)
 		}
 	}
 	for i, t := range newTasks {
@@ -663,6 +686,7 @@ func (s *Session) recordLocked() *store.Record {
 		Created:    s.created,
 		LastAccess: s.lastAccess,
 		Done:       s.done,
+		LeaseEpoch: s.leaseEpoch,
 	}
 	rec.Ops = make([]store.Op, len(s.rounds))
 	for i, r := range s.rounds {

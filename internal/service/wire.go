@@ -307,6 +307,12 @@ const (
 	// CodeNotOwner (HTTP 421) means another node serves this session; the
 	// envelope's Owner field carries its address. Clients retry there.
 	CodeNotOwner = "not_owner"
+	// CodeFenced (HTTP 421) means this node's write lease for the session
+	// was superseded — the store's fencing epoch refused the write or the
+	// adoption. Owner carries the current lease holder when known. Clients
+	// handle it exactly like not_owner: re-resolve and retry; the refused
+	// write was never applied, so the retry is idempotent-safe.
+	CodeFenced = "fenced"
 	// CodeMethodNotAllowed (HTTP 405) accompanies an Allow header listing
 	// the methods the route supports.
 	CodeMethodNotAllowed = "method_not_allowed"

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DefaultCompactEvery is how many logged ops a session accumulates before
@@ -45,14 +46,19 @@ const fileStripes = 16
 //
 // Shared data dirs: a clustered deployment points several processes at
 // one directory, relying on session ownership for the one-writer-per-
-// session discipline instead of Lock. Append defends that discipline
-// across processes with a stat fence — when the log's on-disk size
-// differs from this process's bookkeeping, the state is re-read from disk
-// before the version gate runs, so a divergent second writer is refused
-// with ErrCorrupt rather than silently forking the history. The fence is
-// best-effort (a simultaneous stat→write race remains; per-session
-// leases would close it), but it shrinks the dual-writer window from a
-// session lifetime to a single append.
+// session discipline instead of Lock. The primary defense is the lease
+// epoch gate (lease.go): each session's lease lives in <dir>/<id>.lease
+// next to its snapshot and log, every Append/Put states the epoch it was
+// issued under, and the check-then-write sequence runs under a
+// per-session flock (<dir>/<id>.lock), so a deposed owner's write is
+// refused with ErrFenced atomically with respect to the steal that
+// deposed it — the window is closed, not shrunk. Behind that gate, a
+// stat fence remains as defense-in-depth and bookkeeping resync: when
+// the log's on-disk size differs from this process's cache (a peer wrote
+// legitimately during a handoff, or leases are disabled), the state is
+// re-read from disk before the version gate runs, so even an unleased
+// divergent writer is refused with ErrCorrupt rather than silently
+// forking the history.
 type File struct {
 	dir          string
 	compactEvery int
@@ -130,8 +136,10 @@ func (s *File) logf(format string, args ...any) {
 	}
 }
 
-func (s *File) snapPath(id string) string { return filepath.Join(s.dir, id+".json") }
-func (s *File) logPath(id string) string  { return filepath.Join(s.dir, id+".log") }
+func (s *File) snapPath(id string) string  { return filepath.Join(s.dir, id+".json") }
+func (s *File) logPath(id string) string   { return filepath.Join(s.dir, id+".log") }
+func (s *File) leasePath(id string) string { return filepath.Join(s.dir, id+".lease") }
+func (s *File) fencePath(id string) string { return filepath.Join(s.dir, id+".lock") }
 
 // Put atomically replaces the session's snapshot and discards its log.
 func (s *File) Put(rec *Record) error {
@@ -144,6 +152,18 @@ func (s *File) Put(rec *Record) error {
 	mu := s.lockFor(rec.ID)
 	mu.Lock()
 	defer mu.Unlock()
+	unlock, err := s.fenceLock(rec.ID)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	cur, err := s.readLease(rec.ID)
+	if err != nil {
+		return err
+	}
+	if err := checkFence(rec.ID, rec.LeaseEpoch, cur); err != nil {
+		return err
+	}
 	return s.putLocked(rec)
 }
 
@@ -224,6 +244,18 @@ func (s *File) Append(id string, op Op) error {
 	mu := s.lockFor(id)
 	mu.Lock()
 	defer mu.Unlock()
+	unlock, err := s.fenceLock(id)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	cur, err := s.readLease(id)
+	if err != nil {
+		return err
+	}
+	if err := checkFence(id, op.Epoch, cur); err != nil {
+		return err
+	}
 
 	st, seen := s.getState(id)
 	if !seen {
@@ -235,13 +267,15 @@ func (s *File) Append(id string, op Op) error {
 		st, _ = s.getState(id)
 	} else if size := s.logSizeOnDisk(id); size != st.logSize {
 		// The log changed under us: another PROCESS sharing the data dir
-		// (a cluster peer that adopted this session during an ownership
-		// flap) has written since our bookkeeping was current. Resync from
-		// disk so the version gate below judges this op against the real
-		// log, not a stale cache — the divergent writer gets ErrCorrupt
-		// instead of silently forking the history. (A simultaneous-append
-		// race narrower than stat→write remains; closing it fully needs
-		// per-session leases, which the ROADMAP tracks.)
+		// wrote since our bookkeeping was current — a peer that adopted
+		// this session during a handoff and has since handed it back.
+		// Resync from disk so the version gate below judges this op
+		// against the real log, not a stale cache. With leases enabled the
+		// epoch gate above has already refused any *divergent* writer;
+		// this stat fence remains as defense-in-depth for unleased
+		// deployments (where a divergent writer is refused with
+		// ErrCorrupt) and as the bookkeeping refresh for legitimate
+		// hand-backs.
 		if _, err := s.getLocked(id); err != nil {
 			return err
 		}
@@ -358,7 +392,9 @@ func (s *File) compactLocked(id string) error {
 	return s.putLocked(rec)
 }
 
-// Get loads the snapshot and folds in the logged ops.
+// Get loads the snapshot and folds in the logged ops. It takes the
+// per-session fence lock: the read path repairs torn log tails by
+// truncating, and that repair must not race a peer's in-flight append.
 func (s *File) Get(id string) (*Record, error) {
 	if err := checkID(id); err != nil {
 		return nil, err
@@ -366,6 +402,11 @@ func (s *File) Get(id string) (*Record, error) {
 	mu := s.lockFor(id)
 	mu.Lock()
 	defer mu.Unlock()
+	unlock, err := s.fenceLock(id)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	return s.getLocked(id)
 }
 
@@ -436,6 +477,11 @@ func (s *File) Delete(id string) (bool, error) {
 	mu := s.lockFor(id)
 	mu.Lock()
 	defer mu.Unlock()
+	unlock, err := s.fenceLock(id)
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
 	existed := true
 	if err := os.Remove(s.snapPath(id)); err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
@@ -446,6 +492,13 @@ func (s *File) Delete(id string) (bool, error) {
 	if err := os.Remove(s.logPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return existed, fmt.Errorf("store: deleting log %s: %w", id, err)
 	}
+	// The lease dies with the session: a deleted ID's epoch history is
+	// meaningless once the record is gone (a recreated session starts a
+	// fresh lease line). The fence lock file goes too, best-effort.
+	if err := os.Remove(s.leasePath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return existed, fmt.Errorf("store: deleting lease %s: %w", id, err)
+	}
+	os.Remove(s.fencePath(id))
 	s.stateMu.Lock()
 	delete(s.state, id)
 	s.stateMu.Unlock()
@@ -480,6 +533,138 @@ func (s *File) List() ([]string, error) {
 // Close releases the data-dir lock (when Lock was called); per-session
 // file descriptors are never held between calls.
 func (s *File) Close() error { return s.unlock() }
+
+// AcquireLease takes or refreshes the session's write lease. The lease
+// record lives in <dir>/<id>.lease next to the session's snapshot and log,
+// written atomically and fsynced, and the read-modify-write runs under the
+// per-session fence lock so concurrent acquisitions from different
+// processes serialize into a strict epoch order.
+func (s *File) AcquireLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return grantLease(cur, id, owner, ttl, now, false)
+	})
+}
+
+// StealLease takes the lease unconditionally at a higher epoch.
+func (s *File) StealLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return grantLease(cur, id, owner, ttl, now, true)
+	})
+}
+
+// RenewLease extends the holder's lease, fencing stale holders.
+func (s *File) RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return renewLease(cur, id, owner, epoch, ttl, now)
+	})
+}
+
+// ReleaseLease clears the holder, keeping the epoch fence on disk.
+func (s *File) ReleaseLease(id, owner string, epoch uint64) error {
+	_, err := s.lease(id, func(cur *Lease) (Lease, error) {
+		next, err := releaseLease(cur, id, owner, epoch)
+		if err != nil {
+			return Lease{}, err
+		}
+		if next == nil {
+			return Lease{}, errLeaseUnchanged
+		}
+		return *next, nil
+	})
+	if errors.Is(err, errLeaseUnchanged) {
+		return nil
+	}
+	return err
+}
+
+// GetLease returns the session's current lease, or nil when never leased.
+func (s *File) GetLease(id string) (*Lease, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	mu := s.lockFor(id)
+	mu.Lock()
+	defer mu.Unlock()
+	return s.readLease(id)
+}
+
+// errLeaseUnchanged is an internal sentinel: the transition was a no-op and
+// nothing should be written.
+var errLeaseUnchanged = errors.New("store: lease unchanged")
+
+// lease runs one lease transition under the stripe lock and the
+// cross-process fence lock, persisting the result durably.
+func (s *File) lease(id string, next func(cur *Lease) (Lease, error)) (Lease, error) {
+	if err := checkID(id); err != nil {
+		return Lease{}, err
+	}
+	mu := s.lockFor(id)
+	mu.Lock()
+	defer mu.Unlock()
+	unlock, err := s.fenceLock(id)
+	if err != nil {
+		return Lease{}, err
+	}
+	defer unlock()
+	cur, err := s.readLease(id)
+	if err != nil {
+		return Lease{}, err
+	}
+	granted, err := next(cur)
+	if err != nil {
+		return Lease{}, err
+	}
+	if err := s.writeLease(granted); err != nil {
+		return Lease{}, err
+	}
+	return granted, nil
+}
+
+// readLease loads the session's lease record; nil when never leased.
+func (s *File) readLease(id string) (*Lease, error) {
+	data, err := os.ReadFile(s.leasePath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading lease %s: %w", id, err)
+	}
+	l := &Lease{}
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, fmt.Errorf("%w: lease %s: %v", ErrCorrupt, id, err)
+	}
+	return l, nil
+}
+
+// writeLease durably publishes a lease record: temp + fsync + rename +
+// dir fsync, the same discipline as snapshots, so a crash leaves either
+// the old or the new lease, never a torn one.
+func (s *File) writeLease(l Lease) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("store: encoding lease %s: %w", l.ID, err)
+	}
+	tmp := s.leasePath(l.ID) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing lease %s: %w", l.ID, err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing lease %s: %w", l.ID, err)
+	}
+	if err := os.Rename(tmp, s.leasePath(l.ID)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing lease %s: %w", l.ID, err)
+	}
+	return s.syncDir()
+}
 
 // syncDir fsyncs the data directory, making renames and removals durable.
 func (s *File) syncDir() error {

@@ -7,3 +7,9 @@ package store
 func (s *File) Lock() error { return nil }
 
 func (s *File) unlock() error { return nil }
+
+// fenceLock is a no-op where flock is unavailable: the lease epoch check
+// still runs, but without cross-process atomicity between the lease read
+// and the write it gates — the in-process stripe lock is the only
+// serialization.
+func (s *File) fenceLock(id string) (func(), error) { return func() {}, nil }

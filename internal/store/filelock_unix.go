@@ -35,6 +35,28 @@ func (s *File) Lock() error {
 	return nil
 }
 
+// fenceLock takes the per-session cross-process fence: an exclusive
+// blocking flock on <dir>/<id>.lock, held across a lease read plus the
+// write it gates. This is what makes the epoch check atomic between
+// processes sharing a data dir — a steal and a deposed owner's append
+// serialize here, so whichever lands second sees the other's effect
+// (the stale writer fences, the steal outranks). The returned func
+// releases the lock.
+func (s *File) fenceLock(id string) (func(), error) {
+	f, err := os.OpenFile(s.fencePath(id), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening fence lock for %s: %w", id, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: locking fence for %s: %w", id, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}
+
 // unlock releases the advisory lock (called from Close).
 func (s *File) unlock() error {
 	if s.lockFile == nil {

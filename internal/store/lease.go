@@ -1,0 +1,174 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Per-session write leases.
+//
+// A lease names the one node allowed to write a session's history and
+// carries a monotonic fencing Epoch. Every ownership change — a fresh
+// acquisition, a takeover of an expired or released lease, a steal from a
+// deposed holder — mints a strictly higher epoch, and every write
+// (Append/Put) states the epoch it was issued under. The store refuses any
+// write whose epoch is not the lease's current epoch with ErrFenced, which
+// is what closes the dual-writer window PR 5 left open: a deposed owner
+// whose ownership flapped away mid-request cannot fork the history, no
+// matter how its request interleaves with the adopter's, because its epoch
+// is stale the instant the adopter's acquisition lands.
+//
+// Expiry is deliberately NOT checked on writes. An expired lease that
+// nobody has taken over still fences at its epoch — the holder keeps
+// writing safely until a successor actually acquires. Expiry only bounds
+// how long a successor must wait before taking over without proof that the
+// holder is dead; liveness detection (the cluster ring) can justify an
+// earlier steal, and the epoch makes either path safe even when clocks
+// disagree about expiry.
+//
+// Sessions that never acquire a lease (single-node deployments, the
+// default) see no behavior change: with no lease record, epoch-0 writes
+// pass untouched. Once a lease exists its epoch fences forever — release
+// clears the holder but keeps the epoch, so an in-flight write from a
+// released incarnation still bounces.
+
+// Lease is the fencing record for one session.
+type Lease struct {
+	ID string `json:"id"`
+	// Owner is the holder's advertised address, or "" after release.
+	Owner string `json:"owner"`
+	// Epoch is the monotonic fencing token. It starts at 1 and increases
+	// on every change of holder; it never decreases or resets, even across
+	// release/re-acquire cycles.
+	Epoch uint64 `json:"epoch"`
+	// Expires is when a successor may take the lease over without a steal.
+	Expires time.Time `json:"expires"`
+}
+
+// Expired reports whether the lease no longer protects its holder from a
+// plain re-acquisition: released, or past its expiry.
+func (l *Lease) Expired(now time.Time) bool {
+	return l.Owner == "" || !l.Expires.After(now)
+}
+
+// Lease errors.
+var (
+	// ErrFenced is returned when a write (or renewal) carries a stale
+	// fencing epoch: another node acquired the session's lease after the
+	// writer did. It is the lease-lost signal — the session's history is
+	// intact, but this writer may no longer extend it. Contrast ErrCorrupt,
+	// which means the history itself diverged or cannot be decoded.
+	ErrFenced = errors.New("store: write fenced: session lease superseded")
+	// ErrLeaseHeld is returned by AcquireLease when another holder's
+	// unexpired lease is in the way. The caller decides whether to wait for
+	// expiry, redirect to the holder, or StealLease (when liveness
+	// information says the holder is gone).
+	ErrLeaseHeld = errors.New("store: session lease held by another owner")
+)
+
+// FencedError is the structured form of ErrFenced: which session, the
+// stale epoch the write carried, and the lease that outranks it (whose
+// Owner is where the traffic should go).
+type FencedError struct {
+	ID         string
+	WriteEpoch uint64
+	Lease      Lease
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("store: write fenced: session %s epoch %d superseded by %q at epoch %d",
+		e.ID, e.WriteEpoch, e.Lease.Owner, e.Lease.Epoch)
+}
+
+func (e *FencedError) Unwrap() error { return ErrFenced }
+
+// LeaseHeldError is the structured form of ErrLeaseHeld, carrying the
+// blocking lease.
+type LeaseHeldError struct {
+	Lease Lease
+}
+
+func (e *LeaseHeldError) Error() string {
+	return fmt.Sprintf("store: session %s lease held by %q (epoch %d) until %s",
+		e.Lease.ID, e.Lease.Owner, e.Lease.Epoch, e.Lease.Expires.Format(time.RFC3339Nano))
+}
+
+func (e *LeaseHeldError) Unwrap() error { return ErrLeaseHeld }
+
+// grantLease computes the successor of cur for owner: the shared
+// state-machine both stores implement. steal bypasses the held check.
+func grantLease(cur *Lease, id, owner string, ttl time.Duration, now time.Time, steal bool) (Lease, error) {
+	if owner == "" {
+		return Lease{}, errors.New("store: lease owner must be non-empty")
+	}
+	if ttl <= 0 {
+		return Lease{}, errors.New("store: lease ttl must be positive")
+	}
+	next := Lease{ID: id, Owner: owner, Expires: now.Add(ttl)}
+	switch {
+	case cur == nil:
+		next.Epoch = 1
+	case cur.Owner == owner:
+		// Same holder re-acquiring (or refreshing): the incarnation did not
+		// change, so the epoch must not either — bumping it would fence the
+		// holder's own in-flight writes.
+		next.Epoch = cur.Epoch
+	case cur.Expired(now) || steal:
+		next.Epoch = cur.Epoch + 1
+	default:
+		return Lease{}, &LeaseHeldError{Lease: *cur}
+	}
+	return next, nil
+}
+
+// checkFence is the write gate shared by both stores: a write is admitted
+// only when its epoch matches the session's current lease epoch (or when
+// the session has never been leased and the write carries no epoch).
+func checkFence(id string, writeEpoch uint64, cur *Lease) error {
+	if cur == nil {
+		if writeEpoch == 0 {
+			return nil
+		}
+		// An epoch was minted but the lease record is gone — the session
+		// was deleted and recreated, or the store lost the lease. Refusing
+		// is the safe reading: the writer's view of the session is stale.
+		return &FencedError{ID: id, WriteEpoch: writeEpoch}
+	}
+	if writeEpoch == cur.Epoch {
+		return nil
+	}
+	return &FencedError{ID: id, WriteEpoch: writeEpoch, Lease: *cur}
+}
+
+// renewLease validates a renewal against the current lease: same holder,
+// same epoch, or the renewal is fenced.
+func renewLease(cur *Lease, id, owner string, epoch uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	if cur == nil || cur.Owner != owner || cur.Epoch != epoch {
+		fe := &FencedError{ID: id, WriteEpoch: epoch}
+		if cur != nil {
+			fe.Lease = *cur
+		}
+		return Lease{}, fe
+	}
+	next := *cur
+	next.Expires = now.Add(ttl)
+	return next, nil
+}
+
+// releaseLease validates a release: clearing the holder but keeping the
+// epoch, so the fence outlives the incarnation. Releasing a lease that was
+// already superseded reports ErrFenced (the caller usually just logs it);
+// releasing a never-leased session is a no-op.
+func releaseLease(cur *Lease, id, owner string, epoch uint64) (*Lease, error) {
+	if cur == nil {
+		return nil, nil
+	}
+	if cur.Owner != owner || cur.Epoch != epoch {
+		return nil, &FencedError{ID: id, WriteEpoch: epoch, Lease: *cur}
+	}
+	next := *cur
+	next.Owner = ""
+	next.Expires = time.Time{}
+	return &next, nil
+}

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Lease conformance: both stores must implement the same fencing algebra —
+// epochs bump only on holder change, writes carry the epoch they were
+// stamped with, and a superseded epoch is refused with ErrFenced.
+
+func leaseClock() time.Time { return time.Unix(5000, 0).UTC() }
+
+func TestConformanceLeaseAcquireRenewRelease(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		now := leaseClock()
+		l, err := s.AcquireLease("sess-lease", "node-a", time.Minute, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Epoch != 1 || l.Owner != "node-a" || !l.Expires.Equal(now.Add(time.Minute)) {
+			t.Fatalf("first acquire: %+v", l)
+		}
+		// Re-acquire by the same owner is a refresh, not a new incarnation:
+		// the epoch must not move, or the holder would fence itself.
+		l2, err := s.AcquireLease("sess-lease", "node-a", time.Minute, now.Add(time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.Epoch != 1 {
+			t.Fatalf("same-owner re-acquire bumped epoch to %d", l2.Epoch)
+		}
+		// Renewal extends the expiry at the same epoch.
+		l3, err := s.RenewLease("sess-lease", "node-a", 1, time.Minute, now.Add(30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l3.Epoch != 1 || !l3.Expires.Equal(now.Add(90*time.Second)) {
+			t.Fatalf("renew: %+v", l3)
+		}
+		got, err := s.GetLease("sess-lease")
+		if err != nil || got == nil {
+			t.Fatalf("GetLease: %v %v", got, err)
+		}
+		if got.Epoch != 1 || got.Owner != "node-a" {
+			t.Fatalf("GetLease: %+v", got)
+		}
+		// Release clears the owner but keeps the epoch as a permanent
+		// fence; the next acquisition must outrank every write the old
+		// holder ever stamped.
+		if err := s.ReleaseLease("sess-lease", "node-a", 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.GetLease("sess-lease")
+		if err != nil || got == nil {
+			t.Fatalf("GetLease after release: %v %v", got, err)
+		}
+		if got.Owner != "" || got.Epoch != 1 {
+			t.Fatalf("release must keep the epoch fence: %+v", got)
+		}
+		l4, err := s.AcquireLease("sess-lease", "node-b", time.Minute, now.Add(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l4.Epoch != 2 || l4.Owner != "node-b" {
+			t.Fatalf("acquire after release: %+v", l4)
+		}
+	})
+}
+
+func TestConformanceLeaseHeldExpiryAndSteal(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		now := leaseClock()
+		if _, err := s.AcquireLease("sess-steal", "node-a", time.Minute, now); err != nil {
+			t.Fatal(err)
+		}
+		// A live lease blocks plain acquisition, reporting the holder.
+		_, err := s.AcquireLease("sess-steal", "node-b", time.Minute, now.Add(time.Second))
+		var heldErr *LeaseHeldError
+		if !errors.As(err, &heldErr) || !errors.Is(err, ErrLeaseHeld) {
+			t.Fatalf("want LeaseHeldError, got %v", err)
+		}
+		if heldErr.Lease.Owner != "node-a" || heldErr.Lease.Epoch != 1 {
+			t.Fatalf("held error lease: %+v", heldErr.Lease)
+		}
+		// Steal outranks the live holder: new owner, bumped epoch.
+		l, err := s.StealLease("sess-steal", "node-b", time.Minute, now.Add(time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Epoch != 2 || l.Owner != "node-b" {
+			t.Fatalf("steal: %+v", l)
+		}
+		// The deposed holder's renewal is fenced, not merely refused.
+		_, err = s.RenewLease("sess-steal", "node-a", 1, time.Minute, now.Add(2*time.Second))
+		var fencedErr *FencedError
+		if !errors.As(err, &fencedErr) || !errors.Is(err, ErrFenced) {
+			t.Fatalf("deposed renew: want FencedError, got %v", err)
+		}
+		// An expired lease needs no steal: plain acquisition takes over
+		// with an epoch bump.
+		l2, err := s.AcquireLease("sess-steal", "node-c", time.Minute, now.Add(10*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.Epoch != 3 || l2.Owner != "node-c" {
+			t.Fatalf("acquire after expiry: %+v", l2)
+		}
+	})
+}
+
+func TestConformanceFencedAppendAndPut(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		now := leaseClock()
+		rec := testRecord("sess-fence")
+		rec.LeaseEpoch = 1
+		if _, err := s.AcquireLease("sess-fence", "node-a", time.Minute, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append("sess-fence", Op{Kind: OpMerge, Version: 2, Tasks: []int{0}, Answers: []bool{true}, Epoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+		// Another node steals the lease: every write still stamped with
+		// the old epoch must be refused — this is the dual-writer window
+		// closing.
+		if _, err := s.StealLease("sess-fence", "node-b", time.Minute, now.Add(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Append("sess-fence", Op{Kind: OpMerge, Version: 3, Tasks: []int{1}, Answers: []bool{false}, Epoch: 1})
+		var fencedErr *FencedError
+		if !errors.As(err, &fencedErr) || !errors.Is(err, ErrFenced) {
+			t.Fatalf("stale append: want FencedError, got %v", err)
+		}
+		if fencedErr.WriteEpoch != 1 || fencedErr.Lease.Epoch != 2 || fencedErr.Lease.Owner != "node-b" {
+			t.Fatalf("fenced detail: %+v", fencedErr)
+		}
+		if err := s.Put(rec); !errors.Is(err, ErrFenced) {
+			t.Fatalf("stale put: want ErrFenced, got %v", err)
+		}
+		// Epoch-0 writes (a node running with leasing disabled) are fenced
+		// too once any lease exists: mixed deployments cannot bypass the
+		// gate.
+		if err := s.Append("sess-fence", Op{Kind: OpMerge, Version: 3, Tasks: []int{1}, Answers: []bool{false}}); !errors.Is(err, ErrFenced) {
+			t.Fatalf("epoch-0 append under lease: want ErrFenced, got %v", err)
+		}
+		// The new holder's writes pass, and the refused op left no trace.
+		if err := s.Append("sess-fence", Op{Kind: OpMerge, Version: 3, Tasks: []int{2}, Answers: []bool{true}, Epoch: 2}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get("sess-fence")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Ops) != 4 || got.Ops[3].Epoch != 2 || got.Ops[3].Tasks[0] != 2 {
+			t.Fatalf("history after fence: %+v", got.Ops)
+		}
+	})
+}
+
+func TestConformanceLeaseValidation(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		now := leaseClock()
+		if _, err := s.AcquireLease("bad/id", "node-a", time.Minute, now); !errors.Is(err, ErrBadID) {
+			t.Fatalf("bad id: %v", err)
+		}
+		if _, err := s.AcquireLease("sess-v", "", time.Minute, now); err == nil {
+			t.Fatal("empty owner accepted")
+		}
+		if _, err := s.AcquireLease("sess-v", "node-a", 0, now); err == nil {
+			t.Fatal("zero ttl accepted")
+		}
+		// Renewing a lease that was never granted is a fence violation:
+		// the caller's belief about its own epoch is already wrong.
+		if _, err := s.RenewLease("sess-v", "node-a", 1, time.Minute, now); !errors.Is(err, ErrFenced) {
+			t.Fatalf("renew of absent lease: %v", err)
+		}
+		got, err := s.GetLease("sess-v")
+		if err != nil || got != nil {
+			t.Fatalf("GetLease of absent lease: %v %v", got, err)
+		}
+		// Releasing an absent lease is a no-op (release races a delete).
+		if err := s.ReleaseLease("sess-v", "node-a", 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceDeleteRemovesLease(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		now := leaseClock()
+		rec := testRecord("sess-del")
+		rec.LeaseEpoch = 1
+		if _, err := s.AcquireLease("sess-del", "node-a", time.Minute, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Delete("sess-del"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetLease("sess-del")
+		if err != nil || got != nil {
+			t.Fatalf("lease survived delete: %v %v", got, err)
+		}
+		// A reused ID starts a fresh fencing history.
+		l, err := s.AcquireLease("sess-del", "node-b", time.Minute, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Epoch != 1 {
+			t.Fatalf("lease epoch survived delete: %+v", l)
+		}
+	})
+}
+
+// TestFileLeaseSurvivesReopen is File-specific: the lease record is durably
+// co-located with the session, so the fence holds across a crash-restart —
+// a revived deposed owner stays fenced.
+func TestFileLeaseSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	now := leaseClock()
+	fs, err := NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("sess-reopen")
+	rec.LeaseEpoch = 1
+	if _, err := fs.AcquireLease("sess-reopen", "node-a", time.Minute, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StealLease("sess-reopen", "node-b", time.Minute, now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := NewFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, err := fs2.GetLease("sess-reopen")
+	if err != nil || got == nil {
+		t.Fatalf("GetLease after reopen: %v %v", got, err)
+	}
+	if got.Owner != "node-b" || got.Epoch != 2 {
+		t.Fatalf("lease after reopen: %+v", got)
+	}
+	// The old incarnation's epoch stays fenced across the restart.
+	err = fs2.Append("sess-reopen", Op{Kind: OpMerge, Version: 2, Tasks: []int{0}, Answers: []bool{true}, Epoch: 1})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale epoch after reopen: want ErrFenced, got %v", err)
+	}
+	if err := fs2.Append("sess-reopen", Op{Kind: OpMerge, Version: 2, Tasks: []int{0}, Answers: []bool{true}, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

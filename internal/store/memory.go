@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Memory is the volatile SessionStore: records live in a map and vanish
@@ -18,13 +19,14 @@ import (
 // per create and an op clone per merge, both small next to the posterior
 // conditioning a merge already performs.
 type Memory struct {
-	mu   sync.RWMutex
-	recs map[string]*Record
+	mu     sync.RWMutex
+	recs   map[string]*Record
+	leases map[string]*Lease
 }
 
 // NewMemory builds an empty in-memory store.
 func NewMemory() *Memory {
-	return &Memory{recs: make(map[string]*Record)}
+	return &Memory{recs: make(map[string]*Record), leases: make(map[string]*Lease)}
 }
 
 // Durable reports false: a restart loses everything.
@@ -40,6 +42,9 @@ func (s *Memory) Put(rec *Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := checkFence(rec.ID, rec.LeaseEpoch, s.leases[rec.ID]); err != nil {
+		return err
+	}
 	s.recs[rec.ID] = rec.Clone()
 	return nil
 }
@@ -58,6 +63,9 @@ func (s *Memory) Append(id string, op Op) error {
 	rec, ok := s.recs[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotExist, id)
+	}
+	if err := checkFence(id, op.Epoch, s.leases[id]); err != nil {
+		return err
 	}
 	if op.Version != len(rec.Ops) || !rec.fold(op) {
 		return fmt.Errorf("%w: op %q version %d does not extend %d applied ops",
@@ -89,6 +97,7 @@ func (s *Memory) Delete(id string) (bool, error) {
 	defer s.mu.Unlock()
 	_, ok := s.recs[id]
 	delete(s.recs, id)
+	delete(s.leases, id)
 	return ok, nil
 }
 
@@ -106,3 +115,71 @@ func (s *Memory) List() ([]string, error) {
 
 // Close is a no-op.
 func (s *Memory) Close() error { return nil }
+
+// AcquireLease takes or refreshes the session's write lease.
+func (s *Memory) AcquireLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return grantLease(cur, id, owner, ttl, now, false)
+	})
+}
+
+// StealLease takes the lease unconditionally at a higher epoch.
+func (s *Memory) StealLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return grantLease(cur, id, owner, ttl, now, true)
+	})
+}
+
+// RenewLease extends the holder's lease, fencing stale holders.
+func (s *Memory) RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	return s.lease(id, func(cur *Lease) (Lease, error) {
+		return renewLease(cur, id, owner, epoch, ttl, now)
+	})
+}
+
+// ReleaseLease clears the holder, keeping the epoch fence.
+func (s *Memory) ReleaseLease(id, owner string, epoch uint64) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := releaseLease(s.leases[id], id, owner, epoch)
+	if err != nil {
+		return err
+	}
+	if next != nil {
+		s.leases[id] = next
+	}
+	return nil
+}
+
+// GetLease returns the current lease, or nil when never leased.
+func (s *Memory) GetLease(id string) (*Lease, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur, ok := s.leases[id]
+	if !ok {
+		return nil, nil
+	}
+	c := *cur
+	return &c, nil
+}
+
+// lease runs one lease transition under the store lock.
+func (s *Memory) lease(id string, next func(cur *Lease) (Lease, error)) (Lease, error) {
+	if err := checkID(id); err != nil {
+		return Lease{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	granted, err := next(s.leases[id])
+	if err != nil {
+		return Lease{}, err
+	}
+	s.leases[id] = &granted
+	return granted, nil
+}

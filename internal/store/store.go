@@ -32,8 +32,11 @@ var (
 	// ErrBadID is returned for session IDs unsafe to use as file names.
 	ErrBadID = errors.New("store: invalid session id")
 	// ErrCorrupt is returned when a snapshot cannot be decoded or an op
-	// sequence has a version gap that replay cannot bridge. A corrupt log
-	// *tail* is not an error — Load recovers to the last good record.
+	// sequence has a version gap that replay cannot bridge — the history
+	// itself diverged or is unreadable. A corrupt log *tail* is not an
+	// error — Load recovers to the last good record. Contrast ErrFenced
+	// (lease.go): there the history is intact but the writer has lost the
+	// session's lease and may no longer extend it.
 	ErrCorrupt = errors.New("store: corrupt session record")
 )
 
@@ -67,6 +70,10 @@ type Op struct {
 	// Batch is the full selected batch a partial op's judgments belong to,
 	// in selection order. Only OpPartial carries it.
 	Batch []int `json:"batch,omitempty"`
+	// Epoch is the fencing epoch of the lease this op was written under,
+	// 0 when the session is not leased. Append refuses ops whose epoch is
+	// not the lease's current epoch with ErrFenced (see lease.go).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Time advances the record's LastAccess on load; it never affects
 	// replay arithmetic.
 	Time time.Time `json:"time,omitzero"`
@@ -105,6 +112,12 @@ type Record struct {
 
 	Done bool `json:"done,omitempty"`
 	Ops  []Op `json:"ops,omitempty"`
+
+	// LeaseEpoch is the fencing epoch of the lease this snapshot was
+	// written under, 0 when the session is not leased. Put refuses
+	// snapshots whose epoch is not the lease's current epoch with
+	// ErrFenced, exactly as Append does for ops.
+	LeaseEpoch uint64 `json:"lease_epoch,omitempty"`
 
 	// Pending ledger: crowd judgments journaled for the batch selected at
 	// version len(Ops) but not yet committed by a merge. PendingBatch is
@@ -153,6 +166,36 @@ type SessionStore interface {
 	List() ([]string, error)
 	// Close releases store resources. The store is unusable afterwards.
 	Close() error
+
+	// AcquireLease takes (or refreshes) the session's write lease for
+	// owner, valid for ttl from now. It grants when the session is
+	// unleased, the lease is expired or released, or owner already holds
+	// it (same holder, same epoch); a change of holder mints a strictly
+	// higher epoch. A different holder's unexpired lease blocks with
+	// ErrLeaseHeld (a *LeaseHeldError carrying the blocker). Leases may be
+	// acquired before the record exists — Create acquires first so the
+	// initial Put is already fenced.
+	AcquireLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error)
+	// StealLease takes the lease unconditionally at a strictly higher
+	// epoch, deposing an unexpired holder. Callers should have independent
+	// evidence the holder is gone (the cluster ring's liveness view); the
+	// epoch keeps even an unjustified steal safe — the deposed holder's
+	// writes fence rather than fork.
+	StealLease(id, owner string, ttl time.Duration, now time.Time) (Lease, error)
+	// RenewLease extends the holder's lease by ttl from now. The renewal
+	// is fenced like a write: a stale epoch or a changed holder returns
+	// ErrFenced, which is how a deposed owner discovers it lost the
+	// session.
+	RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (Lease, error)
+	// ReleaseLease clears the holder, keeping the epoch as a permanent
+	// fence: writes from the released incarnation still bounce, and the
+	// next acquisition mints a higher epoch. Releasing a never-leased
+	// session is a no-op; releasing after being superseded returns
+	// ErrFenced (callers typically just log it).
+	ReleaseLease(id, owner string, epoch uint64) error
+	// GetLease returns the session's current lease, or nil when the
+	// session has never been leased.
+	GetLease(id string) (*Lease, error)
 }
 
 // Clone returns a deep copy of the record.

@@ -1,0 +1,318 @@
+#!/bin/sh
+# chaos_smoke.sh — fault-injection smoke test of lease-fenced ownership.
+#
+# Boots a 3-node crowdfusiond cluster with every node behind its own
+# chaosproxy (nodes advertise the PROXY addresses, so partitioning a proxy
+# makes a node unreachable WITHOUT stopping it — the deposed owner keeps
+# running and keeps trying to write). Three scenarios over one workload:
+#
+#   baseline  no faults; records the final posterior every faulted run
+#             must reproduce bit for bit.
+#   netsplit  partition the owner mid-refinement. Its lease renewals keep
+#             landing in the shared store, so the adopter must STEAL the
+#             unexpired lease at a higher epoch; the partitioned owner's
+#             next write is refused HTTP 421 code "fenced" naming the new
+#             holder, and the refusal leaves no trace in the history.
+#   skew      same partition with the owner's clock skewed 3s behind
+#             (-clock-skew): its leases are always expired from the
+#             adopter's view, so takeover happens through plain expiry
+#             (steal counter stays zero) — and the fence still holds.
+#
+# Each faulted scenario asserts: the deposed owner answers 421 "fenced"
+# with the holder's address, crowdfusion_fenced_writes_refused_total
+# advances on it, the adopted history never forks, and after healing the
+# refinement loop finishes with a posterior bit-identical to baseline.
+# Run via `make smoke-chaos`; CI runs it on every push.
+#
+# Usage: chaos_smoke.sh [path-to-crowdfusiond] [path-to-chaosproxy]
+set -eu
+
+BIN="${1:-./bin/crowdfusiond}"
+PROXY="${2:-./bin/chaosproxy}"
+BASE_PORT="${SMOKE_CHAOS_PORT:-18420}"
+CREATE_BODY='{"marginals":[0.5,0.63,0.58,0.49],"pc":0.8,"k":2,"budget":6}'
+RESP="$(mktemp)"
+SCEN_IDX=0
+PIDS=""     # every process of the CURRENT scenario
+LOGS=""     # every log of the CURRENT scenario
+TMPDIRS=""  # per-scenario data dirs, removed at exit
+BASELINE="" # posterior of the unfaulted run
+
+fail() {
+    echo "chaos-smoke: FAIL: $*" >&2
+    for log in $LOGS; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2
+    done
+    exit 1
+}
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for log in $LOGS; do
+        rm -f "$log"
+    done
+    for d in $TMPDIRS; do
+        rm -rf "$d"
+    done
+    rm -f "$RESP"
+}
+trap cleanup EXIT
+
+# req METHOD URL [BODY]: sets STATUS, leaves the body in $RESP.
+req() {
+    if [ -n "${3:-}" ]; then
+        STATUS=$(curl -s -o "$RESP" -w '%{http_code}' -X "$1" \
+            -H 'Content-Type: application/json' -d "$3" "$2" 2>/dev/null) || STATUS=000
+    else
+        STATUS=$(curl -s -o "$RESP" -w '%{http_code}' -X "$1" "$2" 2>/dev/null) || STATUS=000
+    fi
+}
+
+# routed METHOD PATH [BODY]: walk LIVE proxies, follow 421 redirects
+# (not_owner AND fenced both carry the owner's address), retry while the
+# cluster converges. Success leaves the body in $RESP.
+routed() {
+    r_hint=""
+    r_try=0
+    while [ "$r_try" -lt 80 ]; do
+        r_try=$((r_try + 1))
+        for base in $r_hint $LIVE; do
+            req "$1" "$base$2" "${3:-}"
+            case "$STATUS" in
+            2*) return 0 ;;
+            421) r_hint=$(sed -n 's/.*"owner": *"\([^"]*\)".*/\1/p' "$RESP") ;;
+            000) r_hint="" ;;
+            *) fail "routed $1 $2: HTTP $STATUS: $(cat "$RESP")" ;;
+            esac
+        done
+        sleep 0.2
+    done
+    fail "routed $1 $2 did not settle"
+}
+
+wait_healthy() { # base
+    i=0
+    until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || fail "node $1 did not become healthy"
+        sleep 0.1
+    done
+}
+
+# merge_round: select through the routed path and merge all-true answers.
+# Sets DONE=true when the select reports the session finished instead.
+merge_round() {
+    routed POST "/v1/sessions/$SID/select"
+    if grep -q '"done": true' "$RESP"; then
+        DONE=true
+        return 0
+    fi
+    DONE=false
+    TASKS=$(tr -d '\n' <"$RESP" | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+    [ -n "$TASKS" ] || fail "could not parse tasks from: $(cat "$RESP")"
+    VERSION=$(sed -n 's/.*"version": *\([0-9]*\).*/\1/p' "$RESP" | head -n 1)
+    N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+    ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+    routed POST "/v1/sessions/$SID/answers" \
+        "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":$VERSION}"
+}
+
+finish_loop() {
+    rounds=0
+    while :; do
+        rounds=$((rounds + 1))
+        [ "$rounds" -lt 20 ] || fail "refinement loop did not finish"
+        merge_round
+        [ "$DONE" = true ] && break
+    done
+}
+
+# posterior: flatten the last routed GET body into "version spent done
+# [marginals]" — the bit-identity token compared across runs (encoding/json
+# emits the shortest round-tripping float form, so string equality is
+# float equality).
+posterior() {
+    flat=$(tr -d ' \n' <"$RESP")
+    echo "v$(echo "$flat" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')" \
+        "spent$(echo "$flat" | sed -n 's/.*"spent":\([0-9]*\).*/\1/p')" \
+        "done$(echo "$flat" | sed -n 's/.*"done":\([a-z]*\).*/\1/p')" \
+        "[$(echo "$flat" | sed -n 's/.*"marginals":\[\([^]]*\)\].*/\1/p')]"
+}
+
+# metric BASE NAME: prints the counter's value (0 when absent).
+metric() {
+    req GET "$1/metrics"
+    v=$(sed -n "s/^$2 \([0-9]*\)\$/\1/p" "$RESP")
+    echo "${v:-0}"
+}
+
+teardown() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    PIDS=""
+    LOGS=""
+}
+
+# setup SKEW_FLAGS...: boot proxies + nodes for one scenario. Node 1 gets
+# the extra flags (the clock-skew scenario skews only the victim). Sets
+# N1..N3 (direct node URLs), P1..P3 (proxy URLs), CTL1 (node 1's proxy
+# control API), LIVE, DATA.
+setup() {
+    pbase=$((BASE_PORT + SCEN_IDX * 20))
+    SCEN_IDX=$((SCEN_IDX + 1))
+    NP1=$((pbase + 1)) NP2=$((pbase + 2)) NP3=$((pbase + 3))
+    PP1=$((pbase + 4)) PP2=$((pbase + 5)) PP3=$((pbase + 6))
+    CP1=$((pbase + 7)) CP2=$((pbase + 8)) CP3=$((pbase + 9))
+    N1="http://127.0.0.1:$NP1" N2="http://127.0.0.1:$NP2" N3="http://127.0.0.1:$NP3"
+    P1="http://127.0.0.1:$PP1" P2="http://127.0.0.1:$PP2" P3="http://127.0.0.1:$PP3"
+    CTL1="http://127.0.0.1:$CP1"
+    PEERS="127.0.0.1:$PP1,127.0.0.1:$PP2,127.0.0.1:$PP3"
+    DATA="$(mktemp -d)"
+    TMPDIRS="$TMPDIRS $DATA"
+
+    for i in 1 2 3; do
+        eval "np=\$NP$i pp=\$PP$i cp=\$CP$i"
+        plog="$(mktemp)"
+        LOGS="$LOGS $plog"
+        "$PROXY" -listen "127.0.0.1:$pp" -target "127.0.0.1:$np" \
+            -ctl "127.0.0.1:$cp" >>"$plog" 2>&1 &
+        PIDS="$PIDS $!"
+    done
+    for i in 1 2 3; do
+        eval "np=\$NP$i pp=\$PP$i"
+        nlog="$(mktemp)"
+        LOGS="$LOGS $nlog"
+        extra=""
+        [ "$i" = 1 ] && extra="$*"
+        # shellcheck disable=SC2086
+        "$BIN" -addr "127.0.0.1:$np" -self "127.0.0.1:$pp" -peers "$PEERS" \
+            -heartbeat 200ms -lease 1s -lease-renew 200ms \
+            -store file -data-dir "$DATA" $extra >>"$nlog" 2>&1 &
+        PIDS="$PIDS $!"
+        eval "NLOG$i=\$nlog"
+    done
+    wait_healthy "$N1"
+    wait_healthy "$N2"
+    wait_healthy "$N3"
+    LIVE="$P1 $P2 $P3"
+}
+
+# Sessions are minted by the node that serves the create, so creating
+# through node 1's proxy pins ownership where the scenario needs it.
+create_on_node1() {
+    req POST "$P1/v1/sessions" "$CREATE_BODY"
+    [ "$STATUS" = 201 ] || fail "create: HTTP $STATUS: $(cat "$RESP")"
+    SID=$(sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' "$RESP")
+    [ -n "$SID" ] || fail "no session id in: $(cat "$RESP")"
+    req GET "$N1/v1/sessions/$SID"
+    [ "$STATUS" = 200 ] || fail "node 1 does not serve its own session (HTTP $STATUS)"
+}
+
+# --- scenario: baseline (no faults) ---------------------------------------
+
+setup
+echo "chaos-smoke: [baseline] 3 nodes up behind proxies (leases 1s)"
+create_on_node1
+finish_loop
+routed GET "/v1/sessions/$SID"
+BASELINE=$(posterior)
+echo "chaos-smoke: [baseline] posterior $BASELINE"
+teardown
+
+# --- faulted scenarios ----------------------------------------------------
+
+# run_faulted NAME EXPECT_STEAL [SKEW_FLAGS...]: partition node 1 mid-
+# refinement, assert the fence, heal, finish, compare with baseline.
+run_faulted() {
+    name=$1
+    expect_steal=$2
+    shift 2
+    setup "$@"
+    echo "chaos-smoke: [$name] 3 nodes up behind proxies (leases 1s${1:+, node1 $*})"
+    create_on_node1
+    merge_round
+    grep -q '"merged": true' "$RESP" || fail "[$name] round 1 not merged: $(cat "$RESP")"
+
+    # Partition node 1's proxy: peers cannot reach it, it can reach peers —
+    # so it keeps believing it owns the session — and its renewal loop
+    # still lands in the shared store (storage is not partitioned).
+    req POST "$CTL1/partition"
+    [ "$STATUS" = 204 ] || fail "[$name] partition control call: HTTP $STATUS"
+    LIVE="$P2 $P3"
+    echo "chaos-smoke: [$name] node 1 partitioned"
+
+    # The survivors detect the death and adopt the session at a higher
+    # fencing epoch (steal or expiry, per scenario).
+    routed GET "/v1/sessions/$SID?rounds=true"
+    ADOPTED=$(cat "$RESP")
+    echo "chaos-smoke: [$name] session adopted by a survivor"
+
+    # The deposed owner still serves reads of its resident copy, but its
+    # next WRITE must be refused: 421, code "fenced", naming the holder.
+    req POST "$N1/v1/sessions/$SID/select"
+    if [ "$STATUS" = 200 ]; then
+        TASKS=$(tr -d '\n' <"$RESP" | sed -n 's/.*"tasks": *\[\([0-9, ]*\)\].*/\1/p')
+        VERSION=$(sed -n 's/.*"version": *\([0-9]*\).*/\1/p' "$RESP" | head -n 1)
+        N_TASKS=$(echo "$TASKS" | awk -F, '{print NF}')
+        ANSWERS=$(awk -v n="$N_TASKS" 'BEGIN{for(i=1;i<=n;i++)printf "%strue",(i>1?",":"")}')
+        req POST "$N1/v1/sessions/$SID/answers" \
+            "{\"tasks\":[$TASKS],\"answers\":[$ANSWERS],\"version\":$VERSION}"
+    fi
+    [ "$STATUS" = 421 ] || fail "[$name] deposed owner's write: HTTP $STATUS, want 421: $(cat "$RESP")"
+    grep -q '"code": *"fenced"' "$RESP" || fail "[$name] 421 without fenced code: $(cat "$RESP")"
+    HOLDER=$(sed -n 's/.*"owner": *"\([^"]*\)".*/\1/p' "$RESP")
+    case "$HOLDER" in
+    "$P2" | "$P3") ;;
+    *) fail "[$name] fenced envelope names holder '$HOLDER', want $P2 or $P3" ;;
+    esac
+    echo "chaos-smoke: [$name] deposed owner's write refused fenced (holder $HOLDER)"
+
+    # The fence is visible in the deposed owner's metrics.
+    FENCED=$(metric "$N1" crowdfusion_fenced_writes_refused_total)
+    [ "$FENCED" -ge 1 ] || fail "[$name] node 1 fenced_writes_refused_total = $FENCED, want >= 1"
+
+    # Takeover mechanism is scenario-specific: a live lease must be stolen
+    # (netsplit), an expired one adopted silently (skew).
+    STOLEN=$(($(metric "$N2" crowdfusion_leases_stolen_total) + $(metric "$N3" crowdfusion_leases_stolen_total)))
+    if [ "$expect_steal" = yes ]; then
+        [ "$STOLEN" -ge 1 ] || fail "[$name] no survivor stole the unexpired lease"
+    else
+        [ "$STOLEN" = 0 ] || fail "[$name] expiry takeover counted as a steal ($STOLEN)"
+    fi
+
+    # History never forks: the refused write left no trace in the adopted
+    # record.
+    routed GET "/v1/sessions/$SID?rounds=true"
+    [ "$(cat "$RESP")" = "$ADOPTED" ] || fail "[$name] fenced write forked the history:
+--- at adoption ---
+$ADOPTED
+--- after refusal ---
+$(cat "$RESP")"
+    echo "chaos-smoke: [$name] refused write left no trace (fenced=$FENCED stolen=$STOLEN)"
+
+    # Heal. Ownership re-homes to node 1, which re-acquires at a fresh
+    # epoch and continues the loop on the adopter's flushed state.
+    req POST "$CTL1/heal"
+    [ "$STATUS" = 204 ] || fail "[$name] heal control call: HTTP $STATUS"
+    LIVE="$P1 $P2 $P3"
+    finish_loop
+    routed GET "/v1/sessions/$SID"
+    GOT=$(posterior)
+    [ "$GOT" = "$BASELINE" ] || fail "[$name] posterior diverged from unfaulted run:
+baseline: $BASELINE
+faulted:  $GOT"
+    echo "chaos-smoke: [$name] healed; posterior bit-identical to baseline"
+    teardown
+}
+
+run_faulted netsplit yes
+run_faulted skew no -clock-skew -3s
+
+echo "chaos-smoke: PASS"

@@ -1,9 +1,11 @@
 #!/bin/sh
 # daemon_smoke.sh — end-to-end smoke test of the crowdfusiond binary.
 #
-# Starts the daemon, drives one refinement round over HTTP with curl
-# (create session → select → answer → verify the marginals moved), checks
-# /healthz and /metrics, and shuts the daemon down cleanly with SIGTERM.
+# Starts the daemon (with leases on, so the lease heartbeat and its
+# operational surface are exercised), drives one refinement round over
+# HTTP with curl (create session → select → answer → verify the marginals
+# moved), checks /healthz and /metrics including the lease gauges, and
+# shuts the daemon down cleanly with SIGTERM.
 # Run via `make smoke`; CI runs it on every push.
 #
 # Usage: daemon_smoke.sh [path-to-crowdfusiond]
@@ -23,9 +25,9 @@ fail() {
 # address, which is the contract scripts use instead of hardcoding ports.
 # SMOKE_PORT overrides for environments that need a fixed port.
 if [ -n "${SMOKE_PORT:-}" ]; then
-    "$BIN" -addr "127.0.0.1:${SMOKE_PORT}" >"$LOG" 2>&1 &
+    "$BIN" -addr "127.0.0.1:${SMOKE_PORT}" -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
 else
-    "$BIN" -addr "127.0.0.1:0" >"$LOG" 2>&1 &
+    "$BIN" -addr "127.0.0.1:0" -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
 fi
 DAEMON=$!
 SSE_LOG="$(mktemp)"
@@ -157,6 +159,18 @@ echo "$METRICS" | grep -q '^crowdfusion_merge_replays_total 1$' || fail "replays
 echo "$METRICS" | grep -q "^crowdfusion_partial_answers_total $N_TASKS2\$" || fail "partials counter: $METRICS"
 echo "$METRICS" | grep -q '^crowdfusion_streams_served_total 1$' || fail "streams counter: $METRICS"
 echo "smoke: metrics OK"
+
+# Lease surface: the live session's write lease is held and heartbeat
+# renewals have landed; /healthz reports the lease state.
+echo "$METRICS" | grep -q '^crowdfusion_leases_held 1$' || fail "leases_held gauge: $METRICS"
+RENEWED=$(echo "$METRICS" | sed -n 's/^crowdfusion_leases_renewed_total \([0-9]*\)$/\1/p')
+[ "${RENEWED:-0}" -ge 1 ] || fail "no lease renewals counted: $METRICS"
+echo "$METRICS" | grep -q '^crowdfusion_fenced_writes_refused_total 0$' ||
+    fail "single-writer run refused writes as fenced: $METRICS"
+HEALTH=$(curl -fsS "$BASE/healthz") || fail "healthz"
+echo "$HEALTH" | grep -q '"leases"' || fail "healthz lacks lease block: $HEALTH"
+echo "$HEALTH" | grep -q '"held": 1' || fail "healthz lease count: $HEALTH"
+echo "smoke: lease heartbeat OK (renewed=$RENEWED)"
 
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$DAEMON"
