@@ -49,6 +49,7 @@ import (
 
 	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/service"
+	"crowdfusion/internal/trace"
 )
 
 // Re-exported wire types, so callers need not import the internal package.
@@ -146,6 +147,11 @@ type APIError struct {
 	Throttled bool
 	// RetryAfter is the parsed Retry-After value (zero when absent or 0).
 	RetryAfter time.Duration
+	// RequestID is the server-side request identifier for the failed
+	// exchange (the envelope's request_id field, falling back to the
+	// X-Request-Id response header). Quote it when reporting a failure —
+	// it is the join key into the server's access log and /debug/traces.
+	RequestID string
 }
 
 // Error implements error.
@@ -168,6 +174,12 @@ const downTTL = 3 * time.Second
 type Client struct {
 	peers []string // normalized base URLs, rendezvous-hashed for routing
 	http  *http.Client
+
+	// tracer mints the spans whose traceparent headers stitch client
+	// attempts and server hops into one distributed trace. The default is
+	// recorder-less — IDs flow, nothing is kept; WithTracer swaps in a
+	// recording tracer.
+	tracer *trace.Tracer
 
 	// 503+Retry-After backoff policy.
 	maxRetries  int
@@ -192,6 +204,18 @@ type Option func(*Client)
 // transports, test servers).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithTracer substitutes the client's tracer. Pass trace.New("client",
+// trace.NewRecorder("client")) to keep spans in process (inspect them with
+// the recorder's Snapshot); the default recorder-less tracer still
+// propagates trace context on every request but records nothing.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Client) {
+		if t != nil {
+			c.tracer = t
+		}
+	}
 }
 
 // WithBackoff tunes the 503+Retry-After retry policy: at most maxRetries
@@ -248,6 +272,7 @@ func NewCluster(peers []string, opts ...Option) (*Client, error) {
 
 func (c *Client) defaults() {
 	c.http = &http.Client{Timeout: 2 * time.Minute}
+	c.tracer = trace.New("client", nil)
 	c.maxRetries = 4
 	c.backoffBase = 100 * time.Millisecond
 	c.backoffCap = 2 * time.Second
@@ -352,6 +377,9 @@ func (c *Client) doNode(ctx context.Context, node, method, path string, body, ou
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("traceparent", sp.Context().Traceparent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s%s: %w", method, node, path, err)
@@ -386,6 +414,10 @@ func decodeAPIError(resp *http.Response) *APIError {
 		throttled = true
 		retryAfter = time.Duration(secs) * time.Second
 	}
+	requestID := envelope.RequestID
+	if requestID == "" {
+		requestID = resp.Header.Get("X-Request-Id")
+	}
 	return &APIError{
 		StatusCode: resp.StatusCode,
 		Message:    msg,
@@ -393,6 +425,7 @@ func decodeAPIError(resp *http.Response) *APIError {
 		Owner:      envelope.Owner,
 		Throttled:  throttled,
 		RetryAfter: retryAfter,
+		RequestID:  requestID,
 	}
 }
 
@@ -401,7 +434,14 @@ func decodeAPIError(resp *http.Response) *APIError {
 // along the rendezvous rank (pausing between full cycles so daemon-side
 // failure detection can catch up), and absorb saturation 503s with
 // backoff. Any other error belongs to the caller.
-func (c *Client) route(ctx context.Context, order []string, method, path string, body, out any) error {
+func (c *Client) route(ctx context.Context, order []string, method, path string, body, out any) (rerr error) {
+	// One span covers the logical request (joining any trace already on
+	// ctx, e.g. Refine's root span), and each network attempt gets a child
+	// span — so a redirect-then-retry shows up as two attempts under one
+	// request, and the traceparent each server hop continues from is the
+	// attempt that actually reached it.
+	ctx, rsp := c.tracer.Start(ctx, "client "+method+" "+path)
+	defer func() { rsp.SetError(rerr); rsp.End() }()
 	// Enough attempts to redirect or fail over across the fleet a few
 	// times with backoff in between; routing that hasn't settled by then
 	// reports the last error rather than retrying forever.
@@ -416,7 +456,20 @@ func (c *Client) route(ctx context.Context, order []string, method, path string,
 		}
 		node := c.pick(order, hint)
 		hint = ""
-		err := c.doNode(ctx, node, method, path, body, out)
+		attemptCtx, asp := c.tracer.Start(ctx, "client.attempt")
+		asp.SetAttr("node", node)
+		err := c.doNode(attemptCtx, node, method, path, body, out)
+		if err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) {
+				asp.SetAttr("status", ae.StatusCode)
+				if ae.Code != "" {
+					asp.SetAttr("code", ae.Code)
+				}
+			}
+			asp.SetError(err)
+		}
+		asp.End()
 		if err == nil {
 			return nil
 		}
@@ -615,7 +668,19 @@ func (c *Client) ListSessions(ctx context.Context, after string, limit int) (*Li
 // left). It returns the final session state. A provider that also
 // implements ContextAnswerProvider gets the loop's context and may abort
 // the refinement by returning an error.
-func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (*SessionInfo, error) {
+//
+// The whole loop runs under one root span ("client.refine"), so every
+// select, submit, retry, and redirect it makes — and every server-side
+// span those requests produce — shares a single trace ID.
+func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (info *SessionInfo, err error) {
+	ctx, sp := c.tracer.Start(ctx, "client.refine")
+	sp.SetAttr("session", id)
+	rounds := 0
+	defer func() {
+		sp.SetAttr("rounds", rounds)
+		sp.SetError(err)
+		sp.End()
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -639,6 +704,7 @@ func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (*
 		if _, err := c.SubmitAnswers(ctx, id, sel.Tasks, answers, sel.Version); err != nil {
 			return nil, err
 		}
+		rounds++
 	}
 	return c.GetSession(ctx, id, false)
 }

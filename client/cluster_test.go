@@ -15,6 +15,7 @@ import (
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/service"
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 // testNode is one in-process daemon of a test cluster: its own HTTP
@@ -26,6 +27,7 @@ type testNode struct {
 	svc  *service.Server
 	http *http.Server
 	ln   net.Listener
+	rec  *trace.Recorder
 }
 
 // kill simulates SIGKILL: the listener and connections drop, nothing is
@@ -73,13 +75,19 @@ func startCluster(t *testing.T, size int) ([]*testNode, *client.Client) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := service.NewServer(service.Config{Store: fs, Cluster: ring})
+		rec := trace.NewRecorder(addrs[i])
+		svc := service.NewServer(service.Config{
+			Store:   fs,
+			Cluster: ring,
+			Tracer:  trace.New(addrs[i], rec),
+		})
 		node := &testNode{
 			addr: addrs[i],
 			ring: ring,
 			svc:  svc,
 			http: &http.Server{Handler: svc.Handler()},
 			ln:   listeners[i],
+			rec:  rec,
 		}
 		go func() { _ = node.http.Serve(node.ln) }()
 		ring.Start()

@@ -22,6 +22,7 @@ import (
 
 	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/service"
+	"crowdfusion/internal/trace"
 )
 
 // errWatchTerminal ends the watch loop after a terminal event (deleted,
@@ -50,14 +51,25 @@ type watchState struct {
 // or replay after the reset — events between its drop point and the resume
 // may then be compressed into that snapshot.
 func (c *Client) Watch(ctx context.Context, id string) (<-chan SessionEvent, error) {
+	// One span spans the whole watch, including every reconnect: the
+	// server stamps each stream-opening snapshot event with the trace ID
+	// it sees in the traceparent header, so a consumer can tie any frame
+	// (and any resume) back to the Watch call that started it.
+	ctx, sp := c.tracer.Start(ctx, "client.watch")
+	sp.SetAttr("session", id)
 	st := &watchState{}
 	body, node, err := c.openStream(ctx, id, st)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
 	st.node = node
 	out := make(chan SessionEvent, 16)
-	go c.watchLoop(ctx, id, body, st, out)
+	go func() {
+		defer sp.End()
+		c.watchLoop(ctx, id, body, st, out)
+	}()
 	return out, nil
 }
 
@@ -210,6 +222,9 @@ func (c *Client) openStream(ctx context.Context, id string, st *watchState) (io.
 			return nil, "", &permanentError{fmt.Errorf("client: building request: %w", err)}
 		}
 		req.Header.Set("Accept", "text/event-stream")
+		if sp := trace.SpanFromContext(ctx); sp != nil {
+			req.Header.Set("traceparent", sp.Context().Traceparent())
+		}
 		if st.hasLast && node == st.node {
 			req.Header.Set("Last-Event-ID", strconv.FormatUint(st.lastSeq, 10))
 		}

@@ -1,0 +1,209 @@
+package client_test
+
+// trace_test.go — end-to-end tracing acceptance: one logical client
+// operation against a sharded fleet produces ONE trace whose spans cover
+// the client's attempts (including the redirected one), both server hops,
+// and the owner's select/merge/persist work; and Watch streams carry the
+// originating trace id across reconnects.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"crowdfusion/client"
+	"crowdfusion/internal/trace"
+)
+
+// parityCrowd is a deterministic AnswerProvider: true for even task IDs.
+type parityCrowd struct{}
+
+func (parityCrowd) Answers(tasks []int) []bool {
+	out := make([]bool, len(tasks))
+	for i, task := range tasks {
+		out[i] = task%2 == 0
+	}
+	return out
+}
+
+// attrValue extracts one attribute from a recorded span.
+func attrValue(sd trace.SpanData, key string) (any, bool) {
+	for _, a := range sd.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// TestRefineOneTraceAcrossRedirect is the tracing acceptance test: a
+// client pinned to a NON-owner node drives a full Refine round. Every
+// request first hits the wrong node (421 not_owner), the client follows
+// the redirect, and the whole affair — client retry, the misrouted hop,
+// the owner hop, the select, the merge, the durable append — must share a
+// single trace ID, reconstructible from the client's and both nodes'
+// recorders.
+func TestRefineOneTraceAcrossRedirect(t *testing.T) {
+	nodes, c := startCluster(t, 3)
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+		Pc:        0.8, K: 2, Budget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerAddr := nodes[0].ring.StaticOwner(info.ID)
+	var owner, other *testNode
+	for _, n := range nodes {
+		if n.addr == ownerAddr {
+			owner = n
+		} else if other == nil {
+			other = n
+		}
+	}
+	if owner == nil || other == nil {
+		t.Fatalf("could not split fleet into owner %s and another node", ownerAddr)
+	}
+
+	rec := trace.NewRecorder("client")
+	pinned := client.New(other.addr,
+		client.WithTracer(trace.New("client", rec)),
+		client.WithBackoff(4, time.Millisecond, 10*time.Millisecond))
+	final, err := pinned.Refine(ctx, info.ID, parityCrowd{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Spent != 2 {
+		t.Fatalf("refine spent %d, want the full budget of 2", final.Spent)
+	}
+
+	// The client recorder holds the root: one trace rooted at client.refine.
+	snap := rec.Snapshot()
+	var traceID string
+	var clientSpans []trace.SpanData
+	for _, td := range append(snap.Recent, snap.Slowest...) {
+		for _, sd := range td.Spans {
+			if sd.Name == "client.refine" {
+				traceID = td.TraceID
+				clientSpans = td.Spans
+			}
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no client.refine span recorded")
+	}
+
+	// The client retried inside the trace: at least one attempt bounced
+	// with 421 and at least one more attempt carried on past it.
+	attempts, redirected := 0, 0
+	for _, sd := range clientSpans {
+		if sd.Name != "client.attempt" {
+			continue
+		}
+		attempts++
+		if v, ok := attrValue(sd, "status"); ok && fmt.Sprint(v) == "421" {
+			redirected++
+		}
+	}
+	if redirected == 0 {
+		t.Fatalf("no 421 attempt in the client trace (%d attempts) — the redirect never happened", attempts)
+	}
+	if attempts <= redirected {
+		t.Fatalf("%d attempts, all %d redirected — no successful retry in the trace", attempts, redirected)
+	}
+
+	// Hop one: the misrouted node saw the same trace and answered 421.
+	otherTD, ok := other.rec.Trace(traceID)
+	if !ok {
+		t.Fatalf("misrouted node %s has no spans for trace %s", other.addr, traceID)
+	}
+	sawBounce := false
+	for _, sd := range otherTD.Spans {
+		if v, okAttr := attrValue(sd, "status"); okAttr && fmt.Sprint(v) == "421" {
+			sawBounce = true
+		}
+	}
+	if !sawBounce {
+		t.Fatalf("misrouted node %s recorded no 421 hop in trace %s: %+v", other.addr, traceID, otherTD.Spans)
+	}
+
+	// Hop two: the owner served the round under the same trace — request
+	// spans plus the select, the merge, and the fsynced op-log append.
+	ownerTD, ok := owner.rec.Trace(traceID)
+	if !ok {
+		t.Fatalf("owner %s has no spans for trace %s", owner.addr, traceID)
+	}
+	names := make(map[string]int)
+	for _, sd := range ownerTD.Spans {
+		names[sd.Name]++
+	}
+	for _, want := range []string{"session.select", "session.merge", "persist.append"} {
+		if names[want] == 0 {
+			t.Fatalf("owner trace %s missing %q span; recorded: %v", traceID, want, names)
+		}
+	}
+}
+
+// TestAPIErrorCarriesRequestID: a failed call surfaces the server's
+// request ID on the APIError, so a caller can quote it against the
+// server's access log and /debug/traces.
+func TestAPIErrorCarriesRequestID(t *testing.T) {
+	_, c := startCluster(t, 3)
+	_, err := c.GetSession(context.Background(), "no-such-session", false)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", apiErr.StatusCode)
+	}
+	if apiErr.RequestID == "" {
+		t.Fatalf("APIError carries no request ID: %+v", apiErr)
+	}
+}
+
+// TestWatchTraceIDAcrossReconnect: the stream-opening snapshot event
+// carries the Watch call's trace id, and a resume after the owner dies —
+// a reconnect to the adopting node, opening with a fresh snapshot — keeps
+// the SAME trace id, because every reconnect runs under the original
+// Watch span.
+func TestWatchTraceIDAcrossReconnect(t *testing.T) {
+	nodes, c := startCluster(t, 3)
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals: []float64{0.5, 0.63, 0.58, 0.49},
+		Pc:        0.8, K: 2, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Watch(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := nextEvent(t, ch)
+	if first.Type != client.EventSnapshot {
+		t.Fatalf("opening event = %+v, want snapshot", first)
+	}
+	if first.TraceID == "" {
+		t.Fatal("opening snapshot carries no trace id")
+	}
+
+	ownerAddr := nodes[0].ring.StaticOwner(info.ID)
+	for _, n := range nodes {
+		if n.addr == ownerAddr {
+			n.kill()
+		}
+	}
+
+	resumed := waitForEvent(t, ch, client.EventSnapshot)
+	if resumed.TraceID != first.TraceID {
+		t.Fatalf("resumed snapshot trace id %q != original %q — the reconnect lost its trace",
+			resumed.TraceID, first.TraceID)
+	}
+}

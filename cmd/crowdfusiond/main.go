@@ -54,9 +54,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,12 +68,10 @@ import (
 	"crowdfusion/internal/cluster"
 	"crowdfusion/internal/service"
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("crowdfusiond: ")
-
 	var (
 		addr        = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port; the bound address is logged)")
 		ttl         = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction (0 disables)")
@@ -91,6 +91,8 @@ func main() {
 		leaseTTL    = flag.Duration("lease", 0, "session write-lease TTL with fencing epochs (0 = off; cluster mode defaults to 10s)")
 		leaseRenew  = flag.Duration("lease-renew", 0, "lease heartbeat interval (0 = lease/3)")
 		clockSkew   = flag.Duration("clock-skew", 0, "shift this node's clock by the given offset (chaos testing; affects lease expiry arithmetic)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	leaseSet := false
@@ -100,52 +102,79 @@ func main() {
 		}
 	})
 
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "crowdfusiond: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(logHandler)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	// cluster.Ring and store.File keep their printf-style hook; adapt.
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+
+	// Spans are always recorded in-process (bounded memory); -debug-addr
+	// decides whether anything serves them.
+	nodeName := *selfAddr
+	if nodeName == "" {
+		nodeName = "local"
+	}
+	recorder := trace.NewRecorder(nodeName)
+	tracer := trace.New(nodeName, recorder)
+
 	// Cluster topology first: store wiring depends on whether this node is
 	// part of a fleet.
 	var ring *cluster.Ring
 	if *peersFlag != "" {
 		if *selfAddr == "" {
-			log.Fatalf("-peers requires -self (this node's advertised address)")
+			fatalf("-peers requires -self (this node's advertised address)")
 		}
 		if *storeKind != "file" {
-			log.Fatalf("-peers requires -store file on storage shared by all nodes: failover adopts sessions by replaying their records from the shared store")
+			fatalf("-peers requires -store file on storage shared by all nodes: failover adopts sessions by replaying their records from the shared store")
 		}
 		var err error
 		ring, err = cluster.New(cluster.Config{
 			Self:          *selfAddr,
 			Peers:         strings.Split(*peersFlag, ","),
 			ProbeInterval: *heartbeat,
-			Logf:          log.Printf,
+			Logf:          logf,
 		})
 		if err != nil {
-			log.Fatalf("building cluster ring: %v", err)
+			fatalf("building cluster ring: %v", err)
 		}
 	} else if *selfAddr != "" {
-		log.Fatalf("-self is only meaningful with -peers")
+		fatalf("-self is only meaningful with -peers")
 	}
 
 	var sessions store.SessionStore
 	switch *storeKind {
 	case "memory":
 		if *dataDir != "" {
-			log.Fatalf("-data-dir is only meaningful with -store file")
+			fatalf("-data-dir is only meaningful with -store file")
 		}
 		sessions = store.NewMemory()
 	case "file":
 		if *dataDir == "" {
-			log.Fatalf("-store file requires -data-dir")
+			fatalf("-store file requires -data-dir")
 		}
 		fileStore, err := store.NewFile(*dataDir, *compactOps)
 		if err != nil {
-			log.Fatalf("opening session store: %v", err)
+			fatalf("opening session store: %v", err)
 		}
-		fileStore.Logf = log.Printf
+		fileStore.Logf = logf
 		if ring == nil {
 			// One writer per data dir: a second daemon sharing it would
 			// corrupt session logs. The kernel drops the lock on process
 			// death, so crash-restart needs no cleanup.
 			if err := fileStore.Lock(); err != nil {
-				log.Fatalf("locking session store: %v", err)
+				fatalf("locking session store: %v", err)
 			}
 		}
 		// Recovery scan: count what survived the last run. Sessions load
@@ -155,7 +184,7 @@ func main() {
 		// misconfigured -peers list is visible at boot, not at first 421.
 		ids, err := fileStore.List()
 		if err != nil {
-			log.Fatalf("scanning session store: %v", err)
+			fatalf("scanning session store: %v", err)
 		}
 		if ring != nil {
 			owned := 0
@@ -164,14 +193,14 @@ func main() {
 					owned++
 				}
 			}
-			log.Printf("store: %d session(s) on disk in %s; this node owns %d of them (loaded lazily on first touch)",
-				len(ids), *dataDir, owned)
+			logger.Info(fmt.Sprintf("store: %d session(s) on disk in %s; this node owns %d of them (loaded lazily on first touch)",
+				len(ids), *dataDir, owned))
 		} else {
-			log.Printf("store: %d session(s) on disk in %s (loaded lazily on first touch)", len(ids), *dataDir)
+			logger.Info(fmt.Sprintf("store: %d session(s) on disk in %s (loaded lazily on first touch)", len(ids), *dataDir))
 		}
 		sessions = fileStore
 	default:
-		log.Fatalf("unknown -store %q (want memory or file)", *storeKind)
+		fatalf("unknown -store %q (want memory or file)", *storeKind)
 	}
 
 	// Leases default on in cluster mode: that is where a second writer can
@@ -191,7 +220,8 @@ func main() {
 		Store:          sessions,
 		MaxSubscribers: *maxSubs,
 		Cluster:        ring,
-		Logf:           log.Printf,
+		Logger:         logger,
+		Tracer:         tracer,
 		LeaseTTL:       *leaseTTL,
 		LeaseRenew:     *leaseRenew,
 	}
@@ -201,18 +231,44 @@ func main() {
 	if *clockSkew != 0 {
 		skew := *clockSkew
 		cfg.Clock = func() time.Time { return time.Now().Add(skew) }
-		log.Printf("chaos: clock skewed by %v", skew)
+		logger.Info("chaos: clock skewed", "skew", skew)
 	}
 	if *leaseTTL > 0 {
-		log.Printf("leases: ttl %v, fencing epochs on every write", *leaseTTL)
+		logger.Info("leases enabled: fencing epochs on every write", "ttl", *leaseTTL)
 	}
 	svc := service.NewServer(cfg)
+
+	// The ops surface lives on its own listener so production traffic and
+	// profiling/trace dumps can be firewalled apart. pprof handlers are
+	// wired explicitly (never on the serving mux, and without relying on
+	// the DefaultServeMux side-effect registration).
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("debug listen %s: %v", *debugAddr, err)
+		}
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/traces", trace.Handler(recorder))
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer dbgSrv.Close()
+		go func() {
+			logger.Info(fmt.Sprintf("debug listening on %s", dln.Addr()))
+			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug serve failed", "err", err)
+			}
+		}()
+	}
 
 	// Bind before serving so -addr :0 can report the actual port — the
 	// contract multi-daemon test scripts rely on instead of hardcoding.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *addr, err)
+		fatalf("listen %s: %v", *addr, err)
 	}
 	httpSrv := &http.Server{
 		Handler:           svc.Handler(),
@@ -225,12 +281,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", ln.Addr())
+		logger.Info(fmt.Sprintf("listening on %s", ln.Addr()))
 		errc <- httpSrv.Serve(ln)
 	}()
 	if ring != nil {
 		ring.Start()
-		log.Printf("cluster: self %s, %d peer(s), heartbeat %v", ring.Self(), ring.Size(), *heartbeat)
+		logger.Info("cluster up", "self", ring.Self(), "peers", ring.Size(), "heartbeat", *heartbeat)
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -238,9 +294,9 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		log.Printf("received %s, draining", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	}
 
 	// Stop accepting, drain in-flight HTTP requests, then drain any
@@ -253,8 +309,8 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	svc.Close()
-	log.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -41,7 +42,7 @@ func BenchmarkServiceSelect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.sel = nil // defeat the cache: measure real selections
-		if _, _, err := s.Select(now, 0); err != nil {
+		if _, _, err := s.Select(context.Background(), now, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,13 +54,13 @@ func BenchmarkServiceSelectCached(b *testing.B) {
 	s := newSession("bench", benchJoint(b), core.NewGreedyPrunePre(),
 		"Approx+Prune+Pre", 0.8, 3, 1<<30, time.Unix(0, 0))
 	now := time.Unix(1, 0)
-	if _, _, err := s.Select(now, 0); err != nil {
+	if _, _, err := s.Select(context.Background(), now, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.Select(now, 0); err != nil {
+		if _, _, err := s.Select(context.Background(), now, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

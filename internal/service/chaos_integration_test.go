@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestInjectedPersistFailureIsAtomic(t *testing.T) {
 	cs := chaos.Wrap(fs)
 	m := NewManager(ManagerConfig{Store: cs})
 
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestInjectedPersistFailureIsAtomic(t *testing.T) {
 	runRounds(t, s, m.Now(), 1)
 	beforeInfo := s.Info(m.Now(), false)
 
-	sel, _, err := s.Select(m.Now(), 0)
+	sel, _, err := s.Select(context.Background(), m.Now(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,14 +40,14 @@ func TestInjectedPersistFailureIsAtomic(t *testing.T) {
 		Tasks: sel.Tasks, Answers: make([]bool, len(sel.Tasks)), Version: &sel.Version,
 	}
 	cs.FailAppends(1)
-	if _, err := s.Merge(m.Now(), req); !errors.Is(err, ErrStore) {
+	if _, err := s.Merge(context.Background(), m.Now(), req); !errors.Is(err, ErrStore) {
 		t.Fatalf("merge under injected fault = %v, want ErrStore", err)
 	}
 	if got := s.Info(m.Now(), false); got.Version != beforeInfo.Version || got.Spent != beforeInfo.Spent {
 		t.Fatalf("refused merge mutated state: %+v vs %+v", got, beforeInfo)
 	}
 	// The fault budget is spent: the retry commits exactly once.
-	resp, err := s.Merge(m.Now(), req)
+	resp, err := s.Merge(context.Background(), m.Now(), req)
 	if err != nil || !resp.Merged {
 		t.Fatalf("retry = %+v, %v", resp, err)
 	}
@@ -55,7 +56,7 @@ func TestInjectedPersistFailureIsAtomic(t *testing.T) {
 	// Crash (no Close — nothing flushed) and restart over the same dir.
 	m2 := newFileManager(t, dir, ManagerConfig{})
 	defer m2.Close()
-	restored, err := m2.Get(id)
+	restored, err := m2.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}

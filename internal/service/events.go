@@ -167,8 +167,10 @@ func (h *eventHub) publish(id string, ev SessionEvent, now time.Time) {
 // on first use. The caller runs it while holding the session mutex (see
 // Manager.Subscribe), which is what makes the snapshot-or-resume backlog
 // gapless with respect to concurrent publishes. hasLast distinguishes a
-// reconnect (Last-Event-ID supplied) from a fresh subscriber.
-func (h *eventHub) subscribe(id string, lastID uint64, hasLast bool, snapshot SessionInfo, now time.Time) (*subscription, error) {
+// reconnect (Last-Event-ID supplied) from a fresh subscriber. traceID, when
+// non-empty, stamps the opening snapshot event so a watcher can tie its
+// stream start to the subscribing request's trace.
+func (h *eventHub) subscribe(id string, lastID uint64, hasLast bool, snapshot SessionInfo, traceID string, now time.Time) (*subscription, error) {
 	h.mu.Lock()
 	f := h.feeds[id]
 	if f == nil {
@@ -201,6 +203,7 @@ func (h *eventHub) subscribe(id string, lastID uint64, hasLast bool, snapshot Se
 			Seq:         f.seq,
 			Type:        EventSnapshot,
 			SessionInfo: snapshot,
+			TraceID:     traceID,
 		})
 	}
 	f.subs[sub] = struct{}{}

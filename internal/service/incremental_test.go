@@ -30,7 +30,7 @@ func answersFor(tasks []int) []bool {
 // submitOne posts a single-task partial answer in-process.
 func submitOne(t *testing.T, s *Session, now time.Time, task int, answer bool, version int) *AnswersResponse {
 	t.Helper()
-	resp, err := s.Merge(now, &AnswersRequest{
+	resp, err := s.Merge(context.Background(), now, &AnswersRequest{
 		Tasks: []int{task}, Answers: []bool{answer}, Version: &version, Partial: true,
 	})
 	if err != nil {
@@ -48,19 +48,19 @@ func TestPartialSequenceMatchesBatchedMerge(t *testing.T) {
 	defer m.Close()
 	now := m.Now()
 
-	inc, err := m.Create(testCreateReq())
+	inc, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := m.Create(testCreateReq())
+	batch, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
-	selInc, _, err := inc.Select(now, 0)
+	selInc, _, err := inc.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	selBatch, _, err := batch.Select(now, 0)
+	selBatch, _, err := batch.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestPartialSequenceMatchesBatchedMerge(t *testing.T) {
 
 	// Batched twin.
 	ver := 0
-	bresp, err := batch.Merge(now, &AnswersRequest{Tasks: tasks, Answers: answers, Version: &ver})
+	bresp, err := batch.Merge(context.Background(), now, &AnswersRequest{Tasks: tasks, Answers: answers, Version: &ver})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,15 +135,15 @@ func TestPartialValidation(t *testing.T) {
 	m := NewManager(ManagerConfig{})
 	defer m.Close()
 	now := m.Now()
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
 	ver := 0
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{0}, Answers: []bool{true}, Version: &ver, Partial: true}); !errorsIs(err, ErrNoPendingBatch) {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{0}, Answers: []bool{true}, Version: &ver, Partial: true}); !errorsIs(err, ErrNoPendingBatch) {
 		t.Fatalf("partial without a selection: %v", err)
 	}
-	sel, _, err := s.Select(now, 0)
+	sel, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,20 +160,20 @@ func TestPartialValidation(t *testing.T) {
 			break
 		}
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{outside}, Answers: []bool{true}, Version: &ver, Partial: true}); !errorsIs(err, ErrNotInBatch) {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{outside}, Answers: []bool{true}, Version: &ver, Partial: true}); !errorsIs(err, ErrNotInBatch) {
 		t.Fatalf("foreign task: %v", err)
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{sel.Tasks[0], sel.Tasks[0]}, Answers: []bool{true, false}, Version: &ver, Partial: true}); !errorsIs(err, ErrAnswerConflict) {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{sel.Tasks[0], sel.Tasks[0]}, Answers: []bool{true, false}, Version: &ver, Partial: true}); !errorsIs(err, ErrAnswerConflict) {
 		t.Fatalf("contradiction within request: %v", err)
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{true}, Version: &ver, Partial: true}); err != nil {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{true}, Version: &ver, Partial: true}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{false}, Version: &ver, Partial: true}); !errorsIs(err, ErrAnswerConflict) {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{false}, Version: &ver, Partial: true}); !errorsIs(err, ErrAnswerConflict) {
 		t.Fatalf("contradiction with ledger: %v", err)
 	}
 	// While a ledger is active, select returns the pinned batch.
-	again, cached, err := s.Select(now, 0)
+	again, cached, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestPartialValidation(t *testing.T) {
 		t.Fatalf("select during ledger: cached=%v tasks=%v want %v", cached, again.Tasks, sel.Tasks)
 	}
 	future := 5
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{true}, Version: &future, Partial: true}); !errorsIs(err, ErrVersionConflict) {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{sel.Tasks[0]}, Answers: []bool{true}, Version: &future, Partial: true}); !errorsIs(err, ErrVersionConflict) {
 		t.Fatalf("future version: %v", err)
 	}
 }
@@ -198,12 +198,12 @@ func TestPartialSequenceSurvivesCrashMidLedger(t *testing.T) {
 	dir := t.TempDir()
 	m1 := newFileManager(t, dir, ManagerConfig{})
 	now := m1.Now()
-	s1, err := m1.Create(testCreateReq())
+	s1, err := m1.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
 	id := s1.ID()
-	sel, _, err := s1.Select(now, 0)
+	sel, _, err := s1.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestPartialSequenceSurvivesCrashMidLedger(t *testing.T) {
 
 	m2 := newFileManager(t, dir, ManagerConfig{})
 	defer m2.Close()
-	s2, err := m2.Get(id)
+	s2, err := m2.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,11 +247,11 @@ func TestPartialSequenceSurvivesCrashMidLedger(t *testing.T) {
 	// Batched twin in a separate directory.
 	m3 := newFileManager(t, t.TempDir(), ManagerConfig{})
 	defer m3.Close()
-	s3, err := m3.Create(testCreateReq())
+	s3, err := m3.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel3, _, err := s3.Select(m3.Now(), 0)
+	sel3, _, err := s3.Select(context.Background(), m3.Now(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestPartialSequenceSurvivesCrashMidLedger(t *testing.T) {
 		t.Fatalf("twin selected %v, want %v", sel3.Tasks, tasks)
 	}
 	ver := 0
-	if _, err := s3.Merge(m3.Now(), &AnswersRequest{Tasks: tasks, Answers: answers, Version: &ver}); err != nil {
+	if _, err := s3.Merge(context.Background(), m3.Now(), &AnswersRequest{Tasks: tasks, Answers: answers, Version: &ver}); err != nil {
 		t.Fatal(err)
 	}
 	got, want := fingerprint(s2, now), fingerprint(s3, now)
@@ -269,7 +269,7 @@ func TestPartialSequenceSurvivesCrashMidLedger(t *testing.T) {
 	// And the committed state must itself survive another restart.
 	m4 := newFileManager(t, dir, ManagerConfig{})
 	defer m4.Close()
-	s4, err := m4.Get(id)
+	s4, err := m4.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -682,7 +682,7 @@ func TestConcurrentPartialsAndSubscribers(t *testing.T) {
 					return
 				default:
 				}
-				sub, err := svc.Manager().Subscribe(info.ID, 0, false)
+				sub, err := svc.Manager().Subscribe(context.Background(), info.ID, 0, false)
 				if err != nil {
 					continue
 				}

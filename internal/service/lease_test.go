@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"sync"
@@ -62,7 +63,7 @@ func TestLeaseFencesDualWriter(t *testing.T) {
 	})
 	defer mA.Close()
 
-	sA, err := mA.Create(testCreateReq())
+	sA, err := mA.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestLeaseFencesDualWriter(t *testing.T) {
 	})
 	defer mB.Close()
 
-	sB, err := mB.Get(id)
+	sB, err := mB.Get(context.Background(), id)
 	if err != nil {
 		t.Fatalf("B adoption: %v", err)
 	}
@@ -100,11 +101,11 @@ func TestLeaseFencesDualWriter(t *testing.T) {
 
 	// A's revived in-flight merge — the dual-writer moment — must be
 	// refused fenced, with the envelope pointing at B.
-	sel, _, err := sA.Select(clk.now(), 0)
+	sel, _, err := sA.Select(context.Background(), clk.now(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sA.Merge(clk.now(), &AnswersRequest{
+	_, err = sA.Merge(context.Background(), clk.now(), &AnswersRequest{
 		Tasks: sel.Tasks, Answers: make([]bool, len(sel.Tasks)), Version: &sel.Version,
 	})
 	var fenced *FencedError
@@ -127,7 +128,7 @@ func TestLeaseFencesDualWriter(t *testing.T) {
 	if mA.Len() != 0 || mA.LeasesHeld() != 0 {
 		t.Fatalf("A still resident after deposition: len=%d held=%d", mA.Len(), mA.LeasesHeld())
 	}
-	_, err = mA.Get(id)
+	_, err = mA.Get(context.Background(), id)
 	if !errors.As(err, &fenced) || fenced.Owner != selfB {
 		t.Fatalf("A re-resolve = %v, want FencedError{Owner: b}", err)
 	}
@@ -135,7 +136,7 @@ func TestLeaseFencesDualWriter(t *testing.T) {
 	// Once A also sees B dead (B really gone, not just partitioned), A may
 	// steal back — at a yet higher epoch, so B's stranded writes fence too.
 	ringA.setAlive(selfB, false)
-	sA2, err := mA.Get(id)
+	sA2, err := mA.Get(context.Background(), id)
 	if err != nil {
 		t.Fatalf("A steal-back: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestLeaseExpiryAllowsTakeoverWithoutSteal(t *testing.T) {
 		Self: "http://a:1", LeaseTTL: time.Minute, LeaseRenew: time.Hour, now: clk.now,
 	})
 	defer mA.Close()
-	sA, err := mA.Create(testCreateReq())
+	sA, err := mA.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,15 +169,15 @@ func TestLeaseExpiryAllowsTakeoverWithoutSteal(t *testing.T) {
 		Ownership: ringB, Self: "http://b:2", LeaseTTL: time.Minute, LeaseRenew: time.Hour, now: clk.now,
 	})
 	defer mB.Close()
-	if _, err := mB.Get(id); err != nil {
+	if _, err := mB.Get(context.Background(), id); err != nil {
 		t.Fatalf("adoption after expiry: %v", err)
 	}
 
-	sel, _, err := sA.Select(clk.now(), 0)
+	sel, _, err := sA.Select(context.Background(), clk.now(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sA.Merge(clk.now(), &AnswersRequest{
+	_, err = sA.Merge(context.Background(), clk.now(), &AnswersRequest{
 		Tasks: sel.Tasks, Answers: make([]bool, len(sel.Tasks)), Version: &sel.Version,
 	})
 	var fenced *FencedError
@@ -247,7 +248,7 @@ func TestLeaseRenewalRacesEvictionAndPartials(t *testing.T) {
 		LeaseTTL: time.Minute, LeaseRenew: time.Hour,
 	})
 	defer m.Close()
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,18 +276,18 @@ func TestLeaseRenewalRacesEvictionAndPartials(t *testing.T) {
 	hammer(func() { m.Sweep(m.Now().Add(time.Hour)) })
 	for range 3 {
 		hammer(func() {
-			sess, err := m.Get(id)
+			sess, err := m.Get(context.Background(), id)
 			if err != nil {
 				return
 			}
-			sel, _, err := sess.Select(m.Now(), 0)
+			sel, _, err := sess.Select(context.Background(), m.Now(), 0)
 			if err != nil || len(sel.Tasks) == 0 {
 				return
 			}
 			// Submit the batch one judgment at a time: partial journaling
 			// races the renewal and the sweep on the store.
 			for i, task := range sel.Tasks {
-				_, _ = sess.Merge(m.Now(), &AnswersRequest{
+				_, _ = sess.Merge(context.Background(), m.Now(), &AnswersRequest{
 					Tasks: []int{task}, Answers: []bool{i%2 == 0},
 					Version: &sel.Version, Partial: true,
 				})
@@ -298,7 +299,7 @@ func TestLeaseRenewalRacesEvictionAndPartials(t *testing.T) {
 	wg.Wait()
 
 	// The session must still be adoptable and internally consistent.
-	if _, err := m.Get(id); err != nil {
+	if _, err := m.Get(context.Background(), id); err != nil {
 		t.Fatalf("session unusable after hammering: %v", err)
 	}
 	if held := m.LeasesHeld(); held != 1 {

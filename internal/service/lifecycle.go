@@ -15,12 +15,14 @@ package service
 // keeping them side by side keeps them honest.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 // sessionShards is the number of mutex stripes in the resident set.
@@ -128,19 +130,20 @@ func (m *Manager) Sweep(now time.Time) int {
 				if err := s.retireAndFlush(m.store); err != nil {
 					// The merges themselves are already in the op log;
 					// only the final access time is at risk.
-					m.logf("session %s: eviction flush failed: %v", id, err)
+					m.log.Error("eviction flush failed", "session", id, "err", err)
 				}
 			} else {
 				info := s.Info(now, false)
 				s.retire()
 				if _, err := m.store.Delete(id); err != nil {
-					m.logf("session %s: eviction delete failed: %v", id, err)
+					m.log.Error("eviction delete failed", "session", id, "err", err)
 				}
 				m.tombMu.Lock()
 				m.tombs[id] = now
 				m.tombMu.Unlock()
-				m.logf("session %s: expired after idle TTL %v (version %d, spent %d/%d)",
-					id, m.cfg.TTL, info.Version, info.Spent, info.Budget)
+				m.log.Info("session expired after idle TTL", "session", id,
+					"ttl", m.cfg.TTL, "version", info.Version,
+					"spent", info.Spent, "budget", info.Budget)
 				// Volatile expiry is terminal: say goodbye to watchers.
 				m.events.terminate(id, &SessionEvent{
 					Type:        EventExpire,
@@ -163,7 +166,7 @@ func (m *Manager) Sweep(now time.Time) int {
 		m.count -= evicted
 		m.countMu.Unlock()
 		if durable {
-			m.logf("unloaded %d idle session(s) to the store", evicted)
+			m.log.Info("unloaded idle sessions to the store", "count", evicted)
 		}
 		if m.evicted != nil {
 			m.evicted(evicted, !durable)
@@ -211,7 +214,7 @@ func (m *Manager) wasExpired(id string) bool {
 // Relinquishing is idempotent and safe to race with itself; a session
 // relinquished by mistake (ownership flapped back) just reloads from the
 // store on its next touch.
-func (m *Manager) relinquish(id string) bool {
+func (m *Manager) relinquish(ctx context.Context, id string) bool {
 	sh := m.shardFor(id)
 	// Fast path under the read lock: the common misrouted request is for a
 	// session that was never resident here, and taking the write lock for
@@ -225,13 +228,21 @@ func (m *Manager) relinquish(id string) bool {
 	if !resident {
 		return false
 	}
+	var sp *trace.Span
+	if m.tracer != nil {
+		ctx, sp = m.tracer.Start(ctx, "session.relinquish")
+		sp.SetAttr("session", id)
+		defer sp.End()
+	}
 	sh.mu.Lock()
 	s, ok := sh.sessions[id]
 	if ok {
 		if err := s.retireAndFlush(m.store); err != nil {
 			// The merges are already in the op log; only the final access
 			// time and done latch are at risk.
-			m.logf("session %s: relinquish flush failed: %v", id, err)
+			m.log.Error("relinquish flush failed", "session", id,
+				"trace_id", trace.TraceIDFromContext(ctx), "err", err)
+			sp.SetError(err)
 		}
 		delete(sh.sessions, id)
 	}
@@ -257,8 +268,11 @@ func (m *Manager) relinquish(id string) bool {
 			Type:        EventRedirect,
 			SessionInfo: SessionInfo{ID: id},
 			Owner:       owner,
+			TraceID:     trace.TraceIDFromContext(ctx),
 		}, m.cfg.now())
-		m.logf("session %s: relinquished to new owner", id)
+		sp.SetAttr("new_owner", owner)
+		m.log.Info("session relinquished to new owner", "session", id,
+			"owner", owner, "trace_id", trace.TraceIDFromContext(ctx))
 	}
 	return ok
 }
@@ -286,13 +300,13 @@ func (m *Manager) RelinquishNotOwned() int {
 		for _, id := range stale {
 			// Re-check under current ownership: the ring may have flapped
 			// back between the scan and the handoff.
-			if !m.owns(id) && m.relinquish(id) {
+			if !m.owns(id) && m.relinquish(context.Background(), id) {
 				moved++
 			}
 		}
 	}
 	if moved > 0 {
-		m.logf("topology change: relinquished %d session(s) to new owners", moved)
+		m.log.Info("topology change: relinquished sessions to new owners", "count", moved)
 	}
 	return moved
 }
@@ -303,7 +317,7 @@ func (m *Manager) RelinquishNotOwned() int {
 // single-flight per session: concurrent Gets share one store read +
 // replay, and a Delete racing the load invalidates it (via loadOp.deleted)
 // instead of letting a restored instance outlive its just-removed record.
-func (m *Manager) load(id string, sh *shard) (*Session, error) {
+func (m *Manager) load(ctx context.Context, id string, sh *shard) (*Session, error) {
 	sh.mu.Lock()
 	if s, ok := sh.sessions[id]; ok {
 		sh.mu.Unlock()
@@ -324,7 +338,7 @@ func (m *Manager) load(id string, sh *shard) (*Session, error) {
 	sh.loading[id] = op
 	sh.mu.Unlock()
 
-	s, release, err := m.loadFromStore(id)
+	s, release, err := m.loadFromStore(ctx, id)
 
 	sh.mu.Lock()
 	delete(sh.loading, id)
@@ -345,8 +359,9 @@ func (m *Manager) load(id string, sh *shard) (*Session, error) {
 		return nil, err
 	}
 	info := s.Info(m.cfg.now(), false)
-	m.logf("session %s: recovered from store (version %d, spent %d/%d)",
-		id, info.Version, info.Spent, info.Budget)
+	m.log.Info("session recovered from store", "session", id,
+		"version", info.Version, "spent", info.Spent, "budget", info.Budget,
+		"trace_id", trace.TraceIDFromContext(ctx))
 	if m.recovered != nil {
 		m.recovered()
 	}
@@ -356,7 +371,7 @@ func (m *Manager) load(id string, sh *shard) (*Session, error) {
 // loadFromStore reads and replays one record, reserving a live-session
 // slot. On success the caller owns the slot and must call release if it
 // discards the session instead of publishing it.
-func (m *Manager) loadFromStore(id string) (s *Session, release func(), err error) {
+func (m *Manager) loadFromStore(ctx context.Context, id string) (s *Session, release func(), err error) {
 	rec, err := m.store.Get(id)
 	if err != nil {
 		if errors.Is(err, store.ErrNotExist) || errors.Is(err, store.ErrBadID) {
@@ -368,11 +383,24 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 
+	// The adoption span covers the fence takeover and the full record
+	// replay — the most expensive miss path a request can hit.
+	if m.tracer != nil {
+		var sp *trace.Span
+		ctx, sp = m.tracer.Start(ctx, "session.adopt")
+		sp.SetAttr("session", id)
+		sp.SetAttr("ops", len(rec.Ops))
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+
 	// Take the write lease before replaying: adoption must fence the old
 	// owner BEFORE this node starts serving, or both could acknowledge
 	// merges for one session. Acquisition runs after the existence check so
 	// probes for unknown IDs never mint lease records.
-	epoch, err := m.acquireLease(id)
+	epoch, err := m.acquireLease(ctx, id)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -413,6 +441,7 @@ func (m *Manager) loadFromStore(id string) (s *Session, release func(), err erro
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	s.leaseEpoch = epoch
+	s.tracer = m.tracer
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
 	// The emit hook is attached only after replay: recovery transitions
 	// are not republished (subscribers already saw them or will re-sync

@@ -1,16 +1,19 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/eval"
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 // Manager errors, mapped to HTTP statuses by the server layer.
@@ -119,9 +122,14 @@ type ManagerConfig struct {
 	// so peers (and operators reading lease files) can see who holds a
 	// session. Defaults to "local" for single-node deployments.
 	Self string
-	// Logf, when set, receives operational log lines (evictions,
-	// recoveries, relinquishments, store failures). Nil discards them.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives structured operational log records
+	// (evictions, recoveries, relinquishments, store failures) with
+	// session/trace attrs. Nil discards them.
+	Logger *slog.Logger
+	// Tracer, when set, records spans around session compute, persistence,
+	// lease transitions, relinquishment, and adoption replay. Nil disables
+	// span recording (ids still flow through contexts untouched).
+	Tracer *trace.Tracer
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -142,9 +150,10 @@ type ManagerConfig struct {
 //     session by record replay — the property that makes both crash
 //     recovery and cross-node migration the same code path.
 type Manager struct {
-	cfg   ManagerConfig
-	store store.SessionStore
-	logf  func(format string, args ...any)
+	cfg    ManagerConfig
+	store  store.SessionStore
+	log    *slog.Logger
+	tracer *trace.Tracer
 
 	shards [sessionShards]shard
 
@@ -195,12 +204,12 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	m := &Manager{cfg: cfg, store: cfg.Store, logf: cfg.Logf}
+	m := &Manager{cfg: cfg, store: cfg.Store, log: cfg.Logger, tracer: cfg.Tracer}
 	if m.store == nil {
 		m.store = store.NewMemory()
 	}
-	if m.logf == nil {
-		m.logf = func(string, ...any) {}
+	if m.log == nil {
+		m.log = slog.New(slog.DiscardHandler)
 	}
 	m.tombs = make(map[string]time.Time)
 	m.held = make(map[string]uint64)
@@ -246,11 +255,11 @@ func (m *Manager) owns(id string) bool {
 // node does not serve it relinquishes any resident instance (the bounded
 // part of rebalancing: a topology change moves only the sessions it
 // re-homed, each with one flush) and returns the redirect.
-func (m *Manager) checkOwnership(id string) error {
+func (m *Manager) checkOwnership(ctx context.Context, id string) error {
 	if m.owns(id) {
 		return nil
 	}
-	m.relinquish(id)
+	m.relinquish(ctx, id)
 	return &NotOwnerError{ID: id, Owner: m.cfg.Ownership.Owner(id)}
 }
 
@@ -281,7 +290,7 @@ func (m *Manager) Close() {
 			sh.mu.RUnlock()
 			for _, s := range resident {
 				if err := s.flush(m.store); err != nil {
-					m.logf("session %s: final flush failed: %v", s.ID(), err)
+					m.log.Error("final flush failed", "session", s.ID(), "err", err)
 				}
 			}
 		}
@@ -295,11 +304,11 @@ func (m *Manager) Close() {
 	m.leaseMu.Unlock()
 	for id, epoch := range held {
 		if err := m.store.ReleaseLease(id, m.leaseSelf(), epoch); err != nil {
-			m.logf("session %s: lease release failed: %v", id, err)
+			m.log.Warn("lease release failed", "session", id, "err", err)
 		}
 	}
 	if err := m.store.Close(); err != nil {
-		m.logf("closing store: %v", err)
+		m.log.Error("closing store failed", "err", err)
 	}
 }
 
@@ -338,7 +347,7 @@ func (m *Manager) placeID() (string, error) {
 
 // Create validates the request, builds the prior and selector, and stores
 // a fresh session owned by this node.
-func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
+func (m *Manager) Create(ctx context.Context, req *CreateSessionRequest) (*Session, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -415,21 +424,27 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 	// Take the write lease before the first Put so the record (and every
 	// later op) is stamped with our epoch. A fresh random ID cannot have a
 	// live holder, so this only ever fails on store trouble.
-	epoch, err := m.acquireLease(id)
+	epoch, err := m.acquireLease(ctx, id)
 	if err != nil {
 		release()
 		return nil, err
 	}
 	s.leaseEpoch = epoch
+	s.tracer = m.tracer
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }
 	s.emit = m.eventSink(id)
 
 	// The session must be durable before it is acknowledged: a created
 	// session that vanished in a crash would strand the client's ID.
-	if err := m.store.Put(s.record()); err != nil {
+	_, psp := m.tracer.Start(ctx, "persist.put")
+	psp.SetAttr("session", id)
+	perr := m.store.Put(s.record())
+	psp.SetError(perr)
+	psp.End()
+	if perr != nil {
 		m.releaseLease(id)
 		release()
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		return nil, fmt.Errorf("%w: %v", ErrStore, perr)
 	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
@@ -442,8 +457,8 @@ func (m *Manager) Create(req *CreateSessionRequest) (*Session, error) {
 // when it is not resident (a restart, a TTL unload, or an ownership
 // migration dropped it from memory). For a session another node serves it
 // returns *NotOwnerError carrying the owner's address.
-func (m *Manager) Get(id string) (*Session, error) {
-	if err := m.checkOwnership(id); err != nil {
+func (m *Manager) Get(ctx context.Context, id string) (*Session, error) {
+	if err := m.checkOwnership(ctx, id); err != nil {
 		return nil, err
 	}
 	sh := m.shardFor(id)
@@ -453,7 +468,7 @@ func (m *Manager) Get(id string) (*Session, error) {
 	if ok {
 		return s, nil
 	}
-	return m.load(id, sh)
+	return m.load(ctx, id, sh)
 }
 
 // Delete removes a session from memory and the store, reporting whether it
@@ -461,8 +476,8 @@ func (m *Manager) Get(id string) (*Session, error) {
 // serializes with lazy loads: any load that could still observe the record
 // registered its loadOp before this lock and gets invalidated here — a
 // deleted session can never be resurrected by a racing reload.
-func (m *Manager) Delete(id string) (bool, error) {
-	if err := m.checkOwnership(id); err != nil {
+func (m *Manager) Delete(ctx context.Context, id string) (bool, error) {
+	if err := m.checkOwnership(ctx, id); err != nil {
 		return false, err
 	}
 	sh := m.shardFor(id)
@@ -488,7 +503,8 @@ func (m *Manager) Delete(id string) (bool, error) {
 		m.countMu.Unlock()
 	}
 	if err != nil && !errors.Is(err, store.ErrBadID) {
-		m.logf("session %s: store delete failed: %v", id, err)
+		m.log.Error("store delete failed", "session", id,
+			"trace_id", trace.TraceIDFromContext(ctx), "err", err)
 	}
 	// A session unloaded by the janitor exists only in the store.
 	existed := ok || stored
@@ -496,6 +512,7 @@ func (m *Manager) Delete(id string) (bool, error) {
 		m.events.terminate(id, &SessionEvent{
 			Type:        EventDeleted,
 			SessionInfo: SessionInfo{ID: id},
+			TraceID:     trace.TraceIDFromContext(ctx),
 		}, m.cfg.now())
 	}
 	return existed, nil
@@ -513,16 +530,17 @@ func (m *Manager) eventSink(id string) func(SessionEvent) {
 // the session mutex — the same mutex transitions publish under — so the
 // stream a subscriber observes has no gap and no duplicate relative to
 // its starting state. hasLast marks a reconnect carrying Last-Event-ID.
-func (m *Manager) Subscribe(id string, lastID uint64, hasLast bool) (*subscription, error) {
-	s, err := m.Get(id)
+func (m *Manager) Subscribe(ctx context.Context, id string, lastID uint64, hasLast bool) (*subscription, error) {
+	s, err := m.Get(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	var sub *subscription
 	var serr error
 	now := m.cfg.now()
+	traceID := trace.TraceIDFromContext(ctx)
 	if err := s.withSnapshot(now, func(info SessionInfo) {
-		sub, serr = m.events.subscribe(id, lastID, hasLast, info, now)
+		sub, serr = m.events.subscribe(id, lastID, hasLast, info, traceID, now)
 	}); err != nil {
 		return nil, err // instance retired under us; caller re-resolves
 	}
@@ -644,26 +662,38 @@ func (m *Manager) holderGone(owner string) bool {
 // nodes with disagreeing ring views from stealing the lease back and
 // forth; whichever side the client can actually reach wins, and the loser
 // fences on its next write.
-func (m *Manager) acquireLease(id string) (uint64, error) {
+func (m *Manager) acquireLease(ctx context.Context, id string) (epoch uint64, err error) {
 	if m.cfg.LeaseTTL <= 0 {
 		return 0, nil
 	}
+	var sp *trace.Span
+	if m.tracer != nil {
+		ctx, sp = m.tracer.Start(ctx, "lease.acquire")
+		sp.SetAttr("session", id)
+		defer func() {
+			sp.SetAttr("epoch", epoch)
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	now := m.cfg.now()
-	l, err := m.store.AcquireLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
+	l, aerr := m.store.AcquireLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
 	var held *store.LeaseHeldError
-	if errors.As(err, &held) {
+	if errors.As(aerr, &held) {
 		if !m.holderGone(held.Lease.Owner) {
 			if m.fencedBounced != nil {
 				m.fencedBounced()
 			}
 			return 0, &FencedError{ID: id, Owner: held.Lease.Owner}
 		}
-		m.logf("session %s: stealing lease from %s (epoch %d): holder presumed dead",
-			id, held.Lease.Owner, held.Lease.Epoch)
-		l, err = m.store.StealLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
+		m.log.Info("stealing lease: holder presumed dead", "session", id,
+			"holder", held.Lease.Owner, "epoch", held.Lease.Epoch,
+			"trace_id", trace.TraceIDFromContext(ctx))
+		sp.SetAttr("stolen_from", held.Lease.Owner)
+		l, aerr = m.store.StealLease(id, m.leaseSelf(), m.cfg.LeaseTTL, now)
 	}
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrStore, err)
+	if aerr != nil {
+		return 0, fmt.Errorf("%w: %v", ErrStore, aerr)
 	}
 	m.leaseMu.Lock()
 	m.held[id] = l.Epoch
@@ -685,7 +715,7 @@ func (m *Manager) releaseLease(id string) {
 	if err := m.store.ReleaseLease(id, m.leaseSelf(), epoch); err != nil {
 		// Losing the release race just means someone already superseded
 		// us — exactly the state release was trying to reach.
-		m.logf("session %s: lease release failed: %v", id, err)
+		m.log.Warn("lease release failed", "session", id, "epoch", epoch, "err", err)
 	}
 }
 
@@ -719,19 +749,32 @@ func (m *Manager) RenewHeldLeases(now time.Time) (renewed, lost int) {
 		snap[id] = epoch
 	}
 	m.leaseMu.Unlock()
+	// The sweep span is opened only when there is work: an idle node's
+	// heartbeat must not flood the trace recorder with empty traces.
+	var sp *trace.Span
+	if m.tracer != nil && len(snap) > 0 {
+		_, sp = m.tracer.Start(context.Background(), "lease.renew_sweep")
+		sp.SetAttr("held", len(snap))
+		defer func() {
+			sp.SetAttr("renewed", renewed)
+			sp.SetAttr("lost", lost)
+			sp.End()
+		}()
+	}
 	for id, epoch := range snap {
 		_, err := m.store.RenewLease(id, m.leaseSelf(), epoch, m.cfg.LeaseTTL, now)
 		switch {
 		case err == nil:
 			renewed++
 		case errors.Is(err, store.ErrFenced):
-			m.logf("session %s: lease superseded at epoch %d; retiring local instance", id, epoch)
+			m.log.Warn("lease superseded; retiring local instance",
+				"session", id, "epoch", epoch)
 			m.RetireFenced(id)
 			lost++
 		default:
 			// A store hiccup is not a deposition: keep serving — the epoch
 			// fence still protects every write — and retry next tick.
-			m.logf("session %s: lease renewal failed: %v", id, err)
+			m.log.Warn("lease renewal failed", "session", id, "err", err)
 		}
 	}
 	return renewed, lost

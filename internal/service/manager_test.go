@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,27 +40,27 @@ func TestManagerCreateGetDelete(t *testing.T) {
 	m := NewManager(ManagerConfig{})
 	defer m.Close()
 
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s.ID()) != 32 {
 		t.Fatalf("session id %q not 128-bit hex", s.ID())
 	}
-	got, err := m.Get(s.ID())
+	got, err := m.Get(context.Background(), s.ID())
 	if err != nil || got != s {
 		t.Fatalf("Get = %v, %v", got, err)
 	}
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", m.Len())
 	}
-	if ok, err := m.Delete(s.ID()); err != nil || !ok {
+	if ok, err := m.Delete(context.Background(), s.ID()); err != nil || !ok {
 		t.Fatalf("Delete = %v, %v", ok, err)
 	}
-	if ok, err := m.Delete(s.ID()); err != nil || ok {
+	if ok, err := m.Delete(context.Background(), s.ID()); err != nil || ok {
 		t.Fatalf("double Delete = %v, %v", ok, err)
 	}
-	if _, err := m.Get(s.ID()); !errors.Is(err, ErrNotFound) {
+	if _, err := m.Get(context.Background(), s.ID()); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
 	}
 	if m.Len() != 0 {
@@ -72,12 +73,12 @@ func TestManagerRejectsInvalidCreate(t *testing.T) {
 	defer m.Close()
 	bad := testCreateReq()
 	bad.Pc = 0.3
-	if _, err := m.Create(bad); err == nil {
+	if _, err := m.Create(context.Background(), bad); err == nil {
 		t.Fatal("invalid pc accepted")
 	}
 	unknown := testCreateReq()
 	unknown.Selector = "Oracle"
-	if _, err := m.Create(unknown); err == nil {
+	if _, err := m.Create(context.Background(), unknown); err == nil {
 		t.Fatal("unknown selector accepted")
 	}
 	if m.Len() != 0 {
@@ -89,11 +90,11 @@ func TestManagerSessionCap(t *testing.T) {
 	m := NewManager(ManagerConfig{MaxSessions: 2})
 	defer m.Close()
 	for i := 0; i < 2; i++ {
-		if _, err := m.Create(testCreateReq()); err != nil {
+		if _, err := m.Create(context.Background(), testCreateReq()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Create(testCreateReq()); !errors.Is(err, ErrTooManySessions) {
+	if _, err := m.Create(context.Background(), testCreateReq()); !errors.Is(err, ErrTooManySessions) {
 		t.Fatalf("create beyond cap = %v, want ErrTooManySessions", err)
 	}
 	// Deleting one frees a slot.
@@ -103,10 +104,10 @@ func TestManagerSessionCap(t *testing.T) {
 			anyID = id
 		}
 	}
-	if _, err := m.Delete(anyID); err != nil {
+	if _, err := m.Delete(context.Background(), anyID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create(testCreateReq()); err != nil {
+	if _, err := m.Create(context.Background(), testCreateReq()); err != nil {
 		t.Fatalf("create after delete: %v", err)
 	}
 }
@@ -116,11 +117,11 @@ func TestManagerTTLEviction(t *testing.T) {
 	m := NewManager(ManagerConfig{TTL: time.Minute, now: clk.now})
 	defer m.Close()
 
-	idle, err := m.Create(testCreateReq())
+	idle, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
-	busy, err := m.Create(testCreateReq())
+	busy, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,13 +137,13 @@ func TestManagerTTLEviction(t *testing.T) {
 	// Over the default volatile store, eviction is expiry: the distinct
 	// ErrExpired (not a generic not-found) tells clients their state is
 	// gone for good.
-	if _, err := m.Get(idle.ID()); !errors.Is(err, ErrExpired) {
+	if _, err := m.Get(context.Background(), idle.ID()); !errors.Is(err, ErrExpired) {
 		t.Fatalf("idle session survived: %v", err)
 	}
-	if _, err := m.Get("0123456789abcdef0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+	if _, err := m.Get(context.Background(), "0123456789abcdef0123456789abcdef"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown id after eviction = %v, want ErrNotFound", err)
 	}
-	if _, err := m.Get(busy.ID()); err != nil {
+	if _, err := m.Get(context.Background(), busy.ID()); err != nil {
 		t.Fatalf("busy session evicted: %v", err)
 	}
 	if m.Len() != 1 {
@@ -170,7 +171,7 @@ func TestManagerConcurrentCreates(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				s, err := m.Create(testCreateReq())
+				s, err := m.Create(context.Background(), testCreateReq())
 				key := fmt.Sprintf("%d-%d", g, i)
 				if err != nil {
 					rejected.Store(key, true)
@@ -195,7 +196,7 @@ func TestManagerShardDistribution(t *testing.T) {
 	m := NewManager(ManagerConfig{})
 	defer m.Close()
 	for i := 0; i < 200; i++ {
-		if _, err := m.Create(testCreateReq()); err != nil {
+		if _, err := m.Create(context.Background(), testCreateReq()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +21,26 @@ const latencyWindow = 1024
 
 // latencyTracker records request durations and reports count, p50 and p99
 // over the trailing window.
+//
+// DEPRECATED: the summary lines rendered from these trackers cannot be
+// aggregated across nodes; the fixed-bucket histograms below replace them.
+// The summaries are kept for one release so existing dashboards migrate,
+// and their # HELP text says so.
 type latencyTracker struct {
 	mu    sync.Mutex
 	ring  [latencyWindow]time.Duration
 	n     int   // filled entries, up to latencyWindow
 	next  int   // next write position
 	total int64 // observations ever
+
+	// scratch is the reusable sort buffer for quantiles: scrapes are
+	// frequent (Prometheus default 15s, tests tighter) and allocating plus
+	// sorting a fresh 1024-entry slice per scrape per tracker was measurable
+	// garbage. snapMu serializes scrapers over the scratch without making
+	// them block observers: the copy out of the ring holds mu only as long
+	// as a memcpy, and the sort runs outside it.
+	snapMu  sync.Mutex
+	scratch []time.Duration
 }
 
 // observe records one duration.
@@ -41,10 +56,17 @@ func (l *latencyTracker) observe(d time.Duration) {
 }
 
 // quantiles returns the observation count and (p50, p99) over the window.
+// Allocation-free after the first call: the window snapshot lands in a
+// retained scratch buffer guarded by snapMu.
 func (l *latencyTracker) quantiles() (total int64, p50, p99 time.Duration) {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if l.scratch == nil {
+		l.scratch = make([]time.Duration, 0, latencyWindow)
+	}
 	l.mu.Lock()
 	n := l.n
-	buf := make([]time.Duration, n)
+	buf := l.scratch[:n]
 	copy(buf, l.ring[:n])
 	total = l.total
 	l.mu.Unlock()
@@ -62,6 +84,56 @@ func (l *latencyTracker) quantiles() (total int64, p50, p99 time.Duration) {
 		return i
 	}
 	return total, buf[idx(0.50)], buf[idx(0.99)]
+}
+
+// latencyBuckets are the shared fixed histogram bounds, in seconds:
+// exponential-ish from 50µs (a cached select is well under the first
+// bucket) to 5s (the slowest fsync or greedy sweep anyone should see).
+// Fixed bounds are the point — every node exposes the same buckets, so
+// fleet-wide latency is a straight sum of _bucket series.
+var latencyBuckets = [...]float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25,
+	0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket Prometheus histogram: lock-free observes
+// (one atomic add on the bucket, one on the sum), cumulative rendering at
+// scrape time. counts[i] holds observations ≤ latencyBuckets[i]
+// NON-cumulatively; counts[len] is the +Inf overflow. sumNanos accumulates
+// in integer nanoseconds so the adds stay atomic.
+type histogram struct {
+	counts   [len(latencyBuckets) + 1]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], s)
+	// SearchFloat64s finds the first bound >= s, which is exactly the
+	// le-bucket; i == len means +Inf.
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// write renders the histogram in Prometheus text exposition format:
+// cumulative _bucket lines ending in le="+Inf", then _sum and _count.
+func (h *histogram) write(w io.Writer, name, help string) error {
+	var cum int64
+	var b []byte
+	b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, le := range latencyBuckets {
+		cum += h.counts[i].Load()
+		b = fmt.Appendf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	b = fmt.Appendf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	b = fmt.Appendf(b, "%s_sum %g\n", name, float64(h.sumNanos.Load())/1e9)
+	b = fmt.Appendf(b, "%s_count %d\n", name, cum)
+	_, err := w.Write(b)
+	return err
 }
 
 // Metrics aggregates the service's operational counters. All fields are
@@ -108,8 +180,19 @@ type Metrics struct {
 	StoreDeletes atomic.Int64
 	StoreErrors  atomic.Int64
 
+	// Deprecated per-node quantile summaries (see latencyTracker).
 	SelectLatency latencyTracker
 	MergeLatency  latencyTracker
+
+	// Fixed-bucket histograms, aggregatable across the fleet. Select and
+	// merge are observed at the handler (whole compute path including the
+	// session mutex); store-append is observed inside the instrumented
+	// store and is dominated by the fsync on durable stores; lease-renew
+	// is one heartbeat renewal round-trip.
+	SelectDuration      histogram
+	MergeDuration       histogram
+	StoreAppendDuration histogram
+	LeaseRenewDuration  histogram
 }
 
 // WritePrometheus renders the snapshot. sessionsLive and leasesHeld are
@@ -148,6 +231,23 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) err
 		counter("crowdfusion_events_published_total", "Session events published to feeds.", m.EventsPublished.Load()) +
 		counter("crowdfusion_events_dropped_total", "Events lost to slow subscribers at their drop point.", m.EventsDropped.Load()) +
 		counter("crowdfusion_subscribers_dropped_total", "Subscribers detached for falling behind (drop-and-mark).", m.SubscribersDropped.Load())
+	if _, err := io.WriteString(w, out); err != nil {
+		return err
+	}
+	for _, h := range []struct {
+		name, help string
+		h          *histogram
+	}{
+		{"crowdfusion_select_duration_seconds", "Select handling time (fixed buckets, fleet-aggregatable).", &m.SelectDuration},
+		{"crowdfusion_merge_duration_seconds", "Answer-merge handling time (fixed buckets, fleet-aggregatable).", &m.MergeDuration},
+		{"crowdfusion_store_append_duration_seconds", "Op-log append time including fsync on durable stores.", &m.StoreAppendDuration},
+		{"crowdfusion_lease_renew_duration_seconds", "Lease heartbeat renewal time against the store.", &m.LeaseRenewDuration},
+	} {
+		if err := h.h.write(w, h.name, h.help); err != nil {
+			return err
+		}
+	}
+	sums := ""
 	for _, lt := range []struct {
 		name string
 		t    *latencyTracker
@@ -156,13 +256,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) err
 		{"crowdfusion_merge", &m.MergeLatency},
 	} {
 		total, p50, p99 := lt.t.quantiles()
-		out += fmt.Sprintf("# HELP %s_latency_seconds Request latency quantiles over the trailing window.\n", lt.name)
-		out += fmt.Sprintf("# TYPE %s_latency_seconds summary\n", lt.name)
-		out += fmt.Sprintf("%s_latency_seconds{quantile=\"0.5\"} %g\n", lt.name, p50.Seconds())
-		out += fmt.Sprintf("%s_latency_seconds{quantile=\"0.99\"} %g\n", lt.name, p99.Seconds())
-		out += fmt.Sprintf("%s_latency_seconds_count %d\n", lt.name, total)
+		sums += fmt.Sprintf("# HELP %s_latency_seconds (DEPRECATED: use %s_duration_seconds histogram; removed next release) Request latency quantiles over the trailing window.\n", lt.name, lt.name)
+		sums += fmt.Sprintf("# TYPE %s_latency_seconds summary\n", lt.name)
+		sums += fmt.Sprintf("%s_latency_seconds{quantile=\"0.5\"} %g\n", lt.name, p50.Seconds())
+		sums += fmt.Sprintf("%s_latency_seconds{quantile=\"0.99\"} %g\n", lt.name, p99.Seconds())
+		sums += fmt.Sprintf("%s_latency_seconds_count %d\n", lt.name, total)
 	}
-	_, err := io.WriteString(w, out)
+	_, err := io.WriteString(w, sums)
 	return err
 }
 
@@ -175,15 +275,20 @@ type instrumentedStore struct {
 
 func (s instrumentedStore) count(c *atomic.Int64, err error) error {
 	c.Add(1)
+	s.countErr(err)
+	return err
+}
+
+// countErr classifies a store failure: a fenced write is the lease gate
+// working, not a store failure; everything else lands in StoreErrors.
+func (s instrumentedStore) countErr(err error) {
 	switch {
 	case err == nil:
 	case errors.Is(err, store.ErrFenced):
-		// A fenced write is the lease gate working, not a store failure.
 		s.m.FencedWritesRefused.Add(1)
 	default:
 		s.m.StoreErrors.Add(1)
 	}
-	return err
 }
 
 func (s instrumentedStore) Durable() bool { return s.inner.Durable() }
@@ -193,7 +298,10 @@ func (s instrumentedStore) Put(rec *store.Record) error {
 }
 
 func (s instrumentedStore) Append(id string, op store.Op) error {
-	return s.count(&s.m.StoreAppends, s.inner.Append(id, op))
+	start := time.Now()
+	err := s.inner.Append(id, op)
+	s.m.StoreAppendDuration.observe(time.Since(start))
+	return s.count(&s.m.StoreAppends, err)
 }
 
 func (s instrumentedStore) Get(id string) (*store.Record, error) {
@@ -208,40 +316,76 @@ func (s instrumentedStore) Get(id string) (*store.Record, error) {
 
 func (s instrumentedStore) Delete(id string) (bool, error) {
 	ok, err := s.inner.Delete(id)
-	_ = s.count(&s.m.StoreDeletes, err)
+	if err == nil {
+		// Only a delete that actually ran counts as store traffic; a failed
+		// one would otherwise inflate the deletes counter while its error
+		// vanished.
+		s.m.StoreDeletes.Add(1)
+	} else if !errors.Is(err, store.ErrBadID) {
+		s.countErr(err)
+	}
 	return ok, err
 }
 
-func (s instrumentedStore) List() ([]string, error) { return s.inner.List() }
+func (s instrumentedStore) List() ([]string, error) {
+	ids, err := s.inner.List()
+	if err != nil {
+		s.m.StoreErrors.Add(1)
+	}
+	return ids, err
+}
 
 func (s instrumentedStore) Close() error { return s.inner.Close() }
 
-// Lease operations pass through uncounted except for the renewal and
-// fence signals the manager cares about operationally.
 func (s instrumentedStore) AcquireLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
-	return s.inner.AcquireLease(id, owner, ttl, now)
+	l, err := s.inner.AcquireLease(id, owner, ttl, now)
+	var held *store.LeaseHeldError
+	if err != nil && !errors.As(err, &held) {
+		// A live holder is the fence negotiating ownership, not a failure;
+		// anything else (I/O, corruption) is.
+		s.countErr(err)
+	}
+	return l, err
 }
 
 func (s instrumentedStore) StealLease(id, owner string, ttl time.Duration, now time.Time) (store.Lease, error) {
 	l, err := s.inner.StealLease(id, owner, ttl, now)
 	if err == nil {
 		s.m.LeasesStolen.Add(1)
+	} else {
+		s.countErr(err)
 	}
 	return l, err
 }
 
 func (s instrumentedStore) RenewLease(id, owner string, epoch uint64, ttl time.Duration, now time.Time) (store.Lease, error) {
+	start := time.Now()
 	l, err := s.inner.RenewLease(id, owner, epoch, ttl, now)
+	s.m.LeaseRenewDuration.observe(time.Since(start))
 	if err == nil {
 		s.m.LeasesRenewed.Add(1)
+	} else {
+		// ErrFenced (lease superseded) feeds FencedWritesRefused via
+		// countErr; real store trouble feeds StoreErrors.
+		s.countErr(err)
 	}
 	return l, err
 }
 
 func (s instrumentedStore) ReleaseLease(id, owner string, epoch uint64) error {
-	return s.inner.ReleaseLease(id, owner, epoch)
+	err := s.inner.ReleaseLease(id, owner, epoch)
+	// Losing the release race (superseded by a higher epoch) is routine
+	// handoff traffic; count everything else.
+	if err != nil && !errors.Is(err, store.ErrFenced) {
+		s.m.StoreErrors.Add(1)
+	}
+	return err
 }
 
 func (s instrumentedStore) GetLease(id string) (*store.Lease, error) {
-	return s.inner.GetLease(id)
+	l, err := s.inner.GetLease(id)
+	if err != nil {
+		s.m.StoreErrors.Add(1)
+	}
+	return l, err
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -48,7 +49,7 @@ func TestCreateMintsOwnedIDs(t *testing.T) {
 	m := NewManager(ManagerConfig{Ownership: own})
 	defer m.Close()
 	for i := 0; i < 8; i++ {
-		s, err := m.Create(testCreateReq())
+		s, err := m.Create(context.Background(), testCreateReq())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,16 +68,16 @@ func TestGetRedirectsAndRelinquishes(t *testing.T) {
 	m := newFileManager(t, dir, ManagerConfig{Ownership: own})
 	defer m.Close()
 
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
 	id := s.ID()
-	sel, _, err := s.Select(m.Now(), 0)
+	sel, _, err := s.Select(context.Background(), m.Now(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Merge(m.Now(), &AnswersRequest{
+	if _, err := s.Merge(context.Background(), m.Now(), &AnswersRequest{
 		Tasks: sel.Tasks, Answers: []bool{true, false}, Version: &sel.Version,
 	}); err != nil {
 		t.Fatal(err)
@@ -85,7 +86,7 @@ func TestGetRedirectsAndRelinquishes(t *testing.T) {
 
 	// Ownership moves away: the next touch redirects and relinquishes.
 	own.setOwner(func(string) string { return "http://other:2" })
-	_, err = m.Get(id)
+	_, err = m.Get(context.Background(), id)
 	var notOwner *NotOwnerError
 	if !errors.As(err, &notOwner) || notOwner.Owner != "http://other:2" {
 		t.Fatalf("Get after ownership change = %v, want NotOwnerError{Owner: other}", err)
@@ -95,18 +96,18 @@ func TestGetRedirectsAndRelinquishes(t *testing.T) {
 	}
 	// The relinquished instance is retired: a stale handler pointer cannot
 	// commit to it anymore.
-	if _, _, err := s.Select(m.Now(), 0); !errors.Is(err, errSessionRetired) {
+	if _, _, err := s.Select(context.Background(), m.Now(), 0); !errors.Is(err, errSessionRetired) {
 		t.Fatalf("stale instance Select = %v, want errSessionRetired", err)
 	}
 	// Delete is gated the same way.
-	if _, err := m.Delete(id); !errors.As(err, &notOwner) {
+	if _, err := m.Delete(context.Background(), id); !errors.As(err, &notOwner) {
 		t.Fatalf("Delete on non-owned = %v, want NotOwnerError", err)
 	}
 
 	// Ownership returns: the session reloads from the store bit-identically
 	// — the same record-replay path a crash recovery takes.
 	own.setOwner(ownAll)
-	restored, err := m.Get(id)
+	restored, err := m.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRelinquishNotOwned(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 6; i++ {
-		s, err := m.Create(testCreateReq())
+		s, err := m.Create(context.Background(), testCreateReq())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func TestRelinquishNotOwned(t *testing.T) {
 	// Still-owned sessions stayed resident and serve without a reload.
 	for _, id := range ids {
 		if id[0]%2 != 0 {
-			if _, err := m.Get(id); err != nil {
+			if _, err := m.Get(context.Background(), id); err != nil {
 				t.Fatalf("owned session %s unavailable after rebalance: %v", id, err)
 			}
 		}
@@ -174,7 +175,7 @@ func TestRingIsManagerOwnership(t *testing.T) {
 	m := NewManager(ManagerConfig{Ownership: ring, Store: store.NewMemory()})
 	defer m.Close()
 
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestRingIsManagerOwnership(t *testing.T) {
 		if ring.Owns(id) {
 			continue
 		}
-		_, err = m.Get(id)
+		_, err = m.Get(context.Background(), id)
 		var notOwner *NotOwnerError
 		if !errors.As(err, &notOwner) || notOwner.Owner != ring.Owner(id) {
 			t.Fatalf("Get(foreign id) = %v, want NotOwnerError{%s}", err, ring.Owner(id))

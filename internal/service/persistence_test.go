@@ -1,8 +1,10 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"errors"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"reflect"
 	"strings"
@@ -70,7 +72,7 @@ func runRounds(t *testing.T, s *Session, now time.Time, n int) *AnswersRequest {
 	t.Helper()
 	var last *AnswersRequest
 	for i := 0; i < n; i++ {
-		sel, _, err := s.Select(now, 0)
+		sel, _, err := s.Select(context.Background(), now, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +85,7 @@ func runRounds(t *testing.T, s *Session, now time.Time, n int) *AnswersRequest {
 		}
 		v := sel.Version
 		last = &AnswersRequest{Tasks: sel.Tasks, Answers: answers, Version: &v}
-		if resp, err := s.Merge(now, last); err != nil || !resp.Merged {
+		if resp, err := s.Merge(context.Background(), now, last); err != nil || !resp.Merged {
 			t.Fatalf("round %d: merge = %+v, %v", i, resp, err)
 		}
 	}
@@ -100,7 +102,7 @@ func TestManagerCrashRecoveryBitIdentical(t *testing.T) {
 	now := time.Unix(1000, 0)
 
 	m1 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
-	s1, err := m1.Create(testCreateReq())
+	s1, err := m1.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestManagerCrashRecoveryBitIdentical(t *testing.T) {
 
 	m2 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	defer m2.Close()
-	s2, err := m2.Get(s1.ID())
+	s2, err := m2.Get(context.Background(), s1.ID())
 	if err != nil {
 		t.Fatalf("recovery Get: %v", err)
 	}
@@ -121,7 +123,7 @@ func TestManagerCrashRecoveryBitIdentical(t *testing.T) {
 
 	// Idempotent replay of the last acknowledged answer set: recognized
 	// from the recovered merge log, not re-applied.
-	resp, err := s2.Merge(now, last)
+	resp, err := s2.Merge(context.Background(), now, last)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestManagerCrashRecoveryExplicitJoint(t *testing.T) {
 	req := &CreateSessionRequest{Joint: &jw, Pc: 0.8, K: 2, Budget: 8}
 
 	m1 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
-	s1, err := m1.Create(req)
+	s1, err := m1.Create(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestManagerCrashRecoveryExplicitJoint(t *testing.T) {
 
 	m2 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	defer m2.Close()
-	s2, err := m2.Get(s1.ID())
+	s2, err := m2.Get(context.Background(), s1.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestManagerCrashRecoveryFreshSession(t *testing.T) {
 	dir := t.TempDir()
 	now := time.Unix(1000, 0)
 	m1 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
-	s1, err := m1.Create(testCreateReq())
+	s1, err := m1.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestManagerCrashRecoveryFreshSession(t *testing.T) {
 
 	m2 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	defer m2.Close()
-	s2, err := m2.Get(s1.ID())
+	s2, err := m2.Get(context.Background(), s1.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,13 +200,13 @@ func TestManagerDoneLatchSurvivesRestart(t *testing.T) {
 	m1 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	// A certain prior: one world. The first selection finds no task with
 	// positive utility and latches done.
-	s1, err := m1.Create(&CreateSessionRequest{
+	s1, err := m1.Create(context.Background(), &CreateSessionRequest{
 		Marginals: []float64{1, 1, 1}, Pc: 0.8, K: 2, Budget: 6,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel, _, err := s1.Select(now, 0)
+	sel, _, err := s1.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestManagerDoneLatchSurvivesRestart(t *testing.T) {
 
 	m2 := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	defer m2.Close()
-	s2, err := m2.Get(s1.ID())
+	s2, err := m2.Get(context.Background(), s1.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestManagerTTLUnloadReloadsExactly(t *testing.T) {
 		}
 	}
 
-	s, err := m.Create(testCreateReq())
+	s, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +261,7 @@ func TestManagerTTLUnloadReloadsExactly(t *testing.T) {
 	}
 
 	// The next touch reloads lazily — same state, not an expired error.
-	got, err := m.Get(s.ID())
+	got, err := m.Get(context.Background(), s.ID())
 	if err != nil {
 		t.Fatalf("Get after unload: %v", err)
 	}
@@ -290,7 +292,7 @@ func TestManagerUnloadRetiresStalePointers(t *testing.T) {
 	m := newFileManager(t, dir, ManagerConfig{TTL: time.Minute, now: clk.now})
 	defer m.Close()
 
-	s1, err := m.Create(testCreateReq())
+	s1, err := m.Create(context.Background(), testCreateReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,19 +304,19 @@ func TestManagerUnloadRetiresStalePointers(t *testing.T) {
 	}
 
 	// The stale pointer refuses mutations…
-	if _, err := s1.Merge(clk.now(), last); !errors.Is(err, errSessionRetired) {
+	if _, err := s1.Merge(context.Background(), clk.now(), last); !errors.Is(err, errSessionRetired) {
 		t.Fatalf("merge on retired instance = %v, want errSessionRetired", err)
 	}
-	if _, _, err := s1.Select(clk.now(), 0); !errors.Is(err, errSessionRetired) {
+	if _, _, err := s1.Select(context.Background(), clk.now(), 0); !errors.Is(err, errSessionRetired) {
 		t.Fatalf("select on retired instance = %v, want errSessionRetired", err)
 	}
 	// …and the re-resolved instance serves the full history: the replayed
 	// answer set is recognized as already applied.
-	s2, err := m.Get(s1.ID())
+	s2, err := m.Get(context.Background(), s1.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s2.Merge(clk.now(), last)
+	resp, err := s2.Merge(context.Background(), clk.now(), last)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +343,7 @@ func TestManagerConcurrentMergesFileStore(t *testing.T) {
 			defer wg.Done()
 			req := testCreateReq()
 			req.Budget = 6
-			s, err := m.Create(req)
+			s, err := m.Create(context.Background(), req)
 			if err != nil {
 				t.Errorf("create %d: %v", i, err)
 				return
@@ -355,13 +357,13 @@ func TestManagerConcurrentMergesFileStore(t *testing.T) {
 				go func() {
 					defer inner.Done()
 					for r := 0; r < 6; r++ {
-						sel, _, err := s.Select(now, 0)
+						sel, _, err := s.Select(context.Background(), now, 0)
 						if err != nil || sel.Done || len(sel.Tasks) == 0 {
 							return
 						}
 						answers := make([]bool, len(sel.Tasks))
 						v := sel.Version
-						_, err = s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: answers, Version: &v})
+						_, err = s.Merge(context.Background(), now, &AnswersRequest{Tasks: sel.Tasks, Answers: answers, Version: &v})
 						if err != nil && !errors.Is(err, ErrVersionConflict) && !errors.Is(err, ErrBudgetExhausted) {
 							t.Errorf("merge: %v", err)
 							return
@@ -380,11 +382,11 @@ func TestManagerConcurrentMergesFileStore(t *testing.T) {
 	fresh := newFileManager(t, dir, ManagerConfig{now: func() time.Time { return now }})
 	defer fresh.Close()
 	for _, id := range ids {
-		live, err := m.Get(id)
+		live, err := m.Get(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rec, err := fresh.Get(id)
+		rec, err := fresh.Get(context.Background(), id)
 		if err != nil {
 			t.Fatalf("recovering %s: %v", id, err)
 		}
@@ -397,16 +399,11 @@ func TestManagerConcurrentMergesFileStore(t *testing.T) {
 // a generic 404 — all the way through the HTTP layer.
 func TestServerExpiredSessionOverTheWire(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	var logged []string
-	var logMu sync.Mutex
+	logBuf := &lockedBuffer{}
 	svc, ts := newTestServer(t, Config{
-		TTL: time.Minute,
-		Logf: func(format string, args ...any) {
-			logMu.Lock()
-			logged = append(logged, fmt.Sprintf(format, args...))
-			logMu.Unlock()
-		},
-		now: clk.now,
+		TTL:    time.Minute,
+		Logger: slog.New(slog.NewTextHandler(logBuf, nil)),
+		now:    clk.now,
 	})
 
 	var info SessionInfo
@@ -429,10 +426,9 @@ func TestServerExpiredSessionOverTheWire(t *testing.T) {
 		t.Fatalf("evicted counter %d", svc.Metrics().SessionsEvicted.Load())
 	}
 	// The eviction satellite: a log line names the expired session.
-	logMu.Lock()
-	defer logMu.Unlock()
+	logged := logBuf.String()
 	found := false
-	for _, line := range logged {
+	for _, line := range strings.Split(logged, "\n") {
 		if strings.Contains(line, info.ID) && strings.Contains(line, "expired") {
 			found = true
 		}
@@ -440,6 +436,24 @@ func TestServerExpiredSessionOverTheWire(t *testing.T) {
 	if !found {
 		t.Fatalf("no eviction log line for %s in %q", info.ID, logged)
 	}
+}
+
+// lockedBuffer is a concurrency-safe log sink for slog handlers in tests.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // TestServerRecoveryOverTheWire: the HTTP layer serves a recovered session

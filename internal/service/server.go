@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/parallel"
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 // Config tunes the HTTP service.
@@ -55,9 +58,15 @@ type Config struct {
 	// the ring's OnChange. Clustered deployments must share a durable
 	// Store across nodes, or migrated sessions come up empty.
 	Cluster *cluster.Ring
-	// Logf receives operational log lines (evictions, recoveries, store
-	// failures). Nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational and access-log records
+	// (evictions, recoveries, store failures, one line per request with
+	// trace/request ids). Nil discards them.
+	Logger *slog.Logger
+	// Tracer records spans for every request hop. Nil gets a recorder-less
+	// tracer minted internally, so request and trace IDs are always
+	// stamped on responses even when nothing retains the spans; pass a
+	// tracer built over a trace.Recorder to serve /debug/traces.
+	Tracer *trace.Tracer
 
 	// LeaseTTL enables per-session write leases with fencing epochs: the
 	// node acquires a lease for every session it serves, stamps the epoch
@@ -115,6 +124,8 @@ type Server struct {
 	cfg     Config
 	mgr     *Manager
 	metrics *Metrics
+	tracer  *trace.Tracer
+	log     *slog.Logger
 	gate    chan struct{} // compute-slot semaphore
 
 	// inflight counts compute work (selects and merges) so Close can
@@ -138,8 +149,18 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		metrics:    &Metrics{},
+		tracer:     cfg.Tracer,
+		log:        cfg.Logger,
 		gate:       make(chan struct{}, cfg.MaxConcurrent),
 		streamStop: make(chan struct{}),
+	}
+	if s.tracer == nil {
+		// Recorder-less: spans are minted (request/trace ids flow) but
+		// dropped on End. Keeps the id contract independent of ops wiring.
+		s.tracer = trace.New("", nil)
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	sessionStore := cfg.Store
 	if sessionStore == nil {
@@ -151,7 +172,8 @@ func NewServer(cfg Config) *Server {
 		Seed:           cfg.Seed,
 		MaxSubscribers: cfg.MaxSubscribers,
 		Store:          instrumentedStore{inner: sessionStore, m: s.metrics},
-		Logf:           cfg.Logf,
+		Logger:         cfg.Logger,
+		Tracer:         s.tracer,
 		LeaseTTL:       cfg.LeaseTTL,
 		LeaseRenew:     cfg.LeaseRenew,
 		now:            cfg.now,
@@ -255,7 +277,87 @@ func (s *Server) Handler() http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	outer.Handle("/", envelopeErrors(timed))
-	return outer
+	return s.observe(outer)
+}
+
+// requestIDKey carries the per-request ID (this hop's root span ID) through
+// handler contexts, so error envelopes can echo it without re-deriving.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID stamped by the observe middleware,
+// or "" outside a traced request (direct handler tests).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the access log. It must
+// keep http.Flusher visible — the SSE handler type-asserts for it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// observe is the per-request observability middleware: it continues the
+// caller's W3C trace (or starts a fresh one), stamps X-Request-Id and
+// traceparent on the response before the handler runs, and emits one
+// structured access-log line per request. The request ID is this hop's
+// root span ID — short enough for support tickets, and it joins the
+// access log, the error envelope, and /debug/traces on one key.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		var sp *trace.Span
+		name := r.Method + " " + r.URL.Path
+		if remote, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx, sp = s.tracer.StartRemote(ctx, remote, name)
+		} else {
+			ctx, sp = s.tracer.Start(ctx, name)
+		}
+		reqID := sp.SpanID()
+		ctx = context.WithValue(ctx, requestIDKey{}, reqID)
+		// Stamped before the handler writes: headers after WriteHeader are
+		// lost, and redirects/errors need the ids most.
+		w.Header().Set("X-Request-Id", reqID)
+		w.Header().Set("traceparent", sp.Context().Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		sp.SetAttr("status", sw.status)
+		sp.End()
+		s.log.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(dur.Microseconds())/1000,
+			"trace_id", sp.TraceID(),
+			"request_id", reqID,
+		)
+	})
 }
 
 // envelopeErrors rewrites the plain-text 404/405 defaults that ServeMux
@@ -297,7 +399,9 @@ func (w *envelopeWriter) WriteHeader(status int) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.ResponseWriter.WriteHeader(status)
-	data, _ := json.MarshalIndent(ErrorResponse{Error: msg, Code: code}, "", "  ")
+	data, _ := json.MarshalIndent(ErrorResponse{
+		Error: msg, Code: code, RequestID: requestIDFrom(w.req.Context()),
+	}, "", "  ")
 	_, _ = w.ResponseWriter.Write(append(data, '\n'))
 }
 
@@ -323,15 +427,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps service errors to HTTP statuses and machine-readable
-// codes inside the uniform envelope.
-func writeError(w http.ResponseWriter, err error) {
+// codes inside the uniform envelope, echoing the request ID so a client
+// report joins straight to this hop's access log and trace.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	reqID := requestIDFrom(r.Context())
 	var notOwner *NotOwnerError
 	if errors.As(err, &notOwner) {
 		// 421 Misdirected Request: the session lives on another node. The
 		// envelope carries the owner's address so ring-aware clients hop
 		// straight there instead of probing the peer list.
-		writeJSON(w, http.StatusMisdirectedRequest,
-			ErrorResponse{Error: err.Error(), Code: CodeNotOwner, Owner: notOwner.Owner})
+		writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{
+			Error: err.Error(), Code: CodeNotOwner, Owner: notOwner.Owner, RequestID: reqID})
 		return
 	}
 	var fenced *FencedError
@@ -340,8 +446,8 @@ func writeError(w http.ResponseWriter, err error) {
 		// placement — refused this node. Same client response either way:
 		// re-resolve the owner (the envelope names the lease holder when
 		// known) and retry there; the refused write was never applied.
-		writeJSON(w, http.StatusMisdirectedRequest,
-			ErrorResponse{Error: err.Error(), Code: CodeFenced, Owner: fenced.Owner})
+		writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{
+			Error: err.Error(), Code: CodeFenced, Owner: fenced.Owner, RequestID: reqID})
 		return
 	}
 	status := http.StatusBadRequest
@@ -377,7 +483,7 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, core.ErrNoTasks):
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code, RequestID: reqID})
 }
 
 // decodeJSON strictly decodes a request body into v.
@@ -410,17 +516,17 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
 	}
 	s.metrics.RequestsRejected.Add(1)
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable,
-		ErrorResponse{Error: "service: saturated, retry later"})
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error: "service: saturated, retry later", RequestID: requestIDFrom(r.Context())})
 	return false
 }
 
 func (s *Server) release() { <-s.gate }
 
 // writeShuttingDown is the refusal for work arriving after Close began.
-func writeShuttingDown(w http.ResponseWriter) {
-	writeJSON(w, http.StatusServiceUnavailable,
-		ErrorResponse{Error: "service: shutting down"})
+func writeShuttingDown(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error: "service: shutting down", RequestID: requestIDFrom(r.Context())})
 }
 
 // noteRedirect does the bookkeeping for 421 outcomes: bump the misroute
@@ -483,14 +589,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	// Prior construction can materialize a 2^n-world product
 	// distribution, so creation is compute like select/merge: it takes a
 	// slot and registers with the drain group.
 	if !s.beginWork() {
-		writeShuttingDown(w)
+		writeShuttingDown(w, r)
 		return
 	}
 	defer s.inflight.Done()
@@ -499,9 +605,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	sess, err := s.mgr.Create(&req)
+	sess, err := s.mgr.Create(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	s.metrics.SessionsCreated.Add(1)
@@ -509,10 +615,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
+	sess, err := s.mgr.Get(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	withRounds := strings.EqualFold(r.URL.Query().Get("rounds"), "true") ||
@@ -521,14 +627,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	ok, err := s.mgr.Delete(r.PathValue("id"))
+	ok, err := s.mgr.Delete(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if !ok {
-		writeError(w, ErrNotFound)
+		writeError(w, r, ErrNotFound)
 		return
 	}
 	s.metrics.SessionsDeleted.Add(1)
@@ -536,25 +642,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
+	sess, err := s.mgr.Get(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	var req SelectRequest
 	if r.ContentLength != 0 {
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, err)
+			writeError(w, r, err)
 			return
 		}
 	}
 	if err := req.Validate(); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if !s.beginWork() {
-		writeShuttingDown(w)
+		writeShuttingDown(w, r)
 		return
 	}
 	defer s.inflight.Done()
@@ -564,20 +670,21 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	resp, cached, err := sess.Select(s.mgr.Now(), req.K)
+	resp, cached, err := sess.Select(r.Context(), s.mgr.Now(), req.K)
 	if errors.Is(err, errSessionRetired) {
 		// The instance was unloaded/evicted between Get and Select;
 		// re-resolve once (reloading from the store if durable).
-		if sess, err = s.mgr.Get(r.PathValue("id")); err == nil {
-			resp, cached, err = sess.Select(s.mgr.Now(), req.K)
+		if sess, err = s.mgr.Get(r.Context(), r.PathValue("id")); err == nil {
+			resp, cached, err = sess.Select(r.Context(), s.mgr.Now(), req.K)
 		}
 	}
 	if err != nil {
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	s.metrics.SelectLatency.observe(time.Since(start))
+	s.metrics.SelectDuration.observe(time.Since(start))
 	s.metrics.SelectsServed.Add(1)
 	if cached {
 		s.metrics.SelectCacheHits.Add(1)
@@ -586,19 +693,19 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
+	sess, err := s.mgr.Get(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	var req AnswersRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if !s.beginWork() {
-		writeShuttingDown(w)
+		writeShuttingDown(w, r)
 		return
 	}
 	defer s.inflight.Done()
@@ -608,14 +715,14 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	resp, err := sess.Merge(s.mgr.Now(), &req)
+	resp, err := sess.Merge(r.Context(), s.mgr.Now(), &req)
 	if errors.Is(err, errSessionRetired) {
 		// The instance was unloaded/evicted between Get and Merge;
 		// re-resolve once. The reloaded instance has the full durable
 		// history, so idempotency and version checks behave as if the
 		// eviction never happened.
-		if sess, err = s.mgr.Get(r.PathValue("id")); err == nil {
-			resp, err = sess.Merge(s.mgr.Now(), &req)
+		if sess, err = s.mgr.Get(r.Context(), r.PathValue("id")); err == nil {
+			resp, err = sess.Merge(r.Context(), s.mgr.Now(), &req)
 		}
 	}
 	if err != nil {
@@ -623,10 +730,11 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		// retire the stale instance so the next request here redirects
 		// cleanly instead of replaying from trailing memory.
 		s.noteRedirect(r.PathValue("id"), err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	s.metrics.MergeLatency.observe(time.Since(start))
+	s.metrics.MergeDuration.observe(time.Since(start))
 	switch {
 	case resp.Merged:
 		s.metrics.MergesApplied.Add(1)
@@ -650,14 +758,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > 1000 {
-			writeError(w, fmt.Errorf("service: limit %q outside 1..1000", v))
+			writeError(w, r, fmt.Errorf("service: limit %q outside 1..1000", v))
 			return
 		}
 		limit = n
 	}
 	resp, err := s.mgr.ListSessions(q.Get("after"), limit)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -669,8 +777,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEventsBadMethod(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Allow", "GET")
 	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
-		Error: fmt.Sprintf("service: method %s not allowed for %s", r.Method, r.URL.Path),
-		Code:  CodeMethodNotAllowed,
+		Error:     fmt.Sprintf("service: method %s not allowed for %s", r.Method, r.URL.Path),
+		Code:      CodeMethodNotAllowed,
+		RequestID: requestIDFrom(r.Context()),
 	})
 }
 
@@ -686,7 +795,7 @@ const streamKeepalive = 15 * time.Second
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-s.streamStop:
-		writeShuttingDown(w)
+		writeShuttingDown(w, r)
 		return
 	default:
 	}
@@ -701,20 +810,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeError(w, fmt.Errorf("service: Last-Event-ID %q is not an event sequence", v))
+			writeError(w, r, fmt.Errorf("service: Last-Event-ID %q is not an event sequence", v))
 			return
 		}
 		lastID, hasLast = n, true
 	}
 	id := r.PathValue("id")
-	sub, err := s.mgr.Subscribe(id, lastID, hasLast)
+	sub, err := s.mgr.Subscribe(r.Context(), id, lastID, hasLast)
 	if errors.Is(err, errSessionRetired) {
 		// Unloaded between resolve and snapshot; re-resolve once.
-		sub, err = s.mgr.Subscribe(id, lastID, hasLast)
+		sub, err = s.mgr.Subscribe(r.Context(), id, lastID, hasLast)
 	}
 	if err != nil {
 		s.noteRedirect(id, err)
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer sub.cancel()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -353,7 +354,7 @@ func TestServerConcurrentSessionNeverInterleavesMerges(t *testing.T) {
 		t.Fatalf("metrics merges %d != observed %d", svc.Metrics().MergesApplied.Load(), applied)
 	}
 	// The posterior must still be a valid distribution after the storm.
-	sess, err := svc.Manager().Get(info.ID)
+	sess, err := svc.Manager().Get(context.Background(), info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

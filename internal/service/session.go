@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -12,6 +13,7 @@ import (
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/eval"
 	"crowdfusion/internal/store"
+	"crowdfusion/internal/trace"
 )
 
 // State machine errors, mapped to HTTP statuses by the server layer.
@@ -103,6 +105,12 @@ type Session struct {
 	// hook must never block (the manager's event hub fans out through
 	// bounded non-blocking buffers). Nil for sessions without a manager.
 	emit func(ev SessionEvent)
+
+	// tracer, when set, records child spans around select, merge, the
+	// partial journal, and every persisted op (whose span duration is
+	// dominated by the fsync on durable stores). Nil — direct library use,
+	// benchmarks, replay — costs only nil checks on the hot path.
+	tracer *trace.Tracer
 
 	// lastAccess is the eviction clock, guarded by mu (updated by every
 	// operation through touch).
@@ -219,15 +227,30 @@ func (s *Session) infoLocked(withRounds bool) SessionInfo {
 
 // emitLocked publishes a state-transition event; callers hold mu. mutate,
 // when non-nil, decorates the event (select batches, redirect owners).
-func (s *Session) emitLocked(typ string, mutate func(*SessionEvent)) {
+// The event is stamped with the trace id of the request that caused the
+// transition, so stream consumers can join a merge to its request chain.
+func (s *Session) emitLocked(ctx context.Context, typ string, mutate func(*SessionEvent)) {
 	if s.emit == nil {
 		return
 	}
-	ev := SessionEvent{Type: typ, SessionInfo: s.infoLocked(false)}
+	ev := SessionEvent{Type: typ, SessionInfo: s.infoLocked(false), TraceID: trace.TraceIDFromContext(ctx)}
 	if mutate != nil {
 		mutate(&ev)
 	}
 	s.emit(ev)
+}
+
+// persistOp runs the persist hook under a span so the op's durability cost
+// (the fsync, on durable stores) shows up in the trace. Callers hold mu.
+func (s *Session) persistOp(ctx context.Context, op store.Op) error {
+	_, sp := s.tracer.Start(ctx, "persist.append")
+	sp.SetAttr("session", s.id)
+	sp.SetAttr("kind", string(op.Kind))
+	sp.SetAttr("version", op.Version)
+	err := s.persist(op)
+	sp.SetError(err)
+	sp.End()
+	return err
 }
 
 // withSnapshot runs f with the current client-visible state while holding
@@ -270,7 +293,21 @@ func (s *Session) Info(now time.Time, withRounds bool) SessionInfo {
 // The selection is cached keyed on (posterior version, effective k):
 // repeating the call without an intervening merge returns the identical
 // batch with Cached=true instead of re-running the greedy sweep.
-func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, error) {
+func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (resp *SelectResponse, cached bool, err error) {
+	if s.tracer != nil {
+		var sp *trace.Span
+		ctx, sp = s.tracer.Start(ctx, "session.select")
+		sp.SetAttr("session", s.id)
+		defer func() {
+			if resp != nil {
+				sp.SetAttr("version", resp.Version)
+				sp.SetAttr("tasks", len(resp.Tasks))
+			}
+			sp.SetAttr("cached", cached)
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.retired {
@@ -315,7 +352,7 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 	if err != nil {
 		return nil, false, fmt.Errorf("service: selection: %w", err)
 	}
-	resp := &SelectResponse{Tasks: tasks, Version: s.version}
+	resp = &SelectResponse{Tasks: tasks, Version: s.version}
 	if len(tasks) == 0 {
 		// Theorem 2: no remaining task nets positive utility. Latch so
 		// later selects and Info report completion without re-sweeping.
@@ -326,9 +363,9 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 			// daemon re-derives it with one re-sweep — so a store
 			// hiccup must not fail the read. The persist hook records
 			// the failure in the store metrics.
-			_ = s.persist(store.Op{Kind: store.OpDone, Version: s.version, Epoch: s.leaseEpoch, Time: now})
+			_ = s.persistOp(ctx, store.Op{Kind: store.OpDone, Version: s.version, Epoch: s.leaseEpoch, Time: now})
 		}
-		s.emitLocked(EventDone, nil)
+		s.emitLocked(ctx, EventDone, nil)
 	} else {
 		h, err := core.TaskEntropy(s.posterior, tasks, s.pc)
 		if err != nil {
@@ -340,7 +377,7 @@ func (s *Session) Select(now time.Time, kOverride int) (*SelectResponse, bool, e
 	s.selVersion = s.version
 	s.selK = k
 	if len(tasks) > 0 {
-		s.emitLocked(EventSelect, func(ev *SessionEvent) {
+		s.emitLocked(ctx, EventSelect, func(ev *SessionEvent) {
 			ev.Tasks = append([]int(nil), tasks...)
 		})
 	}
@@ -405,9 +442,24 @@ func answerSetHash(version int, tasks []int, answers []bool) uint64 {
 // acknowledged, and the batch commits — spending budget and advancing the
 // version exactly once — when the ledger covers the batch. Retried
 // prefixes replay idempotently, before and after the commit.
-func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
+func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest) (resp *AnswersResponse, err error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	if s.tracer != nil {
+		var sp *trace.Span
+		ctx, sp = s.tracer.Start(ctx, "session.merge")
+		sp.SetAttr("session", s.id)
+		sp.SetAttr("tasks", len(req.Tasks))
+		sp.SetAttr("partial", req.Partial)
+		defer func() {
+			if resp != nil {
+				sp.SetAttr("merged", resp.Merged)
+				sp.SetAttr("version", resp.Version)
+			}
+			sp.SetError(err)
+			sp.End()
+		}()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -425,7 +477,7 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 		}
 	}
 	if req.Partial || s.pendBatch != nil {
-		return s.mergePartialLocked(now, req)
+		return s.mergePartialLocked(ctx, now, req)
 	}
 	if req.Version != nil {
 		if *req.Version != s.version {
@@ -464,7 +516,7 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 	if err != nil {
 		return nil, fmt.Errorf("service: merge: %w", err)
 	}
-	return s.commitLocked(now, req.Tasks, req.Answers, taskH, updated, false)
+	return s.commitLocked(ctx, now, req.Tasks, req.Answers, taskH, updated, false)
 }
 
 // commitLocked durably applies one complete answer set and advances the
@@ -473,7 +525,7 @@ func (s *Session) Merge(now time.Time, req *AnswersRequest) (*AnswersResponse, e
 // before any in-memory state changes, so an acknowledged merge can never
 // be lost — and a failed persist leaves the session exactly as it was,
 // safe for the client to retry.
-func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH float64, updated *dist.Joint, partial bool) (*AnswersResponse, error) {
+func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, answers []bool, taskH float64, updated *dist.Joint, partial bool) (*AnswersResponse, error) {
 	if s.spent+len(tasks) > s.budget {
 		return nil, fmt.Errorf("%w: %d spent of %d, %d more requested",
 			ErrBudgetExhausted, s.spent, s.budget, len(tasks))
@@ -488,7 +540,7 @@ func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH
 			Epoch:   s.leaseEpoch,
 			Time:    now,
 		}
-		if err := s.persist(op); err != nil {
+		if err := s.persistOp(ctx, op); err != nil {
 			return nil, persistError(s.id, err)
 		}
 	}
@@ -509,7 +561,7 @@ func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH
 
 	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: true, Partial: partial}
 	s.merges[answerSetHash(mergedAt, tasks, answers)] = resp
-	s.emitLocked(EventMerge, nil)
+	s.emitLocked(ctx, EventMerge, nil)
 	return resp, nil
 }
 
@@ -523,7 +575,7 @@ func (s *Session) commitLocked(now time.Time, tasks []int, answers []bool, taskH
 // batch, answers, pc) — the same call, on the same inputs, the batched
 // path makes — and the commit reuses it. Budget is spent only inside that
 // commit, so no retry of any prefix can double-spend.
-func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
+func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
 	if req.Version != nil {
 		if *req.Version > s.version {
 			return nil, ErrVersionConflict
@@ -603,7 +655,7 @@ func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*Answe
 		// commit), never as a partial op — the durable ledger stays a
 		// strict subset of its batch, so crash recovery always re-enters
 		// the incremental path instead of committing mid-replay.
-		resp, err := s.commitLocked(now, prefT, prefA, s.pendTaskH, updated, true)
+		resp, err := s.commitLocked(ctx, now, prefT, prefA, s.pendTaskH, updated, true)
 		if err != nil {
 			return nil, err
 		}
@@ -622,7 +674,7 @@ func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*Answe
 			Epoch:   s.leaseEpoch,
 			Time:    now,
 		}
-		if err := s.persist(op); err != nil {
+		if err := s.persistOp(ctx, op); err != nil {
 			return nil, persistError(s.id, err)
 		}
 	}
@@ -631,7 +683,7 @@ func (s *Session) mergePartialLocked(now time.Time, req *AnswersRequest) (*Answe
 	}
 	s.pendPost = updated
 	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}
-	s.emitLocked(EventPartial, nil)
+	s.emitLocked(ctx, EventPartial, nil)
 	return resp, nil
 }
 
@@ -781,11 +833,13 @@ func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
 	s.priorRec = rec.Prior
 	s.seed = rec.Seed
 	s.created = rec.Created
-	// persist stays nil during replay: the ops are already durable.
+	// persist stays nil during replay: the ops are already durable (and the
+	// tracer is nil, so replayed merges produce no spans — the adoption
+	// span in loadFromStore covers the whole replay instead).
 	for _, op := range rec.Ops {
 		v := op.Version
 		req := &AnswersRequest{Tasks: op.Tasks, Answers: op.Answers, Version: &v}
-		if _, err := s.Merge(now, req); err != nil {
+		if _, err := s.Merge(context.Background(), now, req); err != nil {
 			return nil, fmt.Errorf("service: restoring session %s: replaying op %d: %w", rec.ID, v, err)
 		}
 	}
@@ -821,7 +875,7 @@ func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
 				Version: &v,
 				Partial: true,
 			}
-			if _, err := s.Merge(now, req); err != nil {
+			if _, err := s.Merge(context.Background(), now, req); err != nil {
 				return nil, fmt.Errorf("service: restoring session %s: replaying pending ledger: %w", rec.ID, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -24,7 +25,7 @@ func TestSessionSelectCaching(t *testing.T) {
 	s := testSession(t, 2, 6)
 	now := time.Unix(1, 0)
 
-	first, cached, err := s.Select(now, 0)
+	first, cached, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestSessionSelectCaching(t *testing.T) {
 		t.Fatalf("unexpected first batch %+v", first)
 	}
 
-	second, cached, err := s.Select(now, 0)
+	second, cached, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSessionSelectCaching(t *testing.T) {
 	}
 
 	// A different k misses the cache.
-	third, cached, err := s.Select(now, 1)
+	third, cached, err := s.Select(context.Background(), now, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,10 +61,10 @@ func TestSessionSelectCaching(t *testing.T) {
 
 	// A merge invalidates the cache: the next select is recomputed
 	// against the new posterior version.
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: first.Tasks, Answers: []bool{true, true}}); err != nil {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: first.Tasks, Answers: []bool{true, true}}); err != nil {
 		t.Fatal(err)
 	}
-	fourth, cached, err := s.Select(now, 0)
+	fourth, cached, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +79,14 @@ func TestSessionSelectCaching(t *testing.T) {
 func TestSessionMergeIdempotency(t *testing.T) {
 	s := testSession(t, 2, 6)
 	now := time.Unix(1, 0)
-	sel, _, err := s.Select(now, 0)
+	sel, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	v := sel.Version
 	req := &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, false}, Version: &v}
 
-	first, err := s.Merge(now, req)
+	first, err := s.Merge(context.Background(), now, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSessionMergeIdempotency(t *testing.T) {
 	}
 
 	// Retry with the same body: replayed, not reapplied.
-	replay, err := s.Merge(now, req)
+	replay, err := s.Merge(context.Background(), now, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestSessionMergeIdempotency(t *testing.T) {
 	}
 
 	// Retry without a version: matched by content hash.
-	replay2, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, false}})
+	replay2, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, false}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSessionMergeIdempotency(t *testing.T) {
 
 	// A different answer set at a stale version conflicts.
 	stale := &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{false, true}, Version: &v}
-	if _, err := s.Merge(now, stale); !errors.Is(err, ErrVersionConflict) {
+	if _, err := s.Merge(context.Background(), now, stale); !errors.Is(err, ErrVersionConflict) {
 		t.Fatalf("stale-version merge error = %v, want ErrVersionConflict", err)
 	}
 }
@@ -128,16 +129,16 @@ func TestSessionBudgetEnforcement(t *testing.T) {
 	s := testSession(t, 2, 3)
 	now := time.Unix(1, 0)
 
-	sel, _, err := s.Select(now, 0)
+	sel, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, true}}); err != nil {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: sel.Tasks, Answers: []bool{true, true}}); err != nil {
 		t.Fatal(err)
 	}
 
 	// 1 of 3 budget left: the next batch is clamped to one task.
-	sel2, _, err := s.Select(now, 0)
+	sel2, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,16 +148,16 @@ func TestSessionBudgetEnforcement(t *testing.T) {
 
 	// Merging more than the remaining budget is rejected.
 	over := &AnswersRequest{Tasks: []int{0, 1}, Answers: []bool{false, false}}
-	if _, err := s.Merge(now, over); !errors.Is(err, ErrBudgetExhausted) {
+	if _, err := s.Merge(context.Background(), now, over); !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("over-budget merge error = %v, want ErrBudgetExhausted", err)
 	}
 
 	if len(sel2.Tasks) == 1 {
-		if _, err := s.Merge(now, &AnswersRequest{Tasks: sel2.Tasks, Answers: []bool{true}}); err != nil {
+		if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: sel2.Tasks, Answers: []bool{true}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	final, _, err := s.Select(now, 0)
+	final, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSessionDoneLatchOnCertainPosterior(t *testing.T) {
 	}
 	s := newSession("s2", j, core.NewGreedyPrunePre(), "Approx+Prune+Pre",
 		0.8, 2, 10, time.Unix(0, 0))
-	sel, _, err := s.Select(time.Unix(1, 0), 0)
+	sel, _, err := s.Select(context.Background(), time.Unix(1, 0), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,17 +206,17 @@ func TestSessionMergeClearsDoneLatch(t *testing.T) {
 	s.done = true // as if a previous sweep found nothing uncertain
 	s.mu.Unlock()
 
-	sel, _, err := s.Select(now, 0)
+	sel, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sel.Done || len(sel.Tasks) != 0 {
 		t.Fatalf("latched session still selecting: %+v", sel)
 	}
-	if _, err := s.Merge(now, &AnswersRequest{Tasks: []int{0}, Answers: []bool{false}}); err != nil {
+	if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: []int{0}, Answers: []bool{false}}); err != nil {
 		t.Fatal(err)
 	}
-	after, _, err := s.Select(now, 0)
+	after, _, err := s.Select(context.Background(), now, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSessionMergeValidatesEvidence(t *testing.T) {
 		"duplicate":    {Tasks: []int{1, 1}, Answers: []bool{true, true}},
 		"mismatched":   {Tasks: []int{0, 1}, Answers: []bool{true}},
 	} {
-		if _, err := s.Merge(now, req); err == nil {
+		if _, err := s.Merge(context.Background(), now, req); err == nil {
 			t.Errorf("%s: invalid merge accepted", name)
 		}
 	}
@@ -276,7 +277,7 @@ func TestSessionMatchesEngine(t *testing.T) {
 		0.8, 2, 6, time.Unix(0, 0))
 	now := time.Unix(1, 0)
 	for {
-		sel, _, err := s.Select(now, 0)
+		sel, _, err := s.Select(context.Background(), now, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestSessionMatchesEngine(t *testing.T) {
 			break
 		}
 		v := sel.Version
-		if _, err := s.Merge(now, &AnswersRequest{Tasks: sel.Tasks, Answers: answer(sel.Tasks), Version: &v}); err != nil {
+		if _, err := s.Merge(context.Background(), now, &AnswersRequest{Tasks: sel.Tasks, Answers: answer(sel.Tasks), Version: &v}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -337,6 +337,11 @@ type ErrorResponse struct {
 	// Owner accompanies code "not_owner": the base address of the node
 	// that serves the session this request addressed.
 	Owner string `json:"owner,omitempty"`
+	// RequestID is the server-assigned id of the failed request (also sent
+	// as the X-Request-Id response header). Quote it when reporting a
+	// failure: it joins the response to the server's logs and to the span
+	// in /debug/traces.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // SSE event types carried by GET /v1/sessions/{id}/events. Each event's
@@ -387,6 +392,11 @@ type SessionEvent struct {
 	Owner string `json:"owner,omitempty"`
 	// Error accompanies client-synthesized error events.
 	Error string `json:"error,omitempty"`
+	// TraceID identifies the request whose handling caused this transition
+	// (the W3C trace id), so a streamed merge can be joined to the trace —
+	// and the client retry chain — that produced it. Empty for transitions
+	// without an originating request (janitor expiry, lease loss).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SessionSummary is one row of GET /v1/sessions: enough to triage a node's

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder retains finished spans grouped by trace id: a FIFO ring of the
+// most recent traces plus a slowest-N bucket that survives ring eviction,
+// so a pathological request from an hour ago is still inspectable. All
+// bounds are fixed at construction; memory use is O(limit · spanCap).
+type Recorder struct {
+	mu      sync.Mutex
+	limit   int // max traces in the recent ring
+	spanCap int // max spans retained per trace (excess counted, not kept)
+	slowN   int // size of the slowest bucket
+	node    string
+
+	traces  map[string]*traceEntry
+	order   []string      // trace ids, oldest first
+	slowest []*traceEntry // kept sorted slowest-first, len <= slowN
+}
+
+type traceEntry struct {
+	id      string
+	spans   []SpanData
+	dropped int
+}
+
+// SpanData is the retained, JSON-ready form of a finished span. Duration
+// is nanoseconds (Go's time.Duration JSON encoding).
+type SpanData struct {
+	TraceID  string        `json:"trace_id"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Node     string        `json:"node,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// TraceData is one trace as served by /debug/traces: its spans in end
+// order, with the trace's wall-clock extent computed from them.
+type TraceData struct {
+	TraceID      string        `json:"trace_id"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	Spans        []SpanData    `json:"spans"`
+	DroppedSpans int           `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot is the full /debug/traces payload.
+type Snapshot struct {
+	Node    string      `json:"node,omitempty"`
+	Recent  []TraceData `json:"recent"`
+	Slowest []TraceData `json:"slowest"`
+}
+
+const (
+	defaultTraceLimit = 256
+	defaultSpanCap    = 512
+	defaultSlowN      = 32
+)
+
+// NewRecorder returns a Recorder with default bounds (256 recent traces,
+// 512 spans per trace, 32 slowest traces), tagged with node.
+func NewRecorder(node string) *Recorder {
+	return &Recorder{
+		limit:   defaultTraceLimit,
+		spanCap: defaultSpanCap,
+		slowN:   defaultSlowN,
+		node:    node,
+		traces:  make(map[string]*traceEntry),
+	}
+}
+
+// SetLimits overrides the retention bounds; zero values keep the current
+// setting. For tests and memory-constrained deployments.
+func (r *Recorder) SetLimits(recent, spansPerTrace, slowest int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if recent > 0 {
+		r.limit = recent
+	}
+	if spansPerTrace > 0 {
+		r.spanCap = spansPerTrace
+	}
+	if slowest >= 0 {
+		r.slowN = slowest
+	}
+}
+
+func (r *Recorder) record(sd SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	te := r.traces[sd.TraceID]
+	if te == nil {
+		if len(r.order) >= r.limit {
+			r.evictOldestLocked()
+		}
+		te = &traceEntry{id: sd.TraceID}
+		r.traces[sd.TraceID] = te
+		r.order = append(r.order, sd.TraceID)
+	}
+	if len(te.spans) >= r.spanCap {
+		te.dropped++
+		return
+	}
+	te.spans = append(te.spans, sd)
+}
+
+// evictOldestLocked drops the oldest trace from the ring, first offering
+// it to the slowest bucket.
+func (r *Recorder) evictOldestLocked() {
+	id := r.order[0]
+	r.order = r.order[1:]
+	te := r.traces[id]
+	delete(r.traces, id)
+	if te == nil || r.slowN == 0 {
+		return
+	}
+	d := te.extent()
+	if len(r.slowest) < r.slowN {
+		r.slowest = append(r.slowest, te)
+	} else if d > r.slowest[len(r.slowest)-1].extent() {
+		r.slowest[len(r.slowest)-1] = te
+	} else {
+		return
+	}
+	sort.SliceStable(r.slowest, func(i, j int) bool {
+		return r.slowest[i].extent() > r.slowest[j].extent()
+	})
+}
+
+// extent is the wall-clock spread of the trace's spans: earliest start to
+// latest end.
+func (te *traceEntry) extent() time.Duration {
+	if len(te.spans) == 0 {
+		return 0
+	}
+	var first, last time.Time
+	for i := range te.spans {
+		s := &te.spans[i]
+		end := s.Start.Add(s.Duration)
+		if first.IsZero() || s.Start.Before(first) {
+			first = s.Start
+		}
+		if end.After(last) {
+			last = end
+		}
+	}
+	return last.Sub(first)
+}
+
+func (te *traceEntry) data() TraceData {
+	td := TraceData{
+		TraceID:      te.id,
+		Duration:     te.extent(),
+		Spans:        append([]SpanData(nil), te.spans...),
+		DroppedSpans: te.dropped,
+	}
+	for i := range te.spans {
+		if td.Start.IsZero() || te.spans[i].Start.Before(td.Start) {
+			td.Start = te.spans[i].Start
+		}
+	}
+	return td
+}
+
+// Snapshot returns a copy of everything retained, newest recent trace
+// first.
+func (r *Recorder) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Node:    r.node,
+		Recent:  make([]TraceData, 0, len(r.order)),
+		Slowest: make([]TraceData, 0, len(r.slowest)),
+	}
+	for i := len(r.order) - 1; i >= 0; i-- {
+		snap.Recent = append(snap.Recent, r.traces[r.order[i]].data())
+	}
+	for _, te := range r.slowest {
+		snap.Slowest = append(snap.Slowest, te.data())
+	}
+	return snap
+}
+
+// Trace returns the retained spans for one trace id, consulting both the
+// recent ring and the slowest bucket.
+func (r *Recorder) Trace(id string) (TraceData, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if te := r.traces[id]; te != nil {
+		return te.data(), true
+	}
+	for _, te := range r.slowest {
+		if te.id == id {
+			return te.data(), true
+		}
+	}
+	return TraceData{}, false
+}
+
+// Handler serves the recorder as JSON: GET /debug/traces for the full
+// snapshot, GET /debug/traces?trace=<id> for one trace (404 if unknown).
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if id := req.URL.Query().Get("trace"); id != "" {
+			td, ok := r.Trace(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(td)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}

@@ -1,0 +1,327 @@
+// Package trace is a pure-stdlib distributed-tracing layer for the
+// crowdfusion fleet: W3C trace-context (traceparent) propagation, in-process
+// spans, and a bounded in-memory recorder exposed over /debug/traces.
+//
+// The design optimizes for two things:
+//
+//   - Zero overhead when tracing is off. Every method is nil-receiver safe:
+//     a nil *Tracer returns nil *Spans, and all *Span methods no-op on nil,
+//     so untraced paths (benchmarks, direct library use) pay only a nil
+//     check.
+//   - No dependencies. IDs are random 128/64-bit values formatted per the
+//     W3C trace-context spec; the recorder is a mutex-guarded ring.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// TraceID is a 128-bit W3C trace id. The all-zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is a 64-bit W3C span (parent) id. The all-zero value is invalid.
+type SpanID [8]byte
+
+// IsValid reports whether the trace id is non-zero.
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// IsValid reports whether the span id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// String returns the 32-char lowercase hex form, or "" for the zero id.
+func (t TraceID) String() string {
+	if !t.IsValid() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String returns the 16-char lowercase hex form, or "" for the zero id.
+func (s SpanID) String() string {
+	if !s.IsValid() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// FlagSampled is the W3C trace-flags bit indicating the caller recorded
+// this trace. We set it on everything we mint: recording is always on.
+const FlagSampled byte = 0x01
+
+// SpanContext identifies one span within one trace, as carried on the wire
+// in a traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsValid reports whether both ids are non-zero, per the W3C spec.
+func (sc SpanContext) IsValid() bool {
+	return sc.TraceID.IsValid() && sc.SpanID.IsValid()
+}
+
+// Traceparent formats the context as a W3C traceparent header value:
+// version "00", 32 hex trace id, 16 hex span id, 2 hex flags.
+// Returns "" for an invalid context.
+func (sc SpanContext) Traceparent() string {
+	if !sc.IsValid() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID.String(), sc.SpanID.String(), sc.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version except the reserved "ff" (per spec, higher versions are parsed
+// as version 00), requires lowercase hex, and rejects all-zero trace or
+// span ids.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags).
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 {
+		// Future versions may append fields; version 00 must be exactly 55.
+		if s[0] == '0' && s[1] == '0' {
+			return SpanContext{}, false
+		}
+		if s[55] != '-' {
+			return SpanContext{}, false
+		}
+	}
+	if !isHexLower(s[:2]) || s[:2] == "ff" {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !isHexLower(s[3:35]) || !isHexLower(s[36:52]) || !isHexLower(s[53:55]) {
+		return SpanContext{}, false
+	}
+	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
+	var fb [1]byte
+	hex.Decode(fb[:], []byte(s[53:55]))
+	sc.Flags = fb[0]
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Tracer mints spans and feeds a Recorder. A nil Tracer is valid and
+// produces nil spans; a Tracer with a nil Recorder mints and propagates
+// ids (so traceparent still flows downstream) without retaining spans.
+type Tracer struct {
+	rec  *Recorder
+	node string
+	now  func() time.Time
+}
+
+// New returns a Tracer tagging spans with the given node name. rec may be
+// nil to propagate ids without recording.
+func New(node string, rec *Recorder) *Tracer {
+	return &Tracer{rec: rec, node: node, now: time.Now}
+}
+
+// SetNow overrides the tracer's clock (tests).
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+// Recorder returns the recorder backing this tracer, or nil.
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	for !id.IsValid() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * (7 - i)))
+			id[8+i] = byte(b >> (8 * (7 - i)))
+		}
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for !id.IsValid() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (8 * (7 - i)))
+		}
+	}
+	return id
+}
+
+// Start opens a span named name. If ctx carries a span, the new span is
+// its child in the same trace; otherwise a new root trace is started. The
+// returned context carries the new span. On a nil Tracer it returns ctx
+// unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent SpanContext
+	if ps := SpanFromContext(ctx); ps != nil {
+		parent = ps.sc
+	}
+	return t.start(ctx, parent, name)
+}
+
+// StartRemote opens a span continuing a trace received from another
+// process (a parsed traceparent). If remote is invalid it behaves like
+// Start, beginning a new root trace.
+func (t *Tracer) StartRemote(ctx context.Context, remote SpanContext, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.start(ctx, remote, name)
+}
+
+func (t *Tracer) start(ctx context.Context, parent SpanContext, name string) (context.Context, *Span) {
+	sp := &Span{
+		tracer: t,
+		name:   name,
+		start:  t.now(),
+	}
+	if parent.IsValid() {
+		sp.sc = SpanContext{TraceID: parent.TraceID, SpanID: newSpanID(), Flags: parent.Flags | FlagSampled}
+		sp.parent = parent.SpanID
+	} else {
+		sp.sc = SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Flags: FlagSampled}
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Span is one timed operation within a trace. All methods are nil-safe.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []Attr
+	errmsg string
+	ended  bool
+}
+
+// Attr is a key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Context returns the span's wire context, or the zero SpanContext on nil.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the hex trace id, or "" on nil.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// SpanID returns the hex span id, or "" on nil.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.SpanID.String()
+}
+
+// SetAttr annotates the span. No-op on nil. Spans are owned by one
+// goroutine until End, matching how the service threads them; SetAttr is
+// not synchronized.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError marks the span failed with err's message. No-op on nil / nil err.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errmsg = err.Error()
+}
+
+// End closes the span and hands it to the tracer's recorder. Safe to call
+// more than once; only the first call records.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	if s.tracer == nil || s.tracer.rec == nil {
+		return
+	}
+	end := s.tracer.now()
+	s.tracer.rec.record(SpanData{
+		TraceID:  s.sc.TraceID.String(),
+		SpanID:   s.sc.SpanID.String(),
+		ParentID: s.parent.String(),
+		Name:     s.name,
+		Node:     s.tracer.node,
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+		Attrs:    s.attrs,
+		Error:    s.errmsg,
+	})
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp. A nil sp returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceIDFromContext returns the hex trace id of the span carried by ctx,
+// or "".
+func TraceIDFromContext(ctx context.Context) string {
+	return SpanFromContext(ctx).TraceID()
+}

@@ -52,7 +52,8 @@ trap cleanup EXIT
 # is left in $! for the caller.
 start_node() {
     "$BIN" -addr "127.0.0.1:$1" -self "127.0.0.1:$1" -peers "$PEERS" \
-        -heartbeat 200ms -store file -data-dir "$DATA" >>"$2" 2>&1 &
+        -heartbeat 200ms -store file -data-dir "$DATA" \
+        -log-format json >>"$2" 2>&1 &
 }
 
 wait_healthy() { # base
@@ -145,6 +146,22 @@ for base in $N2 $N3; do
 done
 [ "$MISROUTES" = 2 ] || fail "expected 2 misroutes, saw $MISROUTES"
 echo "cluster-smoke: not_owner redirects OK (owner $N1)"
+
+# Trace correlation across nodes: one fixed W3C traceparent, sent on a
+# misrouted request and again when following its redirect, must appear in
+# the JSON access logs of BOTH nodes it touched — the bouncing non-owner
+# (status 421) and the owner that served it (status 200). This is the
+# grep an operator runs to reconstruct a request's path across the fleet.
+TRACE_ID="deadbeefcafef00d5eed5a1ad00dfade"
+TP="00-${TRACE_ID}-00f067aa0ba902b7-01"
+req2() { curl -s -o /dev/null -H "traceparent: $TP" "$1"; }
+req2 "$N2/v1/sessions/$SID1"
+req2 "$N1/v1/sessions/$SID1"
+grep "\"trace_id\":\"$TRACE_ID\"" "$LOG2" | grep -q '"status":421' ||
+    fail "misrouted node :$P2 did not log trace $TRACE_ID with its 421"
+grep "\"trace_id\":\"$TRACE_ID\"" "$LOG1" | grep -q '"status":200' ||
+    fail "owner :$P1 did not log trace $TRACE_ID with its 200"
+echo "cluster-smoke: one trace id in both hops' JSON logs"
 
 # One refinement round on node 1's session, through the owner.
 routed POST "/v1/sessions/$SID1/select"

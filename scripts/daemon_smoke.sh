@@ -25,9 +25,9 @@ fail() {
 # address, which is the contract scripts use instead of hardcoding ports.
 # SMOKE_PORT overrides for environments that need a fixed port.
 if [ -n "${SMOKE_PORT:-}" ]; then
-    "$BIN" -addr "127.0.0.1:${SMOKE_PORT}" -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
+    "$BIN" -addr "127.0.0.1:${SMOKE_PORT}" -debug-addr 127.0.0.1:0 -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
 else
-    "$BIN" -addr "127.0.0.1:0" -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
+    "$BIN" -addr "127.0.0.1:0" -debug-addr 127.0.0.1:0 -lease 5s -lease-renew 200ms >"$LOG" 2>&1 &
 fi
 DAEMON=$!
 SSE_LOG="$(mktemp)"
@@ -45,7 +45,10 @@ ADDR=""
 while [ -z "$ADDR" ]; do
     i=$((i + 1))
     [ "$i" -lt 50 ] || fail "daemon did not log its bound address"
-    ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG" | head -n 1)
+    # The debug listener logs "debug listening on …"; skip it — the
+    # serving address is the plain "listening on …" line.
+    ADDR=$(grep -v "debug listening" "$LOG" |
+        sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' | head -n 1)
     [ -n "$ADDR" ] || sleep 0.1
 done
 BASE="http://${ADDR}"
@@ -171,6 +174,39 @@ HEALTH=$(curl -fsS "$BASE/healthz") || fail "healthz"
 echo "$HEALTH" | grep -q '"leases"' || fail "healthz lacks lease block: $HEALTH"
 echo "$HEALTH" | grep -q '"held": 1' || fail "healthz lease count: $HEALTH"
 echo "smoke: lease heartbeat OK (renewed=$RENEWED)"
+
+# Tracing surface. A request carrying a W3C traceparent must join that
+# trace: the response echoes a traceparent with the SAME trace id (new
+# span id) and names its server-side root span in X-Request-Id.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+HDRS=$(curl -fsS -D - -o /dev/null \
+    -H "traceparent: 00-${TRACE_ID}-00f067aa0ba902b7-01" \
+    "$BASE/v1/sessions/$ID") || fail "traced get"
+echo "$HDRS" | grep -qi "^traceparent: 00-${TRACE_ID}-" ||
+    fail "response did not continue the caller's trace: $HDRS"
+echo "$HDRS" | grep -qi '^x-request-id: [0-9a-f]' ||
+    fail "no X-Request-Id header: $HDRS"
+echo "smoke: traceparent round-trip OK"
+
+# A forced error must carry the request id in its JSON envelope so the
+# failure can be quoted against the access log and /debug/traces.
+ERRBODY=$(curl -sS "$BASE/v1/sessions/does-not-exist") || fail "error probe"
+echo "$ERRBODY" | grep -q '"request_id": *"[0-9a-f]' ||
+    fail "error envelope lacks request_id: $ERRBODY"
+echo "smoke: error envelope carries request_id"
+
+# Debug listener: its bound address is logged the same way the serving
+# one is; /debug/traces must know the trace we just sent, and the pprof
+# CPU endpoint must answer a short profile.
+DEBUG_ADDR=$(sed -n 's/.*debug listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG" | head -n 1)
+[ -n "$DEBUG_ADDR" ] || fail "daemon did not log its debug address"
+TRACES=$(curl -fsS "http://${DEBUG_ADDR}/debug/traces?trace=${TRACE_ID}") ||
+    fail "debug traces"
+echo "$TRACES" | grep -q "$TRACE_ID" || fail "trace $TRACE_ID not recorded: $TRACES"
+PPROF_STATUS=$(curl -s -o /dev/null -w '%{http_code}' \
+    "http://${DEBUG_ADDR}/debug/pprof/profile?seconds=1") || fail "pprof profile"
+[ "$PPROF_STATUS" = "200" ] || fail "pprof profile answered $PPROF_STATUS"
+echo "smoke: debug endpoints OK on $DEBUG_ADDR"
 
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$DAEMON"
