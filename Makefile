@@ -57,7 +57,7 @@ bench:
 # the benchmarks stop compiling or running.
 # (Two steps, not a pipeline, so a benchmark failure fails the target.)
 bench-json:
-	$(GO) test -run '^$$' -bench 'Kernel|SweepParallelism|ServiceSelect' -benchmem \
+	$(GO) test -run '^$$' -bench 'Kernel|SweepParallelism|ServiceSelect|WeightedMerge' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/core/ ./internal/service/ . > bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_selection.json
 	@rm -f bench.out

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"crowdfusion/internal/cluster"
+	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/service"
 	"crowdfusion/internal/trace"
 )
@@ -78,6 +79,27 @@ type (
 	SessionSummary = service.SessionSummary
 	// ListSessionsResponse is one page of a session listing.
 	ListSessionsResponse = service.ListSessionsResponse
+	// Judgment is one attributed crowd judgment: a task, an answer, and
+	// the worker (and optionally source platform) it came from.
+	Judgment = service.Judgment
+	// CalibrationResponse is a session's calibration report plus its
+	// per-worker accuracy estimates.
+	CalibrationResponse = service.CalibrationResponse
+	// CalibrationBinInfo is one reliability-diagram bin.
+	CalibrationBinInfo = service.CalibrationBinInfo
+	// WorkerInfo is one worker's per-session accuracy estimate.
+	WorkerInfo = service.WorkerInfo
+	// WorkersResponse is the per-node worker fleet view.
+	WorkersResponse = service.WorkersResponse
+	// WorkerFleetInfo is one worker's aggregate across sessions.
+	WorkerFleetInfo = service.WorkerFleetInfo
+)
+
+// Worker model names accepted by CreateSessionRequest.WorkerModel.
+const (
+	WorkerModelFixed      = service.WorkerModelFixed
+	WorkerModelEM         = service.WorkerModelEM
+	WorkerModelDawidSkene = service.WorkerModelDawidSkene
 )
 
 // Event types delivered by Watch, re-exported for consumers switching on
@@ -87,6 +109,7 @@ const (
 	EventSelect   = service.EventSelect
 	EventPartial  = service.EventPartial
 	EventMerge    = service.EventMerge
+	EventRefit    = service.EventRefit
 	EventDone     = service.EventDone
 	EventExpire   = service.EventExpire
 	EventDeleted  = service.EventDeleted
@@ -97,19 +120,22 @@ const (
 
 // Machine-readable failure codes surfaced in APIError.Code.
 const (
-	CodeNotFound           = service.CodeNotFound
-	CodeExpired            = service.CodeExpired
-	CodeVersionConflict    = service.CodeVersionConflict
-	CodeBudgetExhausted    = service.CodeBudgetExhausted
-	CodeTooManySessions    = service.CodeTooManySessions
-	CodeStoreFailure       = service.CodeStoreFailure
-	CodeNotOwner           = service.CodeNotOwner
-	CodeFenced             = service.CodeFenced
-	CodeMethodNotAllowed   = service.CodeMethodNotAllowed
-	CodeNoPendingBatch     = service.CodeNoPendingBatch
-	CodeNotInBatch         = service.CodeNotInBatch
-	CodeAnswerConflict     = service.CodeAnswerConflict
-	CodeTooManySubscribers = service.CodeTooManySubscribers
+	CodeNotFound            = service.CodeNotFound
+	CodeExpired             = service.CodeExpired
+	CodeVersionConflict     = service.CodeVersionConflict
+	CodeBudgetExhausted     = service.CodeBudgetExhausted
+	CodeTooManySessions     = service.CodeTooManySessions
+	CodeStoreFailure        = service.CodeStoreFailure
+	CodeNotOwner            = service.CodeNotOwner
+	CodeFenced              = service.CodeFenced
+	CodeMethodNotAllowed    = service.CodeMethodNotAllowed
+	CodeNoPendingBatch      = service.CodeNoPendingBatch
+	CodeNotInBatch          = service.CodeNotInBatch
+	CodeAnswerConflict      = service.CodeAnswerConflict
+	CodeTooManySubscribers  = service.CodeTooManySubscribers
+	CodeUnknownWorkerModel  = service.CodeUnknownWorkerModel
+	CodeDuplicateTask       = service.CodeDuplicateTask
+	CodeAttributionConflict = service.CodeAttributionConflict
 )
 
 // AnswerProvider supplies crowd answers for a batch of tasks — the same
@@ -125,6 +151,17 @@ type AnswerProvider interface {
 // cancelled instead of blocking the loop past its deadline.
 type ContextAnswerProvider interface {
 	AnswersContext(ctx context.Context, tasks []int) ([]bool, error)
+}
+
+// JudgmentProvider is the attributed upgrade of AnswerProvider: instead of
+// bare booleans it returns one Judgment per task naming the worker who
+// produced it. Refine detects it (taking precedence over the other
+// provider shapes) and submits through the judgments form, so sessions
+// running an em or dawid-skene worker model learn per-worker accuracy from
+// the loop's own traffic. platform.Platform's Attributed view implements
+// it by drawing each round's workers from its crowd pool.
+type JudgmentProvider interface {
+	JudgmentsContext(ctx context.Context, tasks []int) ([]Judgment, error)
 }
 
 // APIError is a non-2xx response from the service.
@@ -610,13 +647,96 @@ func (c *Client) SubmitAnswers(ctx context.Context, id string, tasks []int, answ
 // for bit, and the response reports Merged true. Resubmitting an
 // already-journaled judgment replays idempotently, so the routing layer's
 // failover is as safe here as for full batches.
-func (c *Client) SubmitAnswer(ctx context.Context, id string, task int, answer bool, version int) (*AnswersResponse, error) {
+//
+// An optional trailing worker ID attributes the judgment: the service
+// records it as an observation for the session's worker-accuracy model
+// (and enforces that retries keep the same attribution). Omitted, the
+// legacy unattributed form is sent unchanged.
+func (c *Client) SubmitAnswer(ctx context.Context, id string, task int, answer bool, version int, worker ...string) (*AnswersResponse, error) {
+	req := AnswersRequest{Version: &version, Partial: true}
+	if len(worker) > 0 && worker[0] != "" {
+		req.Judgments = []Judgment{{Task: task, Answer: answer, Worker: worker[0]}}
+	} else {
+		req.Tasks, req.Answers = []int{task}, []bool{answer}
+	}
 	var resp AnswersResponse
-	req := AnswersRequest{Tasks: []int{task}, Answers: []bool{answer}, Version: &version, Partial: true}
 	if err := c.routed(ctx, id, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// SubmitJudgments merges a batch of attributed judgments — the canonical
+// form of SubmitAnswers. version should be the Version from the
+// SelectResponse the batch answers; partial journals the judgments against
+// the pending batch instead of requiring full coverage. Retries are
+// idempotent like SubmitAnswers, with one extra guarantee: a retry that
+// re-attributes a committed judgment to a different worker is refused with
+// code attribution_conflict rather than silently replayed.
+func (c *Client) SubmitJudgments(ctx context.Context, id string, judgments []Judgment, version int, partial bool) (*AnswersResponse, error) {
+	var resp AnswersResponse
+	req := AnswersRequest{Judgments: judgments, Version: &version, Partial: partial}
+	if err := c.routed(ctx, id, http.MethodPost, "/v1/sessions/"+id+"/answers", &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Calibration fetches the session's calibration report: reliability bins
+// for the posterior's marginals plus per-worker accuracy, bias, support,
+// and Wilson bounds. bins <= 0 uses the server default (10).
+func (c *Client) Calibration(ctx context.Context, id string, bins int) (*CalibrationResponse, error) {
+	path := "/v1/sessions/" + id + "/calibration"
+	if bins > 0 {
+		path += "?bins=" + strconv.Itoa(bins)
+	}
+	var resp CalibrationResponse
+	if err := c.routed(ctx, id, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Workers returns the worker fleet view. Each node reports the workers its
+// resident sessions have observed; against a fleet every peer is asked and
+// the rows merged (support-weighted accuracy, pooled counts), so a down
+// node makes the call fail rather than silently shrink the roster.
+func (c *Client) Workers(ctx context.Context) (*WorkersResponse, error) {
+	type agg struct {
+		sessions, support, correct int
+		weighted                   float64
+	}
+	aggs := make(map[string]*agg)
+	sessions := 0
+	for _, p := range c.peers {
+		var page WorkersResponse
+		if err := c.route(ctx, []string{p}, http.MethodGet, "/v1/workers", nil, &page); err != nil {
+			return nil, err
+		}
+		sessions += page.Sessions
+		for _, wi := range page.Workers {
+			a := aggs[wi.Worker]
+			if a == nil {
+				a = &agg{}
+				aggs[wi.Worker] = a
+			}
+			a.sessions += wi.Sessions
+			a.support += wi.Support
+			a.correct += wi.Correct
+			a.weighted += float64(wi.Support) * wi.Accuracy
+		}
+	}
+	resp := &WorkersResponse{Workers: make([]WorkerFleetInfo, 0, len(aggs)), Sessions: sessions}
+	for w, a := range aggs {
+		fi := WorkerFleetInfo{Worker: w, Sessions: a.sessions, Support: a.support, Correct: a.correct}
+		if a.support > 0 {
+			fi.Accuracy = a.weighted / float64(a.support)
+		}
+		fi.WilsonLo, fi.WilsonHi = crowd.WilsonInterval(a.correct, a.support)
+		resp.Workers = append(resp.Workers, fi)
+	}
+	sort.Slice(resp.Workers, func(i, j int) bool { return resp.Workers[i].Worker < resp.Workers[j].Worker })
+	return resp, nil
 }
 
 // ListSessions returns one page of the deployment's sessions in ID order,
@@ -691,6 +811,17 @@ func (c *Client) Refine(ctx context.Context, id string, crowd AnswerProvider) (i
 		}
 		if sel.Done || len(sel.Tasks) == 0 {
 			break
+		}
+		if jp, ok := crowd.(JudgmentProvider); ok {
+			judgments, err := jp.JudgmentsContext(ctx, sel.Tasks)
+			if err != nil {
+				return nil, fmt.Errorf("client: judgment provider: %w", err)
+			}
+			if _, err := c.SubmitJudgments(ctx, id, judgments, sel.Version, false); err != nil {
+				return nil, err
+			}
+			rounds++
+			continue
 		}
 		var answers []bool
 		if cp, ok := crowd.(ContextAnswerProvider); ok {

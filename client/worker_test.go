@@ -1,0 +1,227 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"crowdfusion/client"
+	"crowdfusion/internal/crowd"
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/platform"
+)
+
+// emCreateReq builds an em-model session over n facts with room for many
+// attributed rounds.
+func emCreateReq(n int) client.CreateSessionRequest {
+	marg := make([]float64, n)
+	for i := range marg {
+		marg[i] = 0.5
+	}
+	return client.CreateSessionRequest{
+		Marginals:   marg,
+		Pc:          0.8,
+		K:           2,
+		Budget:      1 << 20,
+		Seed:        5,
+		WorkerModel: client.WorkerModelEM,
+	}
+}
+
+// TestSubmitJudgmentsCalibrationWorkers drives attributed rounds through
+// the client and reads them back through the two new surfaces: the
+// per-session calibration report and the per-node worker fleet view.
+func TestSubmitJudgmentsCalibrationWorkers(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, emCreateReq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WorkerModel != client.WorkerModelEM {
+		t.Fatalf("created session reports model %q", info.WorkerModel)
+	}
+
+	// Two consistent workers answer a fixed pattern; w-bad answers the
+	// same tasks with every judgment flipped, so the 2-vs-1 consensus
+	// pins the truth and exposes the contrarian.
+	rounds := []string{"w-good", "w-good2", "w-bad", "w-good"}
+	for r, worker := range rounds {
+		js := make([]client.Judgment, 4)
+		for f := 0; f < 4; f++ {
+			ans := f%2 == 0
+			if worker == "w-bad" {
+				ans = !ans
+			}
+			js[f] = client.Judgment{Task: f, Answer: ans, Worker: worker, Source: "test"}
+		}
+		resp, err := c.SubmitJudgments(ctx, info.ID, js, r, false)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if !resp.Merged || resp.Version != r+1 {
+			t.Fatalf("round %d: %+v", r, resp)
+		}
+	}
+
+	cal, err := c.Calibration(ctx, info.ID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.WorkerModel != client.WorkerModelEM || cal.Refits == 0 || cal.Observations != 16 {
+		t.Fatalf("calibration = %+v", cal)
+	}
+	if len(cal.Workers) != 3 {
+		t.Fatalf("calibration workers = %+v", cal.Workers)
+	}
+	// Sorted by worker ID, with support counting each one's judgments.
+	for i, want := range []struct {
+		worker  string
+		support int
+	}{{"w-bad", 4}, {"w-good", 8}, {"w-good2", 4}} {
+		w := cal.Workers[i]
+		if w.Worker != want.worker || w.Support != want.support {
+			t.Fatalf("worker row %d = %+v, want %+v", i, w, want)
+		}
+		if w.WilsonLo < 0 || w.WilsonHi > 1 || w.WilsonLo > w.WilsonHi {
+			t.Fatalf("worker %s Wilson bounds [%v, %v]", w.Worker, w.WilsonLo, w.WilsonHi)
+		}
+	}
+	// The contrarian is estimated below the consistent workers.
+	if cal.Workers[0].Accuracy >= cal.Workers[1].Accuracy {
+		t.Fatalf("contrarian %.3f not below consistent %.3f",
+			cal.Workers[0].Accuracy, cal.Workers[1].Accuracy)
+	}
+	if len(cal.Bins) == 0 || cal.Total == 0 {
+		t.Fatalf("calibration bins missing: %+v", cal)
+	}
+
+	fleet, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Workers) != 3 || fleet.Sessions == 0 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	if fleet.Workers[0].Worker != "w-bad" || fleet.Workers[0].Support != 4 {
+		t.Fatalf("fleet rows = %+v", fleet.Workers)
+	}
+}
+
+// TestSubmitAnswerAttributedPartial exercises worker attribution on the
+// incremental path: each judgment journals with its worker, a retry that
+// keeps the attribution replays idempotently, and one that re-attributes
+// is refused with the typed code.
+func TestSubmitAnswerAttributedPartial(t *testing.T) {
+	c := newTestService(t)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, emCreateReq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.Select(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Tasks) < 2 {
+		t.Fatalf("selected %v", sel.Tasks)
+	}
+	first := sel.Tasks[0]
+	resp, err := c.SubmitAnswer(ctx, info.ID, first, true, sel.Version, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial || resp.Merged {
+		t.Fatalf("first judgment: %+v", resp)
+	}
+	// Idempotent retry with the same attribution.
+	resp, err = c.SubmitAnswer(ctx, info.ID, first, true, sel.Version, "w1")
+	if err != nil || resp.Merged {
+		t.Fatalf("retry: %+v, %v", resp, err)
+	}
+	// Re-attributed retry: typed refusal.
+	_, err = c.SubmitAnswer(ctx, info.ID, first, true, sel.Version, "w2")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeAttributionConflict {
+		t.Fatalf("re-attributed retry: %v", err)
+	}
+	// The remaining judgments complete the batch and commit the round.
+	for i, task := range sel.Tasks[1:] {
+		resp, err = c.SubmitAnswer(ctx, info.ID, task, false, sel.Version, "w2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := i == len(sel.Tasks)-2; resp.Merged != last {
+			t.Fatalf("judgment %d: %+v", i, resp)
+		}
+	}
+	if resp.Version != sel.Version+1 {
+		t.Fatalf("commit did not advance version: %+v", resp)
+	}
+
+	cal, err := c.Calibration(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Workers) != 2 || cal.Observations != len(sel.Tasks) {
+		t.Fatalf("calibration after partial round = %+v", cal)
+	}
+}
+
+// TestRefineAttributedHeterogeneous is the e2e satellite: a Refine loop
+// fed by the simulated platform's attributed view exercises heterogeneous
+// per-worker accuracy end to end — judgments drawn from a crowd.Pool,
+// submitted through the judgments form, estimated by the session's em
+// model, and visible in the calibration report.
+func TestRefineAttributedHeterogeneous(t *testing.T) {
+	truth := dist.World(0b10110)
+	pool, err := crowd.NewPool([]crowd.Worker{
+		{ID: "sharp-1", Accuracy: 0.92},
+		{ID: "sharp-2", Accuracy: 0.9},
+		{ID: "sloppy", Accuracy: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.New(platform.Config{Truth: truth, Pool: pool, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestService(t)
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, client.CreateSessionRequest{
+		Marginals:   []float64{0.5, 0.63, 0.58, 0.49, 0.71},
+		Pc:          0.8,
+		K:           2,
+		Budget:      12,
+		WorkerModel: client.WorkerModelEM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Refine(ctx, info.ID, p.Attributed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Spent == 0 {
+		t.Fatalf("loop spent nothing: %+v", final)
+	}
+	cal, err := c.Calibration(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Observations != final.Spent || len(cal.Workers) == 0 {
+		t.Fatalf("calibration = %+v after spending %d", cal, final.Spent)
+	}
+	// Every judgment the platform logged is attributed to a pool worker.
+	seen := make(map[string]bool)
+	for _, a := range p.Log() {
+		seen[a.Worker] = true
+	}
+	for _, w := range cal.Workers {
+		if !seen[w.Worker] {
+			t.Fatalf("calibration names %q, not in the platform log", w.Worker)
+		}
+	}
+}

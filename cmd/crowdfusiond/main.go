@@ -92,6 +92,7 @@ func main() {
 		leaseRenew  = flag.Duration("lease-renew", 0, "lease heartbeat interval (0 = lease/3)")
 		clockSkew   = flag.Duration("clock-skew", 0, "shift this node's clock by the given offset (chaos testing; affects lease expiry arithmetic)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		anonWorker  = flag.String("anon-worker", "", "worker ID credited for unattributed legacy submissions (default \"anon\")")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -224,6 +225,7 @@ func main() {
 		Tracer:         tracer,
 		LeaseTTL:       *leaseTTL,
 		LeaseRenew:     *leaseRenew,
+		AnonWorker:     *anonWorker,
 	}
 	if *ttl == 0 {
 		cfg.TTL = -1 // Config treats 0 as "default"; negative disables.

@@ -150,3 +150,21 @@ func MergeAnswers(j *dist.Joint, tasks []int, answers []bool, pc float64) (*dist
 	}
 	return j.Condition(tasks, answers, pc)
 }
+
+// MergeAnswersWeighted is the per-judgment form of MergeAnswers: each
+// answer carries its own channel parameters — sens[i] = P(answer true |
+// fact true), spec[i] = P(answer false | fact false) — typically a
+// worker's current accuracy estimate (symmetric EM) or confusion row
+// (Dawid–Skene). Uniform weights sens[i] == spec[i] == pc reproduce
+// MergeAnswers(…, pc) bit-for-bit (dist.ConditionWeighted delegates to
+// the scalar path in that case).
+//
+// The task-set validation reuses checkTasks with a neutral pc = 1: the
+// per-judgment accuracies are validated by dist (each a probability, not
+// bounded below by 0.5 — an adversarial worker's estimate may be).
+func MergeAnswersWeighted(j *dist.Joint, tasks []int, answers []bool, sens, spec []float64) (*dist.Joint, error) {
+	if err := checkTasks(j, tasks, 1); err != nil {
+		return nil, err
+	}
+	return j.ConditionWeighted(tasks, answers, sens, spec)
+}

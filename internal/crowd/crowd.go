@@ -311,7 +311,7 @@ func lnChoose(n, k int) float64 {
 // [0.5, 1]. The paper recommends exactly this pre-test against ground truth
 // before choosing Pc (Section V-C3).
 func EstimatePc(gold, answers []bool) (float64, error) {
-	if len(gold) == 0 {
+	if len(gold) == 0 && len(answers) == 0 {
 		return 0, ErrNoGold
 	}
 	if len(gold) != len(answers) {
@@ -336,9 +336,19 @@ func EstimatePc(gold, answers []bool) (float64, error) {
 // WilsonInterval returns the Wilson score interval for the true accuracy
 // given correct successes out of total trials at ~95% confidence. It is the
 // interval a deployment would report next to the point estimate.
+//
+// Zero support (total <= 0) is total ignorance: the interval is [0, 1],
+// never NaN. Inconsistent counts are clamped into 0 <= correct <= total
+// rather than poisoning the square root below with a negative operand.
 func WilsonInterval(correct, total int) (lo, hi float64) {
-	if total == 0 {
+	if total <= 0 {
 		return 0, 1
+	}
+	if correct < 0 {
+		correct = 0
+	}
+	if correct > total {
+		correct = total
 	}
 	const z = 1.96
 	n := float64(total)

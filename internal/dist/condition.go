@@ -133,6 +133,103 @@ func Condition(j *Joint, tasks []int, answers []bool, pc float64) (*Joint, error
 	return j.Condition(tasks, answers, pc)
 }
 
+// checkEvidenceWeighted validates a per-judgment evidence set: one
+// sensitivity (P(answer true | fact true)) and one specificity
+// (P(answer false | fact false)) per judgment, each a probability.
+func (j *Joint) checkEvidenceWeighted(tasks []int, answers []bool, sens, spec []float64) error {
+	if err := j.checkFacts(tasks); err != nil {
+		return err
+	}
+	if len(answers) != len(tasks) {
+		return fmt.Errorf("dist: %d tasks but %d answers", len(tasks), len(answers))
+	}
+	if len(sens) != len(tasks) || len(spec) != len(tasks) {
+		return fmt.Errorf("dist: %d tasks but %d/%d per-judgment accuracies",
+			len(tasks), len(sens), len(spec))
+	}
+	for i := range sens {
+		if math.IsNaN(sens[i]) || sens[i] < 0 || sens[i] > 1 {
+			return fmt.Errorf("dist: judgment %d sensitivity %v outside [0, 1]", i, sens[i])
+		}
+		if math.IsNaN(spec[i]) || spec[i] < 0 || spec[i] > 1 {
+			return fmt.Errorf("dist: judgment %d specificity %v outside [0, 1]", i, spec[i])
+		}
+	}
+	return nil
+}
+
+// uniformAccuracy reports whether every judgment shares one symmetric
+// accuracy (sens[i] == spec[i] == c for all i) and returns it.
+func uniformAccuracy(sens, spec []float64) (float64, bool) {
+	c := sens[0]
+	for i := range sens {
+		if sens[i] != c || spec[i] != c {
+			return 0, false
+		}
+	}
+	return c, true
+}
+
+// ConditionWeighted is the per-judgment generalization of Condition: each
+// answer i carries its own channel — sens[i] = P(answer true | fact true)
+// and spec[i] = P(answer false | fact false) — so judgments from workers
+// of different estimated accuracy (or a Dawid–Skene confusion row) weigh
+// differently in the same Bayesian update. The world likelihood is the
+// product of the per-judgment likelihoods, replacing Equation 2's single
+// pc^#Same (1-pc)^#Diff term.
+//
+// When every judgment shares one symmetric accuracy c (sens[i] == spec[i]
+// == c), the update IS Definition 2's channel and the call delegates to
+// Condition(tasks, answers, c), making the uniform case bit-identical to
+// the fixed-pc path — the differential oracle the weighted merge is
+// verified against.
+func (j *Joint) ConditionWeighted(tasks []int, answers []bool, sens, spec []float64) (*Joint, error) {
+	if err := j.checkEvidenceWeighted(tasks, answers, sens, spec); err != nil {
+		return nil, err
+	}
+	k := len(tasks)
+	if k == 0 {
+		return j.Clone(), nil
+	}
+	if c, uniform := uniformAccuracy(sens, spec); uniform {
+		return j.Condition(tasks, answers, c)
+	}
+	ans := answerPattern(answers)
+	ws := make([]World, len(j.worlds))
+	ps := make([]float64, len(j.worlds))
+	for i, w := range j.worlds {
+		pat := w.Pattern(tasks)
+		like := 1.0
+		for b := 0; b < k; b++ {
+			bit := uint64(1) << uint(b)
+			truth := pat&bit != 0
+			agree := (ans&bit != 0) == truth
+			switch {
+			case truth && agree:
+				like *= sens[b]
+			case truth:
+				like *= 1 - sens[b]
+			case agree:
+				like *= spec[b]
+			default:
+				like *= 1 - spec[b]
+			}
+		}
+		ws[i] = w
+		ps[i] = j.probs[i] * like
+	}
+	post, err := finish(j.n, ws, ps)
+	if err != nil {
+		return nil, ErrImpossibleAnswers
+	}
+	return post, nil
+}
+
+// ConditionWeighted is the package-level form of Joint.ConditionWeighted.
+func ConditionWeighted(j *Joint, tasks []int, answers []bool, sens, spec []float64) (*Joint, error) {
+	return j.ConditionWeighted(tasks, answers, sens, spec)
+}
+
 // AnswerSetProb is the package-level form of Joint.AnswerSetProb.
 func AnswerSetProb(j *Joint, tasks []int, answers []bool, pc float64) (float64, error) {
 	return j.AnswerSetProb(tasks, answers, pc)

@@ -12,6 +12,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -21,7 +22,12 @@ import (
 
 	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/dist"
+	"crowdfusion/internal/service"
 )
+
+// Source is the source string stamped on judgments emitted by the
+// simulated platform.
+const Source = "sim"
 
 // Config describes the simulated platform.
 type Config struct {
@@ -115,6 +121,108 @@ func (p *Platform) Answers(tasks []int) []bool {
 	}
 	p.mu.Unlock()
 	return out
+}
+
+// Attributed returns a view of the platform that answers with attributed
+// per-worker judgments instead of majority-aggregated booleans. The view
+// implements the client's JudgmentProvider, so handing it to a Refine loop
+// submits per-worker answers and lets sessions running an em or
+// dawid-skene worker model learn each worker's accuracy from the loop's
+// own traffic. It is a distinct type — not a method on Platform — so that
+// existing majority-vote callers keep their AnswerProvider semantics;
+// attribution is an explicit opt-in.
+func (p *Platform) Attributed() *Attributed { return &Attributed{p: p} }
+
+// Attributed is the judgment-emitting view of a Platform; see
+// Platform.Attributed.
+type Attributed struct{ p *Platform }
+
+// Answers satisfies the plain AnswerProvider contract (which the client's
+// Refine requires statically) with the same single-worker draws the
+// judgments carry, minus the attribution. Consumers that detect
+// JudgmentsContext never call it.
+func (a *Attributed) Answers(tasks []int) []bool {
+	js, err := a.JudgmentsContext(context.Background(), tasks)
+	if err != nil { // unreachable: the background context never cancels
+		panic(err)
+	}
+	out := make([]bool, len(js))
+	for i, j := range js {
+		out[i] = j.Answer
+	}
+	return out
+}
+
+// JudgmentsContext posts one round of tasks, each answered by a single
+// worker drawn deterministically from the pool, and returns the attributed
+// judgments.
+//
+// Unlike Answers, Redundancy does not apply here: the judgments form
+// rejects duplicate tasks within one submission, and aggregating
+// heterogeneous workers is the session's job (the weighted merge) rather
+// than the platform's (majority vote). Every judgment is also recorded in
+// the answer log, so Stats covers both modes.
+func (a *Attributed) JudgmentsContext(ctx context.Context, tasks []int) ([]service.Judgment, error) {
+	p := a.p
+	p.mu.Lock()
+	baseSeq := p.seq
+	p.seq += len(tasks)
+	p.posted += len(tasks)
+	p.mu.Unlock()
+
+	out := make([]service.Judgment, len(tasks))
+	sem := make(chan struct{}, p.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, fact := range tasks {
+		wg.Add(1)
+		go func(slot, fact, seq int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			if p.cfg.Latency > 0 {
+				select {
+				case <-time.After(p.cfg.Latency):
+				case <-ctx.Done():
+					return
+				}
+			}
+			out[slot] = p.judgeOne(fact, seq)
+		}(i, fact, baseSeq+i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	for _, j := range out {
+		p.log = append(p.log, crowd.Answer{Fact: j.Task, Value: j.Answer, Worker: j.Worker})
+	}
+	p.mu.Unlock()
+	return out, nil
+}
+
+// judgeOne simulates one attributed task: a single worker, chosen by the
+// task's own RNG, answers with their configured accuracy. Like answerOne,
+// the result depends only on the seed and the sequence number.
+func (p *Platform) judgeOne(fact, seq int) service.Judgment {
+	rng := rand.New(rand.NewSource(mix(p.cfg.Seed, int64(seq))))
+	truth := p.cfg.Truth.Has(fact)
+
+	w := p.cfg.Pool.Workers()[rng.Intn(p.cfg.Pool.Size())]
+	acc := w.Accuracy
+	if override, ok := p.cfg.PerTaskAccuracy[fact]; ok {
+		acc = override
+	}
+	v := truth
+	if rng.Float64() >= acc {
+		v = !truth
+	}
+	return service.Judgment{Task: fact, Answer: v, Worker: w.ID, Source: Source}
 }
 
 // answerOne simulates one task: Redundancy distinct workers answer, the

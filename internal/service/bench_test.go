@@ -112,3 +112,28 @@ func BenchmarkServiceSelectHTTP(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWeightedMerge measures the weighted conditioning path — the
+// per-judgment channel build plus the heterogeneous-likelihood kernel —
+// against the same 4096-world posterior the selection benchmarks use.
+// Three distinct worker channels defeat the uniform-case delegation, so
+// this is the genuinely weighted arithmetic an em/dawid-skene session pays
+// on every post-refit merge.
+func BenchmarkWeightedMerge(b *testing.B) {
+	s := newSession("bench", benchJoint(b), core.NewGreedyPrunePre(),
+		"Approx+Prune+Pre", 0.8, 3, 1<<30, time.Unix(0, 0))
+	s.workerModel = WorkerModelEM
+	s.refits = 1
+	s.workerSens = map[string]float64{"w1": 0.91, "w2": 0.78, "w3": 0.64}
+	s.workerSpec = map[string]float64{"w1": 0.89, "w2": 0.81, "w3": 0.58}
+	tasks := []int{0, 2, 4, 6, 8, 10}
+	answers := []bool{true, false, true, true, false, true}
+	workers := []string{"w1", "w2", "w3", "w1", "w2", "w3"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.conditionLocked(tasks, answers, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

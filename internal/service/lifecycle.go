@@ -435,11 +435,12 @@ func (m *Manager) loadFromStore(ctx context.Context, id string) (s *Session, rel
 		m.releaseLease(id)
 	}
 
-	s, err = restoreSession(rec, m.cfg.now())
+	s, err = restoreSession(rec, m.cfg.AnonWorker, m.cfg.now())
 	if err != nil {
 		release()
 		return nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	m.sessionHooks(s)
 	s.leaseEpoch = epoch
 	s.tracer = m.tracer
 	s.persist = func(op store.Op) error { return m.store.Append(id, op) }

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
+	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/eval"
 	"crowdfusion/internal/store"
@@ -130,6 +132,10 @@ type ManagerConfig struct {
 	// lease transitions, relinquishment, and adoption replay. Nil disables
 	// span recording (ids still flow through contexts untouched).
 	Tracer *trace.Tracer
+	// AnonWorker is the worker identity unattributed (legacy parallel-array)
+	// judgments are recorded under on sessions whose worker model tracks
+	// observations. Empty defaults to DefaultAnonWorker.
+	AnonWorker string
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -196,6 +202,21 @@ type Manager struct {
 	recovered     func()
 	relinquished  func(n int)
 	fencedBounced func()
+	// refitObserved reports one worker-accuracy refit and its latency;
+	// weightedMerged reports one posterior conditioning that used
+	// per-worker accuracy estimates instead of the scalar pc.
+	refitObserved  func(d time.Duration)
+	weightedMerged func()
+}
+
+// sessionHooks wires the manager's metric hooks and identity config into a
+// session instance — the same wiring for created and reloaded sessions.
+func (m *Manager) sessionHooks(s *Session) {
+	if m.cfg.AnonWorker != "" {
+		s.anonWorker = m.cfg.AnonWorker
+	}
+	s.onRefit = m.refitObserved
+	s.onWeightedMerge = m.weightedMerged
 }
 
 // NewManager builds a manager over cfg.Store and starts its TTL janitor
@@ -409,6 +430,10 @@ func (m *Manager) Create(ctx context.Context, req *CreateSessionRequest) (*Sessi
 
 	s := newSession(id, prior, selector, selName, req.Pc, req.K, req.Budget, m.cfg.now())
 	s.seed = seed
+	if req.WorkerModel != "" {
+		s.workerModel = req.WorkerModel
+	}
+	m.sessionHooks(s)
 	// The prior is stored exactly as the client sent it — raw weights, not
 	// the normalized posterior — so recovery rebuilds it through the same
 	// constructor with the same inputs and gets the same bits.
@@ -616,6 +641,86 @@ func (m *Manager) Len() int {
 	m.countMu.Lock()
 	defer m.countMu.Unlock()
 	return m.count
+}
+
+// Workers aggregates per-worker accuracy across every RESIDENT session on
+// this node — the fleet view behind GET /v1/workers. Unloaded sessions are
+// deliberately not replayed for it: the endpoint is an operator dashboard,
+// and forcing a full-store replay per scrape would turn a read into a
+// recovery storm. Accuracy is the support-weighted mean of each session's
+// smoothed estimate; the Wilson interval pools agreement counts across
+// sessions.
+func (m *Manager) Workers() *WorkersResponse {
+	type agg struct {
+		sessions, support, correct int
+		weighted                   float64 // sum of support·accuracy
+	}
+	aggs := make(map[string]*agg)
+	sessions := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		resident := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			resident = append(resident, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range resident {
+			infos := s.WorkerStats()
+			if len(infos) == 0 {
+				continue
+			}
+			sessions++
+			for _, wi := range infos {
+				a := aggs[wi.Worker]
+				if a == nil {
+					a = &agg{}
+					aggs[wi.Worker] = a
+				}
+				a.sessions++
+				a.support += wi.Support
+				a.correct += wi.Correct
+				a.weighted += float64(wi.Support) * wi.Accuracy
+			}
+		}
+	}
+	resp := &WorkersResponse{Workers: make([]WorkerFleetInfo, 0, len(aggs)), Sessions: sessions}
+	for w, a := range aggs {
+		fi := WorkerFleetInfo{
+			Worker:   w,
+			Sessions: a.sessions,
+			Support:  a.support,
+			Correct:  a.correct,
+		}
+		if a.support > 0 {
+			fi.Accuracy = a.weighted / float64(a.support)
+		}
+		fi.WilsonLo, fi.WilsonHi = crowd.WilsonInterval(a.correct, a.support)
+		resp.Workers = append(resp.Workers, fi)
+	}
+	sort.Slice(resp.Workers, func(i, j int) bool { return resp.Workers[i].Worker < resp.Workers[j].Worker })
+	return resp
+}
+
+// WorkersTracked returns the number of distinct workers observed across
+// resident sessions — the workers_tracked gauge.
+func (m *Manager) WorkersTracked() int {
+	seen := make(map[string]struct{})
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		resident := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			resident = append(resident, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range resident {
+			for _, wi := range s.WorkerStats() {
+				seen[wi.Worker] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
 }
 
 // leaseSelf is the owner identity recorded in lease records.

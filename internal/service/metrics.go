@@ -165,6 +165,16 @@ type Metrics struct {
 	PartialAnswers      atomic.Int64 // partial judgment sets journaled (not yet committed)
 	RequestsRejected    atomic.Int64 // backpressure 503s
 
+	// Worker-model traffic. WorkerRefits counts worker-accuracy
+	// re-estimations (one per commit on an em/dawid-skene session with
+	// observations); WeightedMerges counts posterior conditionings that
+	// used per-worker accuracy estimates instead of the scalar pc
+	// (partial submissions recompute the provisional posterior, so a
+	// batch answered one judgment at a time contributes one count per
+	// recomputation, not one per batch).
+	WorkerRefits   atomic.Int64
+	WeightedMerges atomic.Int64
+
 	// Event streaming. SubscribersLive is a gauge (subscribes minus
 	// detaches); EventsDropped counts events a slow subscriber missed at
 	// its drop point, SubscribersDropped the drop-and-mark detachments.
@@ -193,11 +203,16 @@ type Metrics struct {
 	MergeDuration       histogram
 	StoreAppendDuration histogram
 	LeaseRenewDuration  histogram
+	// RefitDuration is one worker-accuracy re-estimation (EM or
+	// Dawid–Skene over the session's full observation log), observed
+	// inside the merge critical section — its tail is merge latency.
+	RefitDuration histogram
 }
 
-// WritePrometheus renders the snapshot. sessionsLive and leasesHeld are
-// passed in because the gauges belong to the Manager, not the counter set.
-func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) error {
+// WritePrometheus renders the snapshot. sessionsLive, leasesHeld, and
+// workersTracked are passed in because the gauges belong to the Manager,
+// not the counter set.
+func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld, workersTracked int) error {
 	counter := func(name, help string, v int64) string {
 		return fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -225,6 +240,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) err
 		counter("crowdfusion_merges_applied_total", "Answer sets merged into posteriors.", m.MergesApplied.Load()) +
 		counter("crowdfusion_merge_replays_total", "Idempotent replays of already-applied answer sets.", m.MergeReplays.Load()) +
 		counter("crowdfusion_partial_answers_total", "Partial judgment sets journaled against pending batches.", m.PartialAnswers.Load()) +
+		gauge("crowdfusion_workers_tracked", "Distinct workers observed across resident sessions.", float64(workersTracked)) +
+		counter("crowdfusion_worker_refits_total", "Worker-accuracy re-estimations (EM/Dawid-Skene refits).", m.WorkerRefits.Load()) +
+		counter("crowdfusion_weighted_merges_total", "Posterior conditionings using per-worker accuracy estimates.", m.WeightedMerges.Load()) +
 		counter("crowdfusion_requests_rejected_total", "Requests rejected by backpressure.", m.RequestsRejected.Load()) +
 		gauge("crowdfusion_subscribers_live", "Event-stream subscribers currently attached.", float64(m.SubscribersLive.Load())) +
 		counter("crowdfusion_streams_served_total", "Event streams accepted.", m.StreamsServed.Load()) +
@@ -242,6 +260,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld int) err
 		{"crowdfusion_merge_duration_seconds", "Answer-merge handling time (fixed buckets, fleet-aggregatable).", &m.MergeDuration},
 		{"crowdfusion_store_append_duration_seconds", "Op-log append time including fsync on durable stores.", &m.StoreAppendDuration},
 		{"crowdfusion_lease_renew_duration_seconds", "Lease heartbeat renewal time against the store.", &m.LeaseRenewDuration},
+		{"crowdfusion_refit_duration_seconds", "Worker-accuracy refit time (EM/Dawid-Skene over the observation log).", &m.RefitDuration},
 	} {
 		if err := h.h.write(w, h.name, h.help); err != nil {
 			return err

@@ -148,7 +148,7 @@ func TestMetricsExpositionRoundtrip(t *testing.T) {
 	_ = sel
 
 	var buf bytes.Buffer
-	if err := m.WritePrometheus(&buf, svc.Manager().Len(), svc.Manager().LeasesHeld()); err != nil {
+	if err := m.WritePrometheus(&buf, svc.Manager().Len(), svc.Manager().LeasesHeld(), svc.Manager().WorkersTracked()); err != nil {
 		t.Fatal(err)
 	}
 	families := parsePrometheus(t, buf.String())
@@ -288,7 +288,7 @@ func TestMetricsScrapeRaceClean(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		var buf bytes.Buffer
-		if err := m.WritePrometheus(&buf, 1, 1); err != nil {
+		if err := m.WritePrometheus(&buf, 1, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 		families := parsePrometheus(t, buf.String())

@@ -75,6 +75,10 @@ type Config struct {
 	LeaseTTL time.Duration
 	// LeaseRenew is the lease heartbeat interval (0 = LeaseTTL/3).
 	LeaseRenew time.Duration
+	// AnonWorker is the worker identity that unattributed (legacy
+	// parallel-array) judgments are recorded under on sessions tracking
+	// per-worker accuracy. Empty means DefaultAnonWorker ("anon").
+	AnonWorker string
 	// Clock overrides the wall clock (the daemon's -clock-skew flag uses
 	// it to simulate a node whose lease arithmetic runs ahead or behind).
 	// Nil means time.Now.
@@ -176,6 +180,7 @@ func NewServer(cfg Config) *Server {
 		Tracer:         s.tracer,
 		LeaseTTL:       cfg.LeaseTTL,
 		LeaseRenew:     cfg.LeaseRenew,
+		AnonWorker:     cfg.AnonWorker,
 		now:            cfg.now,
 	}
 	if cfg.Cluster != nil {
@@ -195,6 +200,11 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mgr.recovered = func() { s.metrics.SessionsRecovered.Add(1) }
 	s.mgr.relinquished = func(n int) { s.metrics.SessionsRelinquished.Add(int64(n)) }
+	s.mgr.refitObserved = func(d time.Duration) {
+		s.metrics.WorkerRefits.Add(1)
+		s.metrics.RefitDuration.observe(d)
+	}
+	s.mgr.weightedMerged = func() { s.metrics.WeightedMerges.Add(1) }
 	if cfg.Cluster != nil {
 		// Eager rebalance: a topology change immediately hands off every
 		// resident session the ring re-homed (at most ~K/N of them), so
@@ -268,6 +278,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
+	mux.HandleFunc("GET /v1/sessions/{id}/calibration", s.handleCalibration)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	// Non-GET hits on the events path fall through the outer mux's "/"
 	// route to here; register the path methodless so they get a proper 405
 	// with Allow instead of a 404.
@@ -471,6 +483,12 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status, code = http.StatusBadRequest, CodeNotInBatch
 	case errors.Is(err, ErrAnswerConflict):
 		status, code = http.StatusConflict, CodeAnswerConflict
+	case errors.Is(err, ErrUnknownWorkerModel):
+		status, code = http.StatusBadRequest, CodeUnknownWorkerModel
+	case errors.Is(err, ErrDuplicateTask):
+		status, code = http.StatusBadRequest, CodeDuplicateTask
+	case errors.Is(err, ErrAttributionConflict):
+		status, code = http.StatusConflict, CodeAttributionConflict
 	case errors.Is(err, ErrTooManySubscribers):
 		status, code = http.StatusTooManyRequests, CodeTooManySubscribers
 	case errors.Is(err, ErrStore):
@@ -573,7 +591,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if err := s.metrics.WritePrometheus(w, s.mgr.Len(), s.mgr.LeasesHeld()); err != nil {
+	if err := s.metrics.WritePrometheus(w, s.mgr.Len(), s.mgr.LeasesHeld(), s.mgr.WorkersTracked()); err != nil {
 		return
 	}
 	if ring := s.cfg.Cluster; ring != nil {
@@ -748,6 +766,48 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		s.metrics.MergeReplays.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCalibration serves GET /v1/sessions/{id}/calibration: the session's
+// posterior calibration bins (against its own pseudo-gold labeling) plus
+// per-worker accuracy, bias, support, and Wilson bounds. ?bins= overrides
+// the bin count (default 10).
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.noteRedirect(r.PathValue("id"), err)
+		writeError(w, r, err)
+		return
+	}
+	bins := 10
+	if v := r.URL.Query().Get("bins"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 || n > 100 {
+			writeError(w, r, fmt.Errorf("service: bins %q outside 2..100", v))
+			return
+		}
+		bins = n
+	}
+	resp, err := sess.Calibration(s.mgr.Now(), bins)
+	if errors.Is(err, errSessionRetired) {
+		if sess, err = s.mgr.Get(r.Context(), r.PathValue("id")); err == nil {
+			resp, err = sess.Calibration(s.mgr.Now(), bins)
+		}
+	}
+	if err != nil {
+		s.noteRedirect(r.PathValue("id"), err)
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkers serves GET /v1/workers: the per-node fleet view of every
+// worker observed across resident sessions. Deliberately node-local — it
+// aggregates what this node is serving, not the whole ring; operators
+// scrape each node and join on worker ID.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Workers())
 }
 
 // handleList serves the paginated session listing: IDs ascending, owned

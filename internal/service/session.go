@@ -6,14 +6,19 @@ import (
 	"fmt"
 	"hash/fnv"
 	"slices"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"crowdfusion/internal/bookdata"
 	"crowdfusion/internal/core"
+	"crowdfusion/internal/crowd"
 	"crowdfusion/internal/dist"
 	"crowdfusion/internal/eval"
 	"crowdfusion/internal/store"
 	"crowdfusion/internal/trace"
+	"crowdfusion/internal/worlds"
 )
 
 // State machine errors, mapped to HTTP statuses by the server layer.
@@ -79,8 +84,54 @@ type Session struct {
 	selK       int
 
 	// merges logs applied answer sets by content hash for idempotent
-	// replay of retried merges.
-	merges map[uint64]*AnswersResponse
+	// replay of retried merges. mergeWorkers remembers, for every round
+	// whose observations were journaled, the canonical worker attribution
+	// of the committed set — a retry may replay the judgments but never
+	// re-attribute them (ErrAttributionConflict).
+	merges       map[uint64]*AnswersResponse
+	mergeWorkers map[uint64]string
+
+	// Worker model state. workerModel names how crowd accuracy enters
+	// merging (fixed / em / dawid-skene); anonWorker is the identity that
+	// unattributed (legacy-form) judgments are recorded under.
+	// observations accumulates every journaled crowd.Answer-shaped
+	// observation in journal order; each entry's Version is the committed
+	// posterior version at journaling time, which is what lets recovery
+	// reconstruct the exact estimate sequence (the estimates conditioning
+	// the merge committed at version v were refit from observations with
+	// Version < v only — refits run at commit, after the round's own
+	// observations landed but before the next round's merge).
+	workerModel string
+	anonWorker  string
+
+	observations []store.Observation
+	// workerSens/workerSpec are the smoothed per-worker channel estimates
+	// from the last refit: the raw estimator output shrunk toward the
+	// configured pc by a Beta prior of strength workerPriorStrength, so a
+	// worker with no evidence sits exactly at pc. workerRaw keeps the
+	// unsmoothed balanced accuracy for reporting. All nil before the
+	// first refit (and always, under the fixed model).
+	workerSens map[string]float64
+	workerSpec map[string]float64
+	workerRaw  map[string]float64
+	refits     int
+
+	// pendWorkers maps pending-batch tasks to the worker each journaled
+	// judgment was attributed to (absent for legacy-form judgments on
+	// fixed sessions, which journal no observation).
+	pendWorkers map[int]string
+
+	// replaying suppresses observation accumulation inside Merge during
+	// record replay: restoreSession re-seeds observations straight from
+	// the record (exact journal order and metadata) before replaying each
+	// round, so the merge path appending them again would double-count.
+	replaying bool
+
+	// onRefit/onWeightedMerge are the metrics hooks (refit latency and
+	// weighted-merge count), invoked while holding mu; nil outside a
+	// server.
+	onRefit         func(time.Duration)
+	onWeightedMerge func()
 
 	// Pending-batch ledger for incremental (answer-at-a-time) merging.
 	// While pendBatch is non-nil, the selected batch at the current
@@ -149,18 +200,34 @@ type Session struct {
 // the request and constructed the prior.
 func newSession(id string, prior *dist.Joint, selector core.Selector, selName string, pc float64, k, budget int, now time.Time) *Session {
 	return &Session{
-		id:         id,
-		selector:   selector,
-		selName:    selName,
-		pc:         pc,
-		k:          k,
-		budget:     budget,
-		posterior:  prior,
-		merges:     make(map[uint64]*AnswersResponse),
-		lastAccess: now,
-		created:    now,
+		id:           id,
+		selector:     selector,
+		selName:      selName,
+		pc:           pc,
+		k:            k,
+		budget:       budget,
+		posterior:    prior,
+		merges:       make(map[uint64]*AnswersResponse),
+		mergeWorkers: make(map[uint64]string),
+		workerModel:  WorkerModelFixed,
+		anonWorker:   DefaultAnonWorker,
+		lastAccess:   now,
+		created:      now,
 	}
 }
+
+// DefaultAnonWorker is the worker identity unattributed judgments are
+// recorded under when no -anon-worker override is configured.
+const DefaultAnonWorker = "anon"
+
+// workerPriorStrength is the pseudo-count of the Beta prior anchoring
+// every worker's accuracy estimate at the session's configured pc. Four
+// pseudo-observations mean a fresh worker starts exactly at pc and a
+// worker with n judgments sits at (4·pc + n·estimate)/(4 + n) — strong
+// enough that a handful of lucky agreements cannot catapult anyone to
+// 0.99, weak enough that a planted adversary's estimate crosses below an
+// honest worker's within a couple of rounds.
+const workerPriorStrength = 4.0
 
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
@@ -201,6 +268,7 @@ func (s *Session) infoLocked(withRounds bool) SessionInfo {
 		K:           s.k,
 		Pc:          s.pc,
 		Selector:    s.selName,
+		WorkerModel: s.workerModel,
 		Done:        s.done || s.spent >= s.budget,
 	}
 	if s.pendBatch != nil {
@@ -446,12 +514,14 @@ func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest)
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	tasks, answers, workers, sources, attributed := req.flatten(s.anonWorker)
 	if s.tracer != nil {
 		var sp *trace.Span
 		ctx, sp = s.tracer.Start(ctx, "session.merge")
 		sp.SetAttr("session", s.id)
-		sp.SetAttr("tasks", len(req.Tasks))
+		sp.SetAttr("tasks", len(tasks))
 		sp.SetAttr("partial", req.Partial)
+		sp.SetAttr("attributed", attributed)
 		defer func() {
 			if resp != nil {
 				sp.SetAttr("merged", resp.Merged)
@@ -467,17 +537,31 @@ func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest)
 		return nil, errSessionRetired
 	}
 	s.touch(now)
+	// Under em/dawid-skene every judgment is an observation, so legacy
+	// parallel-array submissions are attributed to the anonymous worker;
+	// under fixed, unattributed submissions stay worker-less (and journal
+	// no observation — their durable log is byte-identical to before
+	// worker models existed).
+	if workers == nil && s.workerModel != WorkerModelFixed {
+		workers = make([]string, len(tasks))
+		for i := range workers {
+			workers[i] = s.anonWorker
+		}
+	}
 
 	if req.Version != nil {
-		key := answerSetHash(*req.Version, req.Tasks, req.Answers)
+		key := answerSetHash(*req.Version, tasks, answers)
 		if prev, ok := s.merges[key]; ok {
+			if err := s.checkAttributionLocked(key, workers, attributed); err != nil {
+				return nil, err
+			}
 			replay := *prev
 			replay.Merged = false
 			return &replay, nil
 		}
 	}
 	if req.Partial || s.pendBatch != nil {
-		return s.mergePartialLocked(ctx, now, req)
+		return s.mergePartialLocked(ctx, now, req, tasks, answers, workers, sources, attributed)
 	}
 	if req.Version != nil {
 		if *req.Version != s.version {
@@ -486,7 +570,11 @@ func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest)
 	} else {
 		// No version: scan for a content match against any applied set.
 		for v := 0; v < s.version; v++ {
-			if prev, ok := s.merges[answerSetHash(v, req.Tasks, req.Answers)]; ok {
+			key := answerSetHash(v, tasks, answers)
+			if prev, ok := s.merges[key]; ok {
+				if err := s.checkAttributionLocked(key, workers, attributed); err != nil {
+					return nil, err
+				}
 				replay := *prev
 				replay.Merged = false
 				return &replay, nil
@@ -494,29 +582,210 @@ func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest)
 		}
 	}
 
-	if s.spent+len(req.Tasks) > s.budget {
+	if s.spent+len(tasks) > s.budget {
 		return nil, fmt.Errorf("%w: %d spent of %d, %d more requested",
-			ErrBudgetExhausted, s.spent, s.budget, len(req.Tasks))
+			ErrBudgetExhausted, s.spent, s.budget, len(tasks))
 	}
 	// In the normal select-then-answer flow the batch's H(T) was already
 	// computed by Select against this same posterior; reuse it rather
 	// than paying the entropy kernel a second time inside the critical
 	// section. Out-of-band answer sets still compute it fresh.
 	var taskH float64
-	if s.sel != nil && s.selVersion == s.version && slices.Equal(s.sel.Tasks, req.Tasks) {
+	if s.sel != nil && s.selVersion == s.version && slices.Equal(s.sel.Tasks, tasks) {
 		taskH = s.sel.TaskEntropy
 	} else {
 		var err error
-		taskH, err = core.TaskEntropy(s.posterior, req.Tasks, s.pc)
+		taskH, err = core.TaskEntropy(s.posterior, tasks, s.pc)
 		if err != nil {
 			return nil, err
 		}
 	}
-	updated, err := core.MergeAnswers(s.posterior, req.Tasks, req.Answers, s.pc)
+	updated, err := s.conditionLocked(tasks, answers, workers)
 	if err != nil {
 		return nil, fmt.Errorf("service: merge: %w", err)
 	}
-	return s.commitLocked(ctx, now, req.Tasks, req.Answers, taskH, updated, false)
+	if err := s.observeLocked(ctx, now, tasks, answers, workers, sources); err != nil {
+		return nil, err
+	}
+	return s.commitLocked(ctx, now, tasks, answers, taskH, updated, false, workers)
+}
+
+// canonicalWorkers renders a worker attribution for conflict comparison.
+func canonicalWorkers(workers []string) string {
+	return strings.Join(workers, "\x1f")
+}
+
+// checkAttributionLocked guards an idempotent replay of a committed
+// answer set: a retry carrying explicit judgments must attribute them to
+// the workers the original commit journaled. Legacy-form retries (no
+// judgment attribution to contradict) always pass, as do retries of
+// rounds that journaled no observations.
+func (s *Session) checkAttributionLocked(key uint64, workers []string, attributed bool) error {
+	if !attributed {
+		return nil
+	}
+	rec, ok := s.mergeWorkers[key]
+	if !ok || rec == canonicalWorkers(workers) {
+		return nil
+	}
+	return fmt.Errorf("%w: committed attribution %q", ErrAttributionConflict,
+		strings.ReplaceAll(rec, "\x1f", ","))
+}
+
+// observeLocked journals a judgment set as one observe op and accumulates
+// it in memory, before the merge or partial op that consumes it — so
+// replay always sees a round's observations ahead of its commit.
+// Conditioning runs before observe, so an answer set the posterior
+// rejects as impossible journals nothing.
+// A nil workers slice (unattributed judgments on a fixed session) records
+// nothing. A retry of an already-journaled set (the tail of the log at
+// the current version matches exactly) is skipped, so a client retrying
+// after a failed merge persist cannot double-record its judgments.
+// During record replay the whole method is a no-op: restoreSession
+// re-seeds the log from the record itself.
+func (s *Session) observeLocked(ctx context.Context, now time.Time, tasks []int, answers []bool, workers, sources []string) error {
+	if workers == nil || s.replaying {
+		return nil
+	}
+	if s.observationsTailMatchLocked(tasks, answers, workers) {
+		return nil
+	}
+	if s.persist != nil {
+		op := store.Op{
+			Kind:    store.OpObserve,
+			Version: s.version,
+			Seq:     len(s.observations),
+			Tasks:   append([]int(nil), tasks...),
+			Answers: append([]bool(nil), answers...),
+			Workers: append([]string(nil), workers...),
+			Epoch:   s.leaseEpoch,
+			Time:    now,
+		}
+		if sources != nil {
+			op.Sources = append([]string(nil), sources...)
+		}
+		if err := s.persistOp(ctx, op); err != nil {
+			return persistError(s.id, err)
+		}
+	}
+	for i, t := range tasks {
+		o := store.Observation{
+			Task:    t,
+			Answer:  answers[i],
+			Worker:  workers[i],
+			Version: s.version,
+			Time:    now,
+		}
+		if sources != nil {
+			o.Source = sources[i]
+		}
+		s.observations = append(s.observations, o)
+	}
+	return nil
+}
+
+// observationsTailMatchLocked reports whether the observation log already
+// ends with exactly this judgment set at the current version — the
+// signature of a retry whose observe op landed but whose merge op did not.
+func (s *Session) observationsTailMatchLocked(tasks []int, answers []bool, workers []string) bool {
+	n := len(tasks)
+	if len(s.observations) < n {
+		return false
+	}
+	tail := s.observations[len(s.observations)-n:]
+	for i, o := range tail {
+		if o.Version != s.version || o.Task != tasks[i] || o.Answer != answers[i] || o.Worker != workers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// workerChannelLocked returns the smoothed (sensitivity, specificity)
+// channel for a worker, falling back to the session's scalar pc for
+// workers the last refit did not cover (including everyone, before the
+// first refit).
+func (s *Session) workerChannelLocked(w string) (sens, spec float64) {
+	if sn, ok := s.workerSens[w]; ok {
+		return sn, s.workerSpec[w]
+	}
+	return s.pc, s.pc
+}
+
+// conditionLocked conditions the committed posterior on one judgment set.
+// Fixed sessions — and em/dawid-skene sessions before their first refit —
+// take the scalar-pc path; refit sessions condition each judgment on its
+// worker's current smoothed channel. The pre-refit equivalence is exact,
+// not approximate: with every estimate pinned at pc the weighted
+// conditioning delegates to the scalar kernel inside dist, so a fresh
+// em session is bit-identical to a fixed one until evidence arrives.
+func (s *Session) conditionLocked(tasks []int, answers []bool, workers []string) (*dist.Joint, error) {
+	if s.workerModel == WorkerModelFixed || s.refits == 0 || workers == nil {
+		return core.MergeAnswers(s.posterior, tasks, answers, s.pc)
+	}
+	sens := make([]float64, len(tasks))
+	spec := make([]float64, len(tasks))
+	for i, w := range workers {
+		sens[i], spec[i] = s.workerChannelLocked(w)
+	}
+	if s.onWeightedMerge != nil {
+		s.onWeightedMerge()
+	}
+	return core.MergeAnswersWeighted(s.posterior, tasks, answers, sens, spec)
+}
+
+// refitLocked re-estimates every worker's accuracy from the accumulated
+// observation log; callers hold mu and have just committed a merge. The
+// raw estimates (symmetric EM or Dawid–Skene, seeded from the session
+// seed so recovery replays the identical arithmetic) are shrunk toward
+// the configured pc by a Beta prior of strength workerPriorStrength. An
+// estimator failure keeps the previous estimates — the merge that
+// triggered the refit is already committed and must not be unwound.
+func (s *Session) refitLocked(ctx context.Context, _ time.Time) {
+	if s.workerModel != WorkerModelEM && s.workerModel != WorkerModelDawidSkene {
+		return
+	}
+	if len(s.observations) == 0 {
+		return
+	}
+	start := time.Now()
+	answers := make([]crowd.Answer, len(s.observations))
+	support := make(map[string]int)
+	for i, o := range s.observations {
+		answers[i] = crowd.Answer{Fact: o.Task, Value: o.Answer, Worker: o.Worker}
+		support[o.Worker]++
+	}
+	var rawSens, rawSpec map[string]float64
+	opts := crowd.EMOptions{Seed: s.seed}
+	switch s.workerModel {
+	case WorkerModelEM:
+		est, err := crowd.EstimateEM(answers, opts)
+		if err != nil {
+			return
+		}
+		rawSens, rawSpec = est.WorkerAccuracy, est.WorkerAccuracy
+	case WorkerModelDawidSkene:
+		est, err := crowd.EstimateDawidSkene(answers, opts)
+		if err != nil {
+			return
+		}
+		rawSens, rawSpec = est.Sensitivity, est.Specificity
+	}
+	s.workerSens = make(map[string]float64, len(rawSens))
+	s.workerSpec = make(map[string]float64, len(rawSens))
+	s.workerRaw = make(map[string]float64, len(rawSens))
+	for w, sn := range rawSens {
+		n := float64(support[w])
+		sp := rawSpec[w]
+		s.workerSens[w] = (workerPriorStrength*s.pc + n*sn) / (workerPriorStrength + n)
+		s.workerSpec[w] = (workerPriorStrength*s.pc + n*sp) / (workerPriorStrength + n)
+		s.workerRaw[w] = (sn + sp) / 2
+	}
+	s.refits++
+	if s.onRefit != nil {
+		s.onRefit(time.Since(start))
+	}
+	s.emitLocked(ctx, EventRefit, func(ev *SessionEvent) { ev.Refits = s.refits })
 }
 
 // commitLocked durably applies one complete answer set and advances the
@@ -524,8 +793,11 @@ func (s *Session) Merge(ctx context.Context, now time.Time, req *AnswersRequest)
 // Persist-then-commit: the op is durable (fsynced, for durable stores)
 // before any in-memory state changes, so an acknowledged merge can never
 // be lost — and a failed persist leaves the session exactly as it was,
-// safe for the client to retry.
-func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, answers []bool, taskH float64, updated *dist.Joint, partial bool) (*AnswersResponse, error) {
+// safe for the client to retry. workers, when non-nil, is the judgment
+// attribution the round's observations were journaled under; it is
+// recorded against the idempotency entry so a conflicting re-attribution
+// on retry is refused, and it triggers the post-commit refit.
+func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, answers []bool, taskH float64, updated *dist.Joint, partial bool, workers []string) (*AnswersResponse, error) {
 	if s.spent+len(tasks) > s.budget {
 		return nil, fmt.Errorf("%w: %d spent of %d, %d more requested",
 			ErrBudgetExhausted, s.spent, s.budget, len(tasks))
@@ -550,6 +822,7 @@ func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, 
 	s.sel = nil    // selection cache is bound to the previous posterior
 	s.done = false // the new posterior may be uncertain again; re-derive
 	s.pendBatch, s.pendAns, s.pendPost, s.pendTaskH = nil, nil, nil, 0
+	s.pendWorkers = nil
 	s.rounds = append(s.rounds, RoundInfo{
 		Round:   s.version,
 		Tasks:   append([]int(nil), tasks...),
@@ -560,8 +833,13 @@ func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, 
 	})
 
 	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: true, Partial: partial}
-	s.merges[answerSetHash(mergedAt, tasks, answers)] = resp
+	key := answerSetHash(mergedAt, tasks, answers)
+	s.merges[key] = resp
+	if workers != nil {
+		s.mergeWorkers[key] = canonicalWorkers(workers)
+	}
 	s.emitLocked(ctx, EventMerge, nil)
+	s.refitLocked(ctx, now)
 	return resp, nil
 }
 
@@ -575,7 +853,7 @@ func (s *Session) commitLocked(ctx context.Context, now time.Time, tasks []int, 
 // batch, answers, pc) — the same call, on the same inputs, the batched
 // path makes — and the commit reuses it. Budget is spent only inside that
 // commit, so no retry of any prefix can double-spend.
-func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *AnswersRequest) (*AnswersResponse, error) {
+func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *AnswersRequest, tasks []int, answers []bool, workers, sources []string, attributed bool) (*AnswersResponse, error) {
 	if req.Version != nil {
 		if *req.Version > s.version {
 			return nil, ErrVersionConflict
@@ -584,7 +862,7 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 			// The batch these judgments belong to already committed. A
 			// retried prefix replays idempotently iff every judgment
 			// matches the committed round; anything else is a conflict.
-			return s.replayCommittedPartialLocked(*req.Version, req)
+			return s.replayCommittedPartialLocked(*req.Version, tasks, answers)
 		}
 	}
 
@@ -601,28 +879,45 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 	// touching any state.
 	var newTasks []int
 	var newAns []bool
-	for i, t := range req.Tasks {
+	var newWorkers, newSources []string
+	for i, t := range tasks {
 		if !slices.Contains(batch, t) {
 			return nil, fmt.Errorf("%w: task %d", ErrNotInBatch, t)
 		}
 		if a, ok := s.pendAns[t]; ok {
-			if a != req.Answers[i] {
+			if a != answers[i] {
 				return nil, fmt.Errorf("%w: task %d", ErrAnswerConflict, t)
+			}
+			// An attributed retry of a journaled judgment must carry the
+			// attribution it was journaled under.
+			if attributed {
+				if rec, ok := s.pendWorkers[t]; ok && rec != workers[i] {
+					return nil, fmt.Errorf("%w: task %d journaled for worker %q", ErrAttributionConflict, t, rec)
+				}
 			}
 			continue // idempotent duplicate of a journaled judgment
 		}
 		if j := slices.Index(newTasks, t); j >= 0 {
-			if newAns[j] != req.Answers[i] {
+			if newAns[j] != answers[i] {
 				return nil, fmt.Errorf("%w: task %d (twice in one request)", ErrAnswerConflict, t)
 			}
 			continue
 		}
 		newTasks = append(newTasks, t)
-		newAns = append(newAns, req.Answers[i])
+		newAns = append(newAns, answers[i])
+		if workers != nil {
+			newWorkers = append(newWorkers, workers[i])
+			if sources != nil {
+				newSources = append(newSources, sources[i])
+			}
+		}
 	}
 	if len(newTasks) == 0 {
 		// Pure replay of already-journaled judgments.
 		return &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}, nil
+	}
+	if newWorkers != nil && newSources == nil && sources != nil {
+		newSources = make([]string, len(newWorkers))
 	}
 
 	if s.pendBatch == nil {
@@ -630,23 +925,50 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 		s.pendAns = make(map[int]bool, len(batch))
 		s.pendTaskH = s.sel.TaskEntropy
 	}
+	if s.pendWorkers == nil {
+		s.pendWorkers = make(map[int]string, len(batch))
+	}
 
 	// The provisional posterior: one batch conditioning of the answered
-	// prefix, in batch order, against the round-start posterior.
+	// prefix, in batch order, against the round-start posterior. Worker
+	// attribution rides along so em/dawid-skene sessions condition each
+	// judgment on its worker's channel; unattributed judgments on fixed
+	// sessions leave prefW nil and take the scalar path.
 	prefT := make([]int, 0, len(s.pendAns)+len(newTasks))
 	prefA := make([]bool, 0, len(s.pendAns)+len(newTasks))
+	var prefW []string
+	withWorkers := workers != nil || len(s.pendWorkers) > 0
 	for _, t := range s.pendBatch {
-		if a, ok := s.pendAns[t]; ok {
-			prefT = append(prefT, t)
-			prefA = append(prefA, a)
-		} else if j := slices.Index(newTasks, t); j >= 0 {
-			prefT = append(prefT, t)
-			prefA = append(prefA, newAns[j])
+		a, journaled := s.pendAns[t]
+		j := -1
+		if !journaled {
+			if j = slices.Index(newTasks, t); j < 0 {
+				continue
+			}
+			a = newAns[j]
+		}
+		prefT = append(prefT, t)
+		prefA = append(prefA, a)
+		if withWorkers {
+			w := ""
+			if journaled {
+				w = s.pendWorkers[t]
+			} else if newWorkers != nil {
+				w = newWorkers[j]
+			}
+			if w == "" {
+				w = s.anonWorker
+			}
+			prefW = append(prefW, w)
 		}
 	}
-	updated, err := core.MergeAnswers(s.posterior, prefT, prefA, s.pc)
+	updated, err := s.conditionLocked(prefT, prefA, prefW)
 	if err != nil {
 		return nil, fmt.Errorf("service: merge: %w", err)
+	}
+
+	if err := s.observeLocked(ctx, now, newTasks, newAns, newWorkers, newSources); err != nil {
+		return nil, err
 	}
 
 	if len(prefT) == len(s.pendBatch) {
@@ -655,7 +977,7 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 		// commit), never as a partial op — the durable ledger stays a
 		// strict subset of its batch, so crash recovery always re-enters
 		// the incremental path instead of committing mid-replay.
-		resp, err := s.commitLocked(ctx, now, prefT, prefA, s.pendTaskH, updated, true)
+		resp, err := s.commitLocked(ctx, now, prefT, prefA, s.pendTaskH, updated, true, prefW)
 		if err != nil {
 			return nil, err
 		}
@@ -680,6 +1002,9 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 	}
 	for i, t := range newTasks {
 		s.pendAns[t] = newAns[i]
+		if newWorkers != nil {
+			s.pendWorkers[t] = newWorkers[i]
+		}
 	}
 	s.pendPost = updated
 	resp := &AnswersResponse{SessionInfo: s.infoLocked(false), Merged: false, Partial: true}
@@ -692,14 +1017,14 @@ func (s *Session) mergePartialLocked(ctx context.Context, now time.Time, req *An
 // judgment matches the committed round at that version, ErrVersionConflict
 // otherwise. The response carries the CURRENT state — the prefix's
 // provisional posteriors are gone once the batch commits.
-func (s *Session) replayCommittedPartialLocked(version int, req *AnswersRequest) (*AnswersResponse, error) {
+func (s *Session) replayCommittedPartialLocked(version int, tasks []int, answers []bool) (*AnswersResponse, error) {
 	if version < 0 || version >= len(s.rounds) {
 		return nil, ErrVersionConflict
 	}
 	r := s.rounds[version] // the round committed FROM that version
-	for i, t := range req.Tasks {
+	for i, t := range tasks {
 		j := slices.Index(r.Tasks, t)
-		if j < 0 || r.Answers[j] != req.Answers[i] {
+		if j < 0 || r.Answers[j] != answers[i] {
 			return nil, ErrVersionConflict
 		}
 	}
@@ -712,6 +1037,111 @@ func (s *Session) Posterior() *dist.Joint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.posterior
+}
+
+// Calibration reports how well the session's per-task marginals are
+// calibrated, binned over [0,1], plus the per-worker accuracy estimates
+// behind the current posterior. True labels are unknown in production, so
+// the report scores against the pseudo-gold induced by the committed
+// posterior itself (the MAP label per task): perfect calibration then
+// means "the marginals are as confident as their own argmax labels
+// warrant", and per-worker Correct counts agreement with that consensus.
+func (s *Session) Calibration(now time.Time, nBins int) (*CalibrationResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return nil, errSessionRetired
+	}
+	s.touch(now)
+	marginals := s.posterior.Marginals()
+	gold := make([]bool, len(marginals))
+	for i, p := range marginals {
+		gold[i] = p >= 0.5
+	}
+	inst := &worlds.Instance{Statements: make([]bookdata.Statement, len(marginals)), Gold: gold}
+	cal, err := eval.CalibrationReport([]*worlds.Instance{inst}, []*dist.Joint{s.posterior}, nBins)
+	if err != nil {
+		return nil, fmt.Errorf("service: calibration: %w", err)
+	}
+	resp := &CalibrationResponse{
+		ID:           s.id,
+		Version:      s.version,
+		WorkerModel:  s.workerModel,
+		Refits:       s.refits,
+		Observations: len(s.observations),
+		Bins:         make([]CalibrationBinInfo, len(cal.Bins)),
+		ECE:          cal.ECE,
+		Brier:        cal.Brier,
+		Total:        cal.Total,
+		Workers:      s.workerInfosLocked(gold),
+	}
+	for i, b := range cal.Bins {
+		resp.Bins[i] = CalibrationBinInfo{
+			Lo: b.Lo, Hi: b.Hi, Count: b.Count,
+			MeanPredicted: b.MeanPredicted, EmpiricalRate: b.EmpiricalRate,
+		}
+	}
+	return resp, nil
+}
+
+// workerInfosLocked builds the per-worker view: support and consensus
+// agreement from the observation log, the smoothed channel estimate the
+// next weighted merge will use, and a Wilson interval on the agreement
+// rate. gold is the pseudo-gold labeling from the committed posterior;
+// callers hold mu.
+func (s *Session) workerInfosLocked(gold []bool) []WorkerInfo {
+	type tally struct{ support, correct, trues int }
+	tallies := make(map[string]*tally)
+	for _, o := range s.observations {
+		t := tallies[o.Worker]
+		if t == nil {
+			t = &tally{}
+			tallies[o.Worker] = t
+		}
+		t.support++
+		if o.Answer {
+			t.trues++
+		}
+		if o.Task >= 0 && o.Task < len(gold) && o.Answer == gold[o.Task] {
+			t.correct++
+		}
+	}
+	infos := make([]WorkerInfo, 0, len(tallies))
+	for w, t := range tallies {
+		sens, spec := s.workerChannelLocked(w)
+		info := WorkerInfo{
+			Worker:   w,
+			Accuracy: (sens + spec) / 2,
+			Raw:      s.pc,
+			Bias:     0.5,
+			Support:  t.support,
+			Correct:  t.correct,
+		}
+		if raw, ok := s.workerRaw[w]; ok {
+			info.Raw = raw
+		}
+		if t.support > 0 {
+			info.Bias = float64(t.trues) / float64(t.support)
+		}
+		info.WilsonLo, info.WilsonHi = crowd.WilsonInterval(t.correct, t.support)
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Worker < infos[j].Worker })
+	return infos
+}
+
+// WorkerStats returns the session's per-worker view without touching the
+// TTL clock — the fleet aggregation sweeping every resident session must
+// not keep them all alive forever.
+func (s *Session) WorkerStats() []WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	marginals := s.posterior.Marginals()
+	gold := make([]bool, len(marginals))
+	for i, p := range marginals {
+		gold[i] = p >= 0.5
+	}
+	return s.workerInfosLocked(gold)
 }
 
 // record snapshots the session's full durable state: creation parameters
@@ -739,6 +1169,15 @@ func (s *Session) recordLocked() *store.Record {
 		LastAccess: s.lastAccess,
 		Done:       s.done,
 		LeaseEpoch: s.leaseEpoch,
+	}
+	if s.workerModel != WorkerModelFixed {
+		// Recorded only when it carries information: a fixed session's
+		// record stays byte-identical to one written before worker models
+		// existed.
+		rec.WorkerModel = s.workerModel
+	}
+	if len(s.observations) > 0 {
+		rec.Observations = append([]store.Observation(nil), s.observations...)
 	}
 	rec.Ops = make([]store.Op, len(s.rounds))
 	for i, r := range s.rounds {
@@ -802,7 +1241,15 @@ func (s *Session) retireAndFlush(st store.SessionStore) error {
 // from the recorded seed; their stream position within the session is not
 // recovered (selection is a fresh draw after restart, which is sound: no
 // batch was outstanding durably).
-func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
+//
+// Worker-model sessions additionally replay their observation log in
+// journal order: before the merge op at version v replays, every recorded
+// observation with Version <= v is re-seeded, so the refit that ran at
+// each pre-crash commit reruns over the identical evidence — seeded by the
+// same session seed — and the recovered worker estimates and weighted
+// posterior match bit for bit too. The replaying flag keeps the merge
+// path from appending those observations a second time.
+func restoreSession(rec *store.Record, anonWorker string, now time.Time) (*Session, error) {
 	var prior *dist.Joint
 	var err error
 	switch {
@@ -833,17 +1280,46 @@ func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
 	s.priorRec = rec.Prior
 	s.seed = rec.Seed
 	s.created = rec.Created
+	if rec.WorkerModel != "" {
+		s.workerModel = rec.WorkerModel
+	}
+	if anonWorker != "" {
+		s.anonWorker = anonWorker
+	}
+	s.replaying = true
 	// persist stays nil during replay: the ops are already durable (and the
 	// tracer is nil, so replayed merges produce no spans — the adoption
 	// span in loadFromStore covers the whole replay instead).
+	obsIdx := 0
+	seedObservations := func(upTo int) {
+		for obsIdx < len(rec.Observations) && rec.Observations[obsIdx].Version <= upTo {
+			s.observations = append(s.observations, rec.Observations[obsIdx])
+			obsIdx++
+		}
+	}
 	for _, op := range rec.Ops {
 		v := op.Version
-		req := &AnswersRequest{Tasks: op.Tasks, Answers: op.Answers, Version: &v}
+		// The round's observations were journaled before its merge, so they
+		// re-seed first: the refit this replayed commit triggers sees the
+		// same evidence the pre-crash one did.
+		s.mu.Lock()
+		seedObservations(v)
+		req := &AnswersRequest{Version: &v}
+		if s.workerModel != WorkerModelFixed {
+			// Replay through the judgments form so the weighted conditioning
+			// sees each judgment's recorded attribution, not the anonymous
+			// fallback the legacy form would apply.
+			req.Judgments = replayJudgments(op.Tasks, op.Answers, s.observations, v, s.anonWorker)
+		} else {
+			req.Tasks, req.Answers = op.Tasks, op.Answers
+		}
+		s.mu.Unlock()
 		if _, err := s.Merge(context.Background(), now, req); err != nil {
 			return nil, fmt.Errorf("service: restoring session %s: replaying op %d: %w", rec.ID, v, err)
 		}
 	}
 	s.mu.Lock()
+	seedObservations(s.version)
 	s.done = rec.Done
 	s.mu.Unlock()
 	if len(rec.PendingBatch) > 0 {
@@ -869,16 +1345,44 @@ func restoreSession(rec *store.Record, now time.Time) (*Session, error) {
 		v := s.version
 		s.mu.Unlock()
 		if len(rec.PendingTasks) > 0 {
-			req := &AnswersRequest{
-				Tasks:   rec.PendingTasks,
-				Answers: rec.PendingAnswers,
-				Version: &v,
-				Partial: true,
+			req := &AnswersRequest{Version: &v, Partial: true}
+			if s.workerModel != WorkerModelFixed {
+				s.mu.Lock()
+				req.Judgments = replayJudgments(rec.PendingTasks, rec.PendingAnswers, s.observations, v, s.anonWorker)
+				s.mu.Unlock()
+			} else {
+				req.Tasks, req.Answers = rec.PendingTasks, rec.PendingAnswers
 			}
 			if _, err := s.Merge(context.Background(), now, req); err != nil {
 				return nil, fmt.Errorf("service: restoring session %s: replaying pending ledger: %w", rec.ID, err)
 			}
 		}
 	}
+	s.mu.Lock()
+	s.replaying = false
+	s.mu.Unlock()
 	return s, nil
+}
+
+// replayJudgments rebuilds the judgments form for a replayed answer set
+// from the observation log: each task takes the worker of the last
+// observation journaled for it at that version (retried observe ops land
+// last, so the latest entry is the one whose commit succeeded), falling
+// back to the anonymous worker for tasks the log does not cover.
+func replayJudgments(tasks []int, answers []bool, observations []store.Observation, version int, anon string) []Judgment {
+	byTask := make(map[int]store.Observation, len(tasks))
+	for _, o := range observations {
+		if o.Version == version {
+			byTask[o.Task] = o
+		}
+	}
+	js := make([]Judgment, len(tasks))
+	for i, t := range tasks {
+		js[i] = Judgment{Task: t, Answer: answers[i], Worker: anon}
+		if o, ok := byTask[t]; ok && o.Answer == answers[i] {
+			js[i].Worker = o.Worker
+			js[i].Source = o.Source
+		}
+	}
+	return js
 }

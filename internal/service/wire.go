@@ -42,9 +42,38 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"crowdfusion/internal/core"
 	"crowdfusion/internal/dist"
+)
+
+// Worker-model names accepted by CreateSessionRequest.WorkerModel. The
+// model decides how crowd accuracy enters the merge: fixed uses the
+// configured scalar pc for every judgment (the paper's Definition 2
+// channel); em and dawid-skene estimate per-worker accuracy online from
+// attributed judgments and condition each judgment on its worker's
+// current estimate instead.
+const (
+	WorkerModelFixed      = "fixed"
+	WorkerModelEM         = "em"
+	WorkerModelDawidSkene = "dawid-skene"
+)
+
+// Typed judgment-validation failures, surfaced as machine-readable
+// envelope codes (see the Code constants).
+var (
+	// ErrUnknownWorkerModel rejects a session create naming a worker model
+	// other than fixed, em, or dawid-skene.
+	ErrUnknownWorkerModel = errors.New("service: unknown worker model")
+	// ErrDuplicateTask rejects a submission carrying two judgments for one
+	// task: a single submission is one judgment per task (redundant
+	// judgments arrive as separate submissions).
+	ErrDuplicateTask = errors.New("service: duplicate task in one submission")
+	// ErrAttributionConflict rejects a retry whose judgments re-attribute
+	// an already-committed answer set to different workers: the original
+	// attribution is journaled and cannot be rewritten by a replay.
+	ErrAttributionConflict = errors.New("service: retry re-attributes committed judgments")
 )
 
 // WireJoint is the JSON wire representation of a dist.Joint: the sparse
@@ -119,6 +148,11 @@ type CreateSessionRequest struct {
 	// Seed seeds the Random selector; ignored by deterministic
 	// selectors.
 	Seed int64 `json:"seed,omitempty"`
+	// WorkerModel selects how crowd accuracy enters merging: "fixed"
+	// (default) uses Pc for every judgment; "em" and "dawid-skene"
+	// estimate per-worker accuracy online from attributed judgments and
+	// weight each judgment by its worker's current estimate.
+	WorkerModel string `json:"worker_model,omitempty"`
 }
 
 // Validate checks everything except the prior itself (which is validated
@@ -145,6 +179,12 @@ func (r *CreateSessionRequest) Validate() error {
 	}
 	if r.K > r.Budget {
 		return fmt.Errorf("service: k %d exceeds budget %d", r.K, r.Budget)
+	}
+	switch r.WorkerModel {
+	case "", WorkerModelFixed, WorkerModelEM, WorkerModelDawidSkene:
+	default:
+		return fmt.Errorf("%w: %q (want %q, %q, or %q)", ErrUnknownWorkerModel,
+			r.WorkerModel, WorkerModelFixed, WorkerModelEM, WorkerModelDawidSkene)
 	}
 	return nil
 }
@@ -173,6 +213,9 @@ type SessionInfo struct {
 	K        int     `json:"k"`
 	Pc       float64 `json:"pc"`
 	Selector string  `json:"selector"`
+	// WorkerModel names how crowd accuracy enters merging ("fixed", "em",
+	// "dawid-skene").
+	WorkerModel string `json:"worker_model"`
 	// Done reports that no further refinement will happen: the budget is
 	// exhausted or the last selection found nothing uncertain to ask.
 	Done bool `json:"done"`
@@ -231,14 +274,40 @@ type SelectResponse struct {
 	Done bool `json:"done,omitempty"`
 }
 
+// Judgment is one attributed crowd answer: Worker said Answer for Task.
+// It is the canonical unit of the answers wire shape; the parallel
+// Tasks/Answers arrays of AnswersRequest are the unattributed
+// compatibility form.
+type Judgment struct {
+	Task   int  `json:"task"`
+	Answer bool `json:"answer"`
+	// Worker identifies the answering worker. Empty means anonymous: the
+	// judgment is attributed to the node's configured anonymous worker,
+	// exactly as the legacy parallel-array form is.
+	Worker string `json:"worker,omitempty"`
+	// Source optionally names the platform the judgment came from
+	// ("mturk", "gmission", …). Recorded, never interpreted.
+	Source string `json:"source,omitempty"`
+	// ObservedAt optionally timestamps the judgment at its source.
+	// Recorded for audit; server-side ordering uses arrival order.
+	ObservedAt time.Time `json:"observed_at,omitzero"`
+}
+
 // AnswersRequest is the body of POST /v1/sessions/{id}/answers: the
-// crowd's judgments for a previously selected batch. Version is the
-// posterior version from the SelectResponse; when omitted (nil) the
-// current version is assumed and duplicate answer sets are treated as
-// retries (see Session.Merge for the idempotency contract).
+// crowd's judgments for a previously selected batch, in exactly one of
+// two forms — Judgments (canonical, worker-attributed) or the parallel
+// Tasks/Answers arrays (the legacy compatibility form, attributed to the
+// configured anonymous worker). Version is the posterior version from the
+// SelectResponse; when omitted (nil) the current version is assumed and
+// duplicate answer sets are treated as retries (see Session.Merge for the
+// idempotency contract).
 type AnswersRequest struct {
-	Tasks   []int  `json:"tasks"`
-	Answers []bool `json:"answers"`
+	// Judgments is the canonical, attributed form: one judgment per task.
+	Judgments []Judgment `json:"judgments,omitempty"`
+	// Tasks/Answers are the compatibility form: parallel arrays with no
+	// worker identity. Mutually exclusive with Judgments.
+	Tasks   []int  `json:"tasks,omitempty"`
+	Answers []bool `json:"answers,omitempty"`
 	Version *int   `json:"version,omitempty"`
 	// Partial marks the judgments as a subset of the pending selected
 	// batch rather than a complete answer set. Partial submissions
@@ -249,15 +318,69 @@ type AnswersRequest struct {
 }
 
 // Validate checks the shape of the request; semantic validation (range,
-// duplicates) happens against the session's distribution during merging.
+// membership) happens against the session's distribution during merging.
+// Duplicate tasks within one submission are a shape error in both forms:
+// a submission is one judgment per task (ErrDuplicateTask, surfaced as
+// code "duplicate_task").
 func (r *AnswersRequest) Validate() error {
+	if len(r.Judgments) > 0 {
+		if len(r.Tasks) != 0 || len(r.Answers) != 0 {
+			return errors.New("service: judgments and tasks/answers are mutually exclusive")
+		}
+		seen := make(map[int]bool, len(r.Judgments))
+		for _, j := range r.Judgments {
+			if seen[j.Task] {
+				return fmt.Errorf("%w: task %d judged twice", ErrDuplicateTask, j.Task)
+			}
+			seen[j.Task] = true
+		}
+		return nil
+	}
 	if len(r.Tasks) == 0 {
-		return errors.New("service: answers request needs at least one task")
+		return errors.New("service: answers request needs at least one judgment")
 	}
 	if len(r.Tasks) != len(r.Answers) {
 		return fmt.Errorf("service: %d tasks but %d answers", len(r.Tasks), len(r.Answers))
 	}
+	// The legacy form deliberately has no duplicate-task check: partial
+	// submissions have always tolerated repeated judgments (matching
+	// duplicates replay, contradictions map to ErrAnswerConflict in the
+	// ledger), and the compatibility contract keeps that behavior intact.
+	// Only the judgments form — the canonical API — rejects duplicates.
 	return nil
+}
+
+// flatten returns the request's judgment set in parallel-array form:
+// tasks/answers always, workers (empty slots replaced by anon) and
+// sources only for the attributed Judgments form. attributed reports
+// which form the request used — attribution conflicts on retry are
+// checked only for explicitly attributed submissions.
+func (r *AnswersRequest) flatten(anon string) (tasks []int, answers []bool, workers, sources []string, attributed bool) {
+	if len(r.Judgments) == 0 {
+		return r.Tasks, r.Answers, nil, nil, false
+	}
+	tasks = make([]int, len(r.Judgments))
+	answers = make([]bool, len(r.Judgments))
+	workers = make([]string, len(r.Judgments))
+	hasSource := false
+	for i, j := range r.Judgments {
+		tasks[i] = j.Task
+		answers[i] = j.Answer
+		workers[i] = j.Worker
+		if workers[i] == "" {
+			workers[i] = anon
+		}
+		if j.Source != "" {
+			hasSource = true
+		}
+	}
+	if hasSource {
+		sources = make([]string, len(r.Judgments))
+		for i, j := range r.Judgments {
+			sources[i] = j.Source
+		}
+	}
+	return tasks, answers, workers, sources, true
 }
 
 // AnswersResponse reports the refined state after a merge. Merged is false
@@ -327,6 +450,15 @@ const (
 	CodeAnswerConflict = "answer_conflict"
 	// CodeTooManySubscribers (HTTP 429) caps per-session SSE fan-out.
 	CodeTooManySubscribers = "too_many_subscribers"
+	// CodeUnknownWorkerModel rejects a session create naming a worker
+	// model other than fixed, em, or dawid-skene.
+	CodeUnknownWorkerModel = "unknown_worker_model"
+	// CodeDuplicateTask rejects a submission with two judgments for one
+	// task — one submission is one judgment per task.
+	CodeDuplicateTask = "duplicate_task"
+	// CodeAttributionConflict (HTTP 409) rejects a retry whose judgments
+	// re-attribute an already-committed answer set to different workers.
+	CodeAttributionConflict = "attribution_conflict"
 )
 
 // ErrorResponse is the uniform error envelope of every non-2xx response.
@@ -376,6 +508,11 @@ const (
 	// EventError is synthesized by the Go client's Watch when a stream
 	// fails terminally; the server never sends it. Error carries details.
 	EventError = "error"
+	// EventRefit announces re-estimated worker accuracies on an em or
+	// dawid-skene session: a merge committed and the worker model was
+	// refit over all accumulated observations. The payload's SessionInfo
+	// is the committed state; Refits counts refits so far.
+	EventRefit = "refit"
 )
 
 // SessionEvent is one state-transition delta on the session event stream.
@@ -388,6 +525,8 @@ type SessionEvent struct {
 	SessionInfo
 	// Tasks accompanies select events: the batch just chosen.
 	Tasks []int `json:"tasks,omitempty"`
+	// Refits accompanies refit events: refits performed so far.
+	Refits int `json:"refits,omitempty"`
 	// Owner accompanies redirect events: where to re-subscribe.
 	Owner string `json:"owner,omitempty"`
 	// Error accompanies client-synthesized error events.
@@ -420,4 +559,97 @@ type SessionSummary struct {
 type ListSessionsResponse struct {
 	Sessions  []SessionSummary `json:"sessions"`
 	NextAfter string           `json:"next_after,omitempty"`
+}
+
+// WorkerInfo is one worker's state under a session's worker model: the
+// accuracy estimate the merge path currently uses, its unsmoothed input,
+// and how much evidence backs it.
+type WorkerInfo struct {
+	Worker string `json:"worker"`
+	// Accuracy is the smoothed estimate the weighted merge conditions on:
+	// the raw model estimate shrunk toward the session's configured pc by
+	// a Beta prior, so zero-support workers sit exactly at pc.
+	Accuracy float64 `json:"accuracy"`
+	// Raw is the model's unsmoothed estimate (EM or Dawid–Skene). Equal
+	// to Accuracy under the fixed model.
+	Raw float64 `json:"raw"`
+	// Bias is the worker's tendency toward answering true: the fraction
+	// of the worker's judgments that were "true", 0.5 at zero support.
+	Bias float64 `json:"bias"`
+	// Support is the number of judgments observed from this worker;
+	// Correct counts those agreeing with the session's pseudo-gold (the
+	// current posterior's majority judgment per fact).
+	Support int `json:"support"`
+	Correct int `json:"correct"`
+	// WilsonLo/WilsonHi bound the pseudo-gold agreement rate at ~95%
+	// confidence (Wilson score interval); [0, 1] at zero support.
+	WilsonLo float64 `json:"wilson_lo"`
+	WilsonHi float64 `json:"wilson_hi"`
+}
+
+// CalibrationBinInfo is one reliability bin of a session's calibration
+// report: predicted-probability range, how many fact predictions landed
+// in it, and how the mean prediction compares to the empirical rate.
+type CalibrationBinInfo struct {
+	Lo            float64 `json:"lo"`
+	Hi            float64 `json:"hi"`
+	Count         int     `json:"count"`
+	MeanPredicted float64 `json:"mean_predicted"`
+	EmpiricalRate float64 `json:"empirical_rate"`
+}
+
+// CalibrationResponse is the body of GET /v1/sessions/{id}/calibration:
+// a reliability diagram of the session posterior against its own
+// pseudo-gold (each fact's current majority judgment), plus the
+// per-worker accuracy estimates behind the weighted merge path. It is a
+// diagnostic: with true gold unavailable online, a sharply miscalibrated
+// report signals a pc or worker-model misfit worth investigating.
+type CalibrationResponse struct {
+	ID          string `json:"id"`
+	Version     int    `json:"version"`
+	WorkerModel string `json:"worker_model"`
+	// Refits counts worker-model refits performed so far (0 under the
+	// fixed model).
+	Refits int `json:"refits"`
+	// Observations counts attributed judgments accumulated so far.
+	Observations int `json:"observations"`
+	// Bins is the reliability diagram over per-fact marginals; ECE is the
+	// expected calibration error (bin-weighted |predicted − empirical|),
+	// Brier the mean squared error against pseudo-gold, Total the number
+	// of fact predictions binned.
+	Bins  []CalibrationBinInfo `json:"bins"`
+	ECE   float64              `json:"ece"`
+	Brier float64              `json:"brier"`
+	Total int                  `json:"total"`
+	// Workers lists per-worker estimates sorted by worker ID.
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// WorkerFleetInfo is one worker's aggregate state across every resident
+// session on a node.
+type WorkerFleetInfo struct {
+	Worker string `json:"worker"`
+	// Sessions counts resident sessions with observations from this
+	// worker.
+	Sessions int `json:"sessions"`
+	// Support is the worker's total judgment count across those sessions;
+	// Correct sums per-session pseudo-gold agreement.
+	Support int `json:"support"`
+	Correct int `json:"correct"`
+	// Accuracy is the support-weighted mean of the worker's per-session
+	// smoothed estimates.
+	Accuracy float64 `json:"accuracy"`
+	// WilsonLo/WilsonHi bound the pooled pseudo-gold agreement rate.
+	WilsonLo float64 `json:"wilson_lo"`
+	WilsonHi float64 `json:"wilson_hi"`
+}
+
+// WorkersResponse is the body of GET /v1/workers: the node-local fleet
+// view over resident sessions, sorted by worker ID. It is per-node by
+// design — sessions are sharded, so a cluster-wide view is the union of
+// each node's response.
+type WorkersResponse struct {
+	Workers []WorkerFleetInfo `json:"workers"`
+	// Sessions counts the resident sessions scanned.
+	Sessions int `json:"sessions"`
 }

@@ -93,6 +93,7 @@ type fileSessionState struct {
 	logSize   int64 // verified log bytes on disk as of the last read/write
 	pendBatch []int // pending batch, nil when no ledger is open
 	pendDone  []int // batch tasks already judged
+	obsCount  int   // observations folded so far (the next observe op's Seq)
 }
 
 // NewFile opens (creating if needed) a file store rooted at dir.
@@ -207,6 +208,7 @@ func (s *File) putLocked(rec *Record) error {
 		logSize:   0,
 		pendBatch: append([]int(nil), rec.PendingBatch...),
 		pendDone:  append([]int(nil), rec.PendingTasks...),
+		obsCount:  len(rec.Observations),
 	})
 	return nil
 }
@@ -289,7 +291,7 @@ func (s *File) Append(id string, op Op) error {
 	// would let its in-memory state part ways with disk. (The skip-stale
 	// tolerance lives only on the read path, where it heals the log a
 	// crashed compaction leaves behind.)
-	if op.Kind != OpMerge && op.Kind != OpDone && op.Kind != OpPartial {
+	if op.Kind != OpMerge && op.Kind != OpDone && op.Kind != OpPartial && op.Kind != OpObserve {
 		return fmt.Errorf("%w: op kind %q for %s", ErrCorrupt, op.Kind, id)
 	}
 	if op.Version != st.nextVer {
@@ -335,6 +337,29 @@ func (s *File) Append(id string, op Op) error {
 				ErrCorrupt, id, batch)
 		}
 	}
+	if op.Kind == OpObserve {
+		// Shape and ordering gates, mirroring fold: an acknowledged observe
+		// op must be exactly one the read path will fold, never one a later
+		// Get would truncate as a corrupt tail.
+		if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) || len(op.Tasks) != len(op.Workers) {
+			return fmt.Errorf("%w: observe op for %s has %d tasks, %d answers, %d workers",
+				ErrCorrupt, id, len(op.Tasks), len(op.Answers), len(op.Workers))
+		}
+		if len(op.Sources) != 0 && len(op.Sources) != len(op.Tasks) {
+			return fmt.Errorf("%w: observe op for %s has %d tasks but %d sources",
+				ErrCorrupt, id, len(op.Tasks), len(op.Sources))
+		}
+		for i, w := range op.Workers {
+			if w == "" {
+				return fmt.Errorf("%w: observe op for %s has unattributed judgment %d",
+					ErrCorrupt, id, i)
+			}
+		}
+		if op.Seq != st.obsCount {
+			return fmt.Errorf("%w: observe op seq %d does not extend %d observations for %s",
+				ErrCorrupt, op.Seq, st.obsCount, id)
+		}
+	}
 
 	line, err := json.Marshal(op)
 	if err != nil {
@@ -366,6 +391,8 @@ func (s *File) Append(id string, op Op) error {
 			st.pendBatch = append([]int(nil), op.Batch...)
 		}
 		st.pendDone = append(append([]int(nil), st.pendDone...), op.Tasks...)
+	case OpObserve:
+		st.obsCount += len(op.Tasks)
 	}
 	s.setState(id, st)
 	if st.logged >= s.compactEvery {
@@ -465,6 +492,7 @@ func (s *File) getLocked(id string) (*Record, error) {
 		logSize:   int64(good),
 		pendBatch: append([]int(nil), rec.PendingBatch...),
 		pendDone:  append([]int(nil), rec.PendingTasks...),
+		obsCount:  len(rec.Observations),
 	})
 	return rec, nil
 }

@@ -67,6 +67,13 @@ func (s *Memory) Append(id string, op Op) error {
 	if err := checkFence(id, op.Epoch, s.leases[id]); err != nil {
 		return err
 	}
+	if op.Kind == OpObserve && op.Seq != len(rec.Observations) {
+		// The fold-time skip for already-folded observations exists for log
+		// replay over a compacted snapshot; a live append at a stale Seq is
+		// a divergent writer and must not be silently acknowledged.
+		return fmt.Errorf("%w: observe op seq %d does not extend %d observations",
+			ErrCorrupt, op.Seq, len(rec.Observations))
+	}
 	if op.Version != len(rec.Ops) || !rec.fold(op) {
 		return fmt.Errorf("%w: op %q version %d does not extend %d applied ops",
 			ErrCorrupt, op.Kind, op.Version, len(rec.Ops))

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// obsOp builds an OpObserve extending a record with obs observations at
+// version v.
+func obsOp(v, seq int, tasks []int, answers []bool, workers, sources []string) Op {
+	return Op{
+		Kind: OpObserve, Version: v, Seq: seq,
+		Tasks: tasks, Answers: answers, Workers: workers, Sources: sources,
+		Time: time.Unix(2000, 0).UTC(),
+	}
+}
+
+// TestConformanceObserveFoldsIntoGet: OpObserve appends attributed
+// observations without advancing the version — the paired OpMerge still
+// extends the op log at the same version afterwards.
+func TestConformanceObserveFoldsIntoGet(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-observe")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		// testRecord has two folded merges, so the live version is 2.
+		if err := s.Append(rec.ID, obsOp(2, 0,
+			[]int{0, 1}, []bool{true, false},
+			[]string{"w1", "w2"}, []string{"mturk", "mturk"})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec.ID, obsOp(2, 2,
+			[]int{2}, []bool{true}, []string{"w1"}, nil)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Observation{
+			{Task: 0, Answer: true, Worker: "w1", Source: "mturk", Version: 2, Time: time.Unix(2000, 0).UTC()},
+			{Task: 1, Answer: false, Worker: "w2", Source: "mturk", Version: 2, Time: time.Unix(2000, 0).UTC()},
+			{Task: 2, Answer: true, Worker: "w1", Version: 2, Time: time.Unix(2000, 0).UTC()},
+		}
+		if !reflect.DeepEqual(got.Observations, want) {
+			t.Fatalf("observations:\n got %+v\nwant %+v", got.Observations, want)
+		}
+		if len(got.Ops) != 2 {
+			t.Fatalf("observe advanced the version: %d ops", len(got.Ops))
+		}
+		// The merge these observations condition still lands at version 2.
+		if err := s.Append(rec.ID, Op{Kind: OpMerge, Version: 2,
+			Tasks: []int{0, 1, 2}, Answers: []bool{true, false, true}}); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Ops) != 3 || len(got.Observations) != 3 {
+			t.Fatalf("after merge: %d ops, %d observations", len(got.Ops), len(got.Observations))
+		}
+	})
+}
+
+// TestConformanceObserveSeqGate: a live append whose Seq does not extend
+// the observation count is a divergent writer and must be rejected, not
+// silently acknowledged — the fold-time skip exists only for log replay
+// over a compacted snapshot.
+func TestConformanceObserveSeqGate(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-observe-seq")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		// Gapped: seq 1 when no observations exist.
+		err := s.Append(rec.ID, obsOp(2, 1, []int{0}, []bool{true}, []string{"w1"}, nil))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("gapped seq: err = %v, want ErrCorrupt", err)
+		}
+		if err := s.Append(rec.ID, obsOp(2, 0, []int{0}, []bool{true}, []string{"w1"}, nil)); err != nil {
+			t.Fatal(err)
+		}
+		// Stale: replaying seq 0 against one folded observation.
+		err = s.Append(rec.ID, obsOp(2, 0, []int{0}, []bool{true}, []string{"w1"}, nil))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("stale seq: err = %v, want ErrCorrupt", err)
+		}
+		// Wrong version (op log is at 2).
+		err = s.Append(rec.ID, obsOp(1, 1, []int{1}, []bool{true}, []string{"w1"}, nil))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("stale version: err = %v, want ErrCorrupt", err)
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Observations) != 1 {
+			t.Fatalf("rejected appends leaked: %+v", got.Observations)
+		}
+	})
+}
+
+// TestConformanceObserveShapeRejected: malformed observe ops — anonymous
+// workers, unpaired slices — are corrupt, in both stores.
+func TestConformanceObserveShapeRejected(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-observe-shape")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		bad := []Op{
+			obsOp(2, 0, []int{0}, []bool{true}, []string{""}, nil),                  // anonymous
+			obsOp(2, 0, []int{0, 1}, []bool{true, false}, []string{"w1"}, nil),      // unpaired workers
+			obsOp(2, 0, []int{0}, []bool{true}, []string{"w1"}, []string{"a", "b"}), // unpaired sources
+			obsOp(2, 0, nil, nil, nil, nil),                                         // empty
+		}
+		for i, op := range bad {
+			if err := s.Append(rec.ID, op); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("bad op %d: err = %v, want ErrCorrupt", i, err)
+			}
+		}
+	})
+}
+
+// TestConformanceObserveOrderingWithPartialLedger: observations interleave
+// with the pending ledger during an incremental round. The committing
+// merge clears the ledger but never the observation history — replay must
+// see every attributed judgment that conditioned the posterior.
+func TestConformanceObserveOrderingWithPartialLedger(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		rec := testRecord("sess-observe-partial")
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		steps := []Op{
+			obsOp(2, 0, []int{3}, []bool{true}, []string{"w1"}, nil),
+			{Kind: OpPartial, Version: 2, Batch: []int{3, 4, 5}, Tasks: []int{3}, Answers: []bool{true}},
+			obsOp(2, 1, []int{4}, []bool{false}, []string{"w2"}, nil),
+			{Kind: OpPartial, Version: 2, Batch: []int{3, 4, 5}, Tasks: []int{4}, Answers: []bool{false}},
+		}
+		for i, op := range steps {
+			if err := s.Append(rec.ID, op); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.PendingTasks, []int{3, 4}) {
+			t.Fatalf("ledger = %v", got.PendingTasks)
+		}
+		if len(got.Observations) != 2 || got.Observations[0].Worker != "w1" || got.Observations[1].Worker != "w2" {
+			t.Fatalf("observations = %+v", got.Observations)
+		}
+		// The batch completes: observe the last judgment, then merge.
+		if err := s.Append(rec.ID, obsOp(2, 2, []int{5}, []bool{true}, []string{"w1"}, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec.ID, Op{Kind: OpMerge, Version: 2,
+			Tasks: []int{3, 4, 5}, Answers: []bool{true, false, true}}); err != nil {
+			t.Fatal(err)
+		}
+		got, err = s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PendingBatch != nil || got.PendingTasks != nil {
+			t.Fatalf("merge left a ledger: %v / %v", got.PendingBatch, got.PendingTasks)
+		}
+		if len(got.Observations) != 3 {
+			t.Fatalf("merge dropped observations: %+v", got.Observations)
+		}
+	})
+}
+
+// TestConformancePutValidatesObservations: snapshots with corrupt
+// observation histories are refused up front.
+func TestConformancePutValidatesObservations(t *testing.T) {
+	eachStore(t, func(t *testing.T, s SessionStore) {
+		for name, obs := range map[string][]Observation{
+			"anonymous":          {{Task: 0, Answer: true, Version: 0}},
+			"negative task":      {{Task: -1, Answer: true, Worker: "w1", Version: 0}},
+			"version beyond ops": {{Task: 0, Answer: true, Worker: "w1", Version: 3}},
+			"decreasing versions": {
+				{Task: 0, Answer: true, Worker: "w1", Version: 2},
+				{Task: 1, Answer: true, Worker: "w1", Version: 1},
+			},
+		} {
+			rec := testRecord("sess-observe-put")
+			rec.Observations = obs
+			if err := s.Put(rec); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+			}
+		}
+		// A well-formed history round-trips, including through snapshots.
+		rec := testRecord("sess-observe-put")
+		rec.WorkerModel = "em"
+		rec.Observations = []Observation{
+			{Task: 0, Answer: true, Worker: "w1", Source: "sim", Version: 1},
+			{Task: 2, Answer: false, Worker: "w2", Version: 2},
+		}
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.WorkerModel != "em" || !reflect.DeepEqual(got.Observations, rec.Observations) {
+			t.Fatalf("round trip:\n got %q %+v\nwant %q %+v",
+				got.WorkerModel, got.Observations, rec.WorkerModel, rec.Observations)
+		}
+	})
+}
+
+// TestFileObserveSurvivesRestart: observe ops are fsynced before Append
+// acknowledges, so an acknowledged observation survives SIGKILL (simulated
+// by reopening the directory without Close).
+func TestFileObserveSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs := reopen(t, dir, 0)
+	rec := testRecord("sess-observe-kill")
+	if err := fs.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(rec.ID, obsOp(2, 0,
+		[]int{0, 2}, []bool{true, false}, []string{"w1", "w2"}, []string{"sim", "sim"})); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the reopened store must see the synced log alone.
+	got, err := reopen(t, dir, 0).Get(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Observations) != 2 || got.Observations[1].Worker != "w2" {
+		t.Fatalf("restart lost observations: %+v", got.Observations)
+	}
+}
+
+// TestFileObserveTornTailRecovers: a torn observe line at the log tail is
+// truncated like any other torn op, recovering every previously
+// acknowledged observation and accepting fresh appends.
+func TestFileObserveTornTailRecovers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"torn observe", `{"op":"observe","version":2,"seq":1,"tasks":[1],"answ`},
+		{"gapped seq", `{"op":"observe","version":2,"seq":5,"tasks":[1],"answers":[true],"workers":["w9"]}` + "\n"},
+		{"anonymous worker", `{"op":"observe","version":2,"seq":1,"tasks":[1],"answers":[true],"workers":[""]}` + "\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := reopen(t, dir, 0)
+			rec := testRecord("sess-observe-torn")
+			if err := fs.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Append(rec.ID, obsOp(2, 0,
+				[]int{0}, []bool{true}, []string{"w1"}, nil)); err != nil {
+				t.Fatal(err)
+			}
+			logPath := filepath.Join(dir, rec.ID+".log")
+			f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			fs2 := reopen(t, dir, 0)
+			got, err := fs2.Get(rec.ID)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			if len(got.Observations) != 1 || got.Observations[0].Worker != "w1" {
+				t.Fatalf("recovered observations: %+v", got.Observations)
+			}
+			// The tail was repaired: the next observe extends cleanly.
+			if err := fs2.Append(rec.ID, obsOp(2, 1,
+				[]int{1}, []bool{false}, []string{"w2"}, nil)); err != nil {
+				t.Fatal(err)
+			}
+			got, err = reopen(t, dir, 0).Get(rec.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Observations) != 2 {
+				t.Fatalf("append after repair lost: %+v", got.Observations)
+			}
+		})
+	}
+}

@@ -56,6 +56,15 @@ const (
 	// carries the full selected batch so recovery can re-pin the exact
 	// selection the judgments answer.
 	OpPartial = "partial"
+	// OpObserve journals worker-attributed judgments — the observations an
+	// online worker model (EM / Dawid–Skene) is estimated from. Tasks,
+	// Answers and Workers are parallel (Sources optional); Version is the
+	// session version the observations arrived at (observe ops do not
+	// advance the version — the paired OpMerge/OpPartial does); Seq is the
+	// index of the first observation appended, so a compaction that crashed
+	// between snapshot and truncate heals by skipping already-folded
+	// observations exactly as merge versions do.
+	OpObserve = "observe"
 )
 
 // Op is one logged state transition. Merge ops are ordered by Version: the
@@ -70,6 +79,14 @@ type Op struct {
 	// Batch is the full selected batch a partial op's judgments belong to,
 	// in selection order. Only OpPartial carries it.
 	Batch []int `json:"batch,omitempty"`
+	// Workers attributes each judgment of an OpObserve to its worker,
+	// parallel to Tasks/Answers. Sources optionally names each judgment's
+	// originating platform (parallel when present, or absent entirely).
+	// Seq is the record's observation count before this op — the index the
+	// op's first observation lands at.
+	Workers []string `json:"workers,omitempty"`
+	Sources []string `json:"sources,omitempty"`
+	Seq     int      `json:"seq,omitempty"`
 	// Epoch is the fencing epoch of the lease this op was written under,
 	// 0 when the session is not leased. Append refuses ops whose epoch is
 	// not the lease's current epoch with ErrFenced (see lease.go).
@@ -77,6 +94,21 @@ type Op struct {
 	// Time advances the record's LastAccess on load; it never affects
 	// replay arithmetic.
 	Time time.Time `json:"time,omitzero"`
+}
+
+// Observation is one worker-attributed crowd judgment folded into a
+// record — the durable unit the online worker models are estimated from.
+// Version is the session version current when the judgment arrived, which
+// is what lets recovery reconstruct the exact estimate sequence: the
+// worker estimates feeding the merge of the batch selected at version v
+// were refit from observations with Version < v only.
+type Observation struct {
+	Task    int       `json:"task"`
+	Answer  bool      `json:"answer"`
+	Worker  string    `json:"worker"`
+	Source  string    `json:"source,omitempty"`
+	Version int       `json:"version"`
+	Time    time.Time `json:"time,omitzero"`
 }
 
 // Prior is the session's initial distribution exactly as the client sent
@@ -130,6 +162,15 @@ type Record struct {
 	PendingBatch   []int  `json:"pending_batch,omitempty"`
 	PendingTasks   []int  `json:"pending_tasks,omitempty"`
 	PendingAnswers []bool `json:"pending_answers,omitempty"`
+
+	// WorkerModel names the session's worker-accuracy model ("fixed" when
+	// empty): a creation parameter like Selector, stored so recovery refits
+	// the same estimator.
+	WorkerModel string `json:"worker_model,omitempty"`
+	// Observations is the session's worker-attributed judgment history in
+	// arrival order, folded from OpObserve ops — the input the online
+	// worker models are refit from on recovery.
+	Observations []Observation `json:"observations,omitempty"`
 }
 
 // SessionStore persists session records. Implementations must be safe for
@@ -211,6 +252,7 @@ func (r *Record) Clone() *Record {
 	c.PendingBatch = append([]int(nil), r.PendingBatch...)
 	c.PendingTasks = append([]int(nil), r.PendingTasks...)
 	c.PendingAnswers = append([]bool(nil), r.PendingAnswers...)
+	c.Observations = append([]Observation(nil), r.Observations...)
 	return &c
 }
 
@@ -220,6 +262,8 @@ func (o Op) clone() Op {
 	c.Tasks = append([]int(nil), o.Tasks...)
 	c.Answers = append([]bool(nil), o.Answers...)
 	c.Batch = append([]int(nil), o.Batch...)
+	c.Workers = append([]string(nil), o.Workers...)
+	c.Sources = append([]string(nil), o.Sources...)
 	return c
 }
 
@@ -243,6 +287,30 @@ func (r *Record) validate() error {
 	}
 	if err := r.validatePending(); err != nil {
 		return err
+	}
+	if err := r.validateObservations(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateObservations checks the observation-history invariants: every
+// observation attributed to a named worker, versions within the folded op
+// range and non-decreasing (arrival order).
+func (r *Record) validateObservations() error {
+	prev := 0
+	for i, obs := range r.Observations {
+		if obs.Worker == "" {
+			return fmt.Errorf("%w: observation %d has no worker", ErrCorrupt, i)
+		}
+		if obs.Task < 0 {
+			return fmt.Errorf("%w: observation %d has task %d", ErrCorrupt, i, obs.Task)
+		}
+		if obs.Version < prev || obs.Version > len(r.Ops) {
+			return fmt.Errorf("%w: observation %d has version %d (ops %d, prev %d)",
+				ErrCorrupt, i, obs.Version, len(r.Ops), prev)
+		}
+		prev = obs.Version
 	}
 	return nil
 }
@@ -358,6 +426,43 @@ func (r *Record) fold(op Op) (ok bool) {
 			}
 			r.PendingTasks = append(r.PendingTasks, op.Tasks...)
 			r.PendingAnswers = append(r.PendingAnswers, op.Answers...)
+		default:
+			return false
+		}
+	case OpObserve:
+		switch {
+		case len(op.Tasks) == 0:
+			// An empty observe op is meaningless — and without this guard it
+			// would satisfy the already-folded skip below vacuously.
+			return false
+		case op.Seq+len(op.Tasks) <= len(r.Observations):
+			// Already folded into the snapshot by a compaction.
+		case op.Seq == len(r.Observations) && op.Version == len(r.Ops):
+			if len(op.Tasks) == 0 || len(op.Tasks) != len(op.Answers) ||
+				len(op.Tasks) != len(op.Workers) {
+				return false
+			}
+			if len(op.Sources) != 0 && len(op.Sources) != len(op.Tasks) {
+				return false
+			}
+			for _, w := range op.Workers {
+				if w == "" {
+					return false
+				}
+			}
+			for i, t := range op.Tasks {
+				obs := Observation{
+					Task:    t,
+					Answer:  op.Answers[i],
+					Worker:  op.Workers[i],
+					Version: op.Version,
+					Time:    op.Time,
+				}
+				if len(op.Sources) != 0 {
+					obs.Source = op.Sources[i]
+				}
+				r.Observations = append(r.Observations, obs)
+			}
 		default:
 			return false
 		}

@@ -208,6 +208,59 @@ PPROF_STATUS=$(curl -s -o /dev/null -w '%{http_code}' \
 [ "$PPROF_STATUS" = "200" ] || fail "pprof profile answered $PPROF_STATUS"
 echo "smoke: debug endpoints OK on $DEBUG_ADDR"
 
+# Worker-model surface: an em session learns a per-worker accuracy gap
+# from its own traffic. Two planted workers answer attributed rounds —
+# "alice" consistently (twice, pinning the pseudo-gold consensus),
+# "mallory" with every judgment flipped — and the calibration report
+# must estimate mallory below alice.
+CREATE_EM=$(curl -fsS -X POST "$BASE/v1/sessions" \
+    -H 'Content-Type: application/json' \
+    -d '{"marginals":[0.5,0.63,0.58,0.49],"pc":0.8,"k":2,"budget":64,"worker_model":"em"}') ||
+    fail "create em session"
+echo "$CREATE_EM" | grep -q '"worker_model": "em"' || fail "em model not echoed: $CREATE_EM"
+EMID=$(echo "$CREATE_EM" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+[ -n "$EMID" ] || fail "no session id in: $CREATE_EM"
+
+round_judgments() { # round_judgments <worker> <a0> <a1> <a2> <a3>
+    printf '[{"task":0,"answer":%s,"worker":"%s","source":"smoke"},' "$2" "$1"
+    printf '{"task":1,"answer":%s,"worker":"%s","source":"smoke"},' "$3" "$1"
+    printf '{"task":2,"answer":%s,"worker":"%s","source":"smoke"},' "$4" "$1"
+    printf '{"task":3,"answer":%s,"worker":"%s","source":"smoke"}]' "$5" "$1"
+}
+V=0
+for WORKER in alice mallory alice; do
+    if [ "$WORKER" = alice ]; then
+        JS=$(round_judgments alice true false true false)
+    else
+        JS=$(round_judgments mallory false true false true)
+    fi
+    WMERGE=$(curl -fsS -X POST "$BASE/v1/sessions/$EMID/answers" \
+        -H 'Content-Type: application/json' \
+        -d "{\"judgments\":$JS,\"version\":$V}") ||
+        fail "attributed round $V ($WORKER)"
+    echo "$WMERGE" | grep -q '"merged": true' || fail "attributed round $V not merged: $WMERGE"
+    V=$((V + 1))
+done
+
+CAL=$(curl -fsS "$BASE/v1/sessions/$EMID/calibration") || fail "calibration"
+echo "$CAL" | grep -q '"worker_model": "em"' || fail "calibration model: $CAL"
+echo "$CAL" | grep -q '"observations": 12' || fail "calibration observations: $CAL"
+REFITS=$(echo "$CAL" | sed -n 's/.*"refits": *\([0-9]*\).*/\1/p' | head -n 1)
+[ "${REFITS:-0}" -ge 1 ] || fail "no refits ran: $CAL"
+# Workers sort by ID, so the first "accuracy" is alice's, the second
+# mallory's; the planted gap must survive estimation.
+ACCS=$(echo "$CAL" | sed -n 's/.*"accuracy": *\([0-9.]*\).*/\1/p' | head -n 2 | tr '\n' ' ')
+GAP_OK=$(echo "$ACCS" | awk '{print (NF == 2 && $1 > $2) ? "yes" : "no"}')
+[ "$GAP_OK" = yes ] || fail "accuracy gap not learned (alice mallory = $ACCS): $CAL"
+curl -fsS "$BASE/v1/workers" | grep -q '"worker": "mallory"' || fail "fleet view lacks mallory"
+WMETRICS=$(curl -fsS "$BASE/metrics") || fail "metrics after worker rounds"
+WREFITS=$(echo "$WMETRICS" | sed -n 's/^crowdfusion_worker_refits_total \([0-9]*\)$/\1/p')
+[ "${WREFITS:-0}" -ge 1 ] || fail "worker_refits_total: $WMETRICS"
+echo "$WMETRICS" | grep -q '^crowdfusion_workers_tracked 2$' || fail "workers_tracked gauge: $WMETRICS"
+WMERGES=$(echo "$WMETRICS" | sed -n 's/^crowdfusion_weighted_merges_total \([0-9]*\)$/\1/p')
+[ "${WMERGES:-0}" -ge 1 ] || fail "weighted_merges_total: $WMETRICS"
+echo "smoke: worker calibration gap learned (alice mallory = $ACCS, refits=$REFITS)"
+
 # Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$DAEMON"
 i=0
