@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func report(cpu string, results ...Result) *Report {
+	return &Report{Goos: "linux", Goarch: "amd64", CPU: cpu, Results: results}
+}
+
+func TestCompareFailsSyntheticRegression(t *testing.T) {
+	base := report("cpuA",
+		Result{Name: "BenchmarkFast", Package: "p", NsPerOp: 1000},
+		Result{Name: "BenchmarkSlow", Package: "p", NsPerOp: 2000},
+	)
+	cur := report("cpuA",
+		Result{Name: "BenchmarkFast", Package: "p", NsPerOp: 1050}, // +5%: within threshold
+		Result{Name: "BenchmarkSlow", Package: "p", NsPerOp: 2400}, // +20%: regression
+	)
+	findings, shift := compare(base, cur, 0.10, nil, false)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	if shift != 0 {
+		t.Fatalf("drift estimated from %d entries (floor is %d)", len(findings), driftFloor)
+	}
+	// Worst first: the regression leads.
+	if findings[0].Name != "p.BenchmarkSlow" || !findings[0].Fails {
+		t.Fatalf("regression not flagged: %+v", findings[0])
+	}
+	if findings[1].Fails {
+		t.Fatalf("within-threshold delta flagged: %+v", findings[1])
+	}
+	var sb strings.Builder
+	if failed := render(&sb, findings, 0.10, shift, false); !failed {
+		t.Fatal("render reported no failure for a >10%% regression")
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("report lacks FAIL line:\n%s", sb.String())
+	}
+}
+
+// TestCompareTakesMinOfRepeats: with repeated suite passes each
+// benchmark appears several times per document; the gate must compare
+// minima, so one noisy repeat on either side cannot fail (or mask) a
+// regression.
+func TestCompareTakesMinOfRepeats(t *testing.T) {
+	base := report("cpuA",
+		Result{Name: "BenchmarkHot", Package: "p", NsPerOp: 1000},
+		Result{Name: "BenchmarkHot", Package: "p", NsPerOp: 1400}, // noisy repeat
+	)
+	cur := report("cpuA",
+		Result{Name: "BenchmarkHot", Package: "p", NsPerOp: 1300}, // noisy repeat
+		Result{Name: "BenchmarkHot", Package: "p", NsPerOp: 1050},
+	)
+	findings, _ := compare(base, cur, 0.10, nil, false)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (repeats collapsed)", len(findings))
+	}
+	f := findings[0]
+	if f.Base != 1000 || f.Cur != 1050 || f.Fails {
+		t.Fatalf("min-of-repeats not applied: %+v", f)
+	}
+	// And a genuine regression of the minimum still fails.
+	cur.Results[1].NsPerOp = 1200
+	if fs, _ := compare(base, cur, 0.10, nil, false); !fs[0].Fails {
+		t.Fatalf("regressed minimum passed the gate: %+v", f)
+	}
+}
+
+// TestCompareDriftNormalization: a machine-state shift moves every
+// benchmark by roughly the same factor; the gate must divide that out,
+// failing only entries that moved against the pack.
+func TestCompareDriftNormalization(t *testing.T) {
+	var baseR, curR []Result
+	for i := 0; i < 10; i++ {
+		name := "Benchmark" + strconv.Itoa(i)
+		baseR = append(baseR, Result{Name: name, Package: "p", NsPerOp: 1000})
+		curR = append(curR, Result{Name: name, Package: "p", NsPerOp: 1120}) // +12% everywhere
+	}
+	findings, shift := compare(report("cpuA", baseR...), report("cpuA", curR...), 0.10, nil, false)
+	if shift < 0.11 || shift > 0.13 {
+		t.Fatalf("drift = %v, want ~0.12", shift)
+	}
+	for _, f := range findings {
+		if f.Fails {
+			t.Fatalf("uniform +12%% drift failed the gate: %+v", f)
+		}
+	}
+	// One benchmark moving +30% against the same +12% pack still fails.
+	curR[3].NsPerOp = 1300
+	findings, _ = compare(report("cpuA", baseR...), report("cpuA", curR...), 0.10, nil, false)
+	if findings[0].Name != "p.Benchmark3" || !findings[0].Fails {
+		t.Fatalf("against-the-pack regression passed: %+v", findings[0])
+	}
+	for _, f := range findings[1:] {
+		if f.Fails {
+			t.Fatalf("pack member failed the gate: %+v", f)
+		}
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report("cpuA", Result{Name: "BenchmarkGone", NsPerOp: 500})
+	cur := report("cpuA")
+	findings, _ := compare(base, cur, 0.10, nil, false)
+	if len(findings) != 1 || !findings[0].Missing || !findings[0].Fails {
+		t.Fatalf("missing benchmark not flagged: %+v", findings)
+	}
+}
+
+func TestCompareAllowlistWarnsOnly(t *testing.T) {
+	base := report("cpuA",
+		Result{Name: "BenchmarkNoisy", NsPerOp: 100},
+		Result{Name: "BenchmarkGone", NsPerOp: 100},
+	)
+	cur := report("cpuA", Result{Name: "BenchmarkNoisy", NsPerOp: 500})
+	findings, _ := compare(base, cur, 0.10, regexp.MustCompile("Noisy|Gone"), false)
+	for _, f := range findings {
+		if f.Fails {
+			t.Fatalf("allowlisted benchmark failed the gate: %+v", f)
+		}
+	}
+}
+
+func TestCompareLenientCPUDowngrades(t *testing.T) {
+	base := report("cpuA", Result{Name: "BenchmarkHot", NsPerOp: 100})
+	cur := report("cpuB", Result{Name: "BenchmarkHot", NsPerOp: 300})
+	findings, _ := compare(base, cur, 0.10, nil, true)
+	if findings[0].Fails || !findings[0].Lenient {
+		t.Fatalf("lenient mode did not downgrade: %+v", findings[0])
+	}
+}
+
+// TestRunEndToEnd drives the CLI through run(): a synthetic >10%
+// regression must exit 1 in strict mode and 0 with -lenient-cpu across
+// differing CPUs.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, cpu string, ns float64) string {
+		path := filepath.Join(dir, name)
+		data := `{"goos":"linux","goarch":"amd64","cpu":"` + cpu + `","results":[` +
+			`{"name":"BenchmarkX","package":"p","iterations":10,"ns_per_op":` +
+			strconv.FormatFloat(ns, 'g', -1, 64) + `}]}`
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", "cpuA", 1000)
+	cur := write("cur.json", "cpuA", 1500)
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 1 {
+		t.Fatalf("strict run exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	curB := write("curB.json", "cpuB", 1500)
+	out.Reset()
+	if code := run([]string{"-baseline", base, "-current", curB, "-lenient-cpu"}, &out, &errOut); code != 0 {
+		t.Fatalf("lenient run exit = %d, want 0\n%s", code, out.String())
+	}
+	outFile := filepath.Join(dir, "diff.txt")
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "0.60", "-out", outFile}, &out, &errOut); code != 0 {
+		t.Fatalf("raised-threshold run exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(outFile); err != nil {
+		t.Fatalf("-out report not written: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"crowdfusion/internal/dist"
+	"crowdfusion/internal/info"
+	"crowdfusion/internal/parallel"
+)
+
+// ErrNilBatchItem is returned for a batch item missing its selector or
+// posterior.
+var ErrNilBatchItem = errors.New("core: batch item missing selector or joint")
+
+// ChannelPlan is the shared, read-mostly part of a selection configuration:
+// everything that depends only on the (pc, k) channel setup and fact
+// counts, never on any one session's posterior. A BatchSelector builds one
+// plan per (pc, k) group and every member's greedy pass reads it — the BSC
+// noise floor H(pc), the butterfly stage plan (k stages, cache-blocked
+// below butterflyBlockBits), and the per-Hamming-distance answer-channel
+// weight tables, memoized per fact count. Every plan value is a pure
+// function of its inputs, so planned and unplanned selections are
+// bit-identical; sharing amortizes setup, never changes arithmetic.
+type ChannelPlan struct {
+	pc     float64
+	k      int
+	stages int     // butterfly stages an exact k-task evaluation runs
+	floor  float64 // info.Binary(pc): per-task crowd-noise entropy
+
+	mu      sync.Mutex
+	weights map[int][]float64 // bscWeights(n, pc) memoized by fact count n
+}
+
+func newChannelPlan(pc float64, k int) *ChannelPlan {
+	return &ChannelPlan{
+		pc:      pc,
+		k:       k,
+		stages:  k,
+		floor:   info.Binary(pc),
+		weights: make(map[int][]float64),
+	}
+}
+
+// noiseFloor returns the crowd-noise entropy H(pc). Nil-safe: the
+// unbatched path computes it inline from pc.
+func (p *ChannelPlan) noiseFloor(pc float64) float64 {
+	if p == nil {
+		return info.Binary(pc)
+	}
+	return p.floor
+}
+
+// distWeights returns the per-disagreement-count channel weight table
+// (bscWeights) for n facts, memoized across the plan's batch group.
+// Nil-safe: the unbatched path computes the table inline.
+func (p *ChannelPlan) distWeights(n int, pc float64) []float64 {
+	if p == nil {
+		return bscWeights(n, pc)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.weights[n]
+	if !ok {
+		w = bscWeights(n, pc)
+		p.weights[n] = w
+	}
+	return w
+}
+
+// BatchItem is one session's pending selection: the greedy configuration
+// to run, the session's posterior, and its (k, pc) channel parameters.
+type BatchItem struct {
+	Selector *GreedySelector
+	Joint    *dist.Joint
+	K        int
+	Pc       float64
+}
+
+// BatchResult is the outcome of one BatchItem: exactly the tasks or error
+// the item's own GreedySelector.Select call would have produced.
+type BatchResult struct {
+	Tasks []int
+	Err   error
+}
+
+// BatchSelector runs many sessions' selections as one batch. Items are
+// grouped by their (pc, k) configuration; each group's channel setup is
+// computed once into a ChannelPlan; and the per-session greedy passes run
+// over the bounded worker pool (internal/parallel), which degrades to an
+// inline loop when the batch is nested inside another parallel region.
+//
+// Per item the result is bit-identical to calling that item's
+// GreedySelector.Select directly — the differential suite in batch_test.go
+// asserts this across pc/k mixes and under the race detector. A zero-value
+// BatchSelector is ready to use.
+type BatchSelector struct {
+	// Workers bounds the parallelism across items (0 = all CPUs).
+	Workers int
+}
+
+// NewBatchSelector returns a batch selector using all CPUs.
+func NewBatchSelector() *BatchSelector { return &BatchSelector{} }
+
+// planKey groups batch items that can share one ChannelPlan.
+type planKey struct {
+	pc float64
+	k  int
+}
+
+// SelectBatch selects for every item, returning results in item order.
+// Item errors land in the corresponding result slot; the batch itself
+// never fails partially.
+func (b *BatchSelector) SelectBatch(items []BatchItem) []BatchResult {
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	plans := make(map[planKey]*ChannelPlan, 1)
+	for _, it := range items {
+		key := planKey{pc: it.Pc, k: it.K}
+		if _, ok := plans[key]; !ok {
+			plans[key] = newChannelPlan(it.Pc, it.K)
+		}
+	}
+	w := parallel.Workers(b.Workers, len(items))
+	parallel.For(w, len(items), func(i int) {
+		it := items[i]
+		if it.Selector == nil || it.Joint == nil {
+			results[i] = BatchResult{Err: ErrNilBatchItem}
+			return
+		}
+		plan := plans[planKey{pc: it.Pc, k: it.K}]
+		tasks, err := it.Selector.selectPlan(it.Joint, it.K, it.Pc, plan)
+		results[i] = BatchResult{Tasks: tasks, Err: err}
+	})
+	return results
+}

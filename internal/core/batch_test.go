@@ -1,0 +1,403 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Differential suite for batched cross-session selection and the float32
+// stage variant. The batch contract is bit-identity: every member's result
+// must be exactly what its own GreedySelector.Select call returns. The
+// float32 contract is weaker by design — argmax stability, not
+// bit-identity — measured against the float64 path and the reference
+// oracles.
+
+// batchItems builds a mixed workload: random joints spread over a few
+// (pc, k) groups and all four greedy configurations.
+func batchItems(tb testing.TB, rng *rand.Rand, count int) []BatchItem {
+	tb.Helper()
+	selectors := []*GreedySelector{
+		NewGreedy(), NewGreedyPrune(), NewGreedyPre(), NewGreedyPrunePre(),
+	}
+	pcs := []float64{0.6, 0.75, 0.9}
+	ks := []int{1, 2, 3, 5}
+	items := make([]BatchItem, 0, count)
+	for i := 0; i < count; i++ {
+		n := 4 + rng.Intn(9)
+		j := randomSparseJoint(tb, rng, n, 1+rng.Intn(1<<uint(min(n, 9))))
+		items = append(items, BatchItem{
+			Selector: selectors[rng.Intn(len(selectors))],
+			Joint:    j,
+			K:        ks[rng.Intn(len(ks))],
+			Pc:       pcs[rng.Intn(len(pcs))],
+		})
+	}
+	return items
+}
+
+// TestBatchSelectorBitIdentical: at any worker count, every batch member's
+// tasks equal its own sequential GreedySelector.Select — exactly, not
+// within tolerance. CI runs this under -race, which also checks that plan
+// sharing across concurrent members is sound.
+func TestBatchSelectorBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	items := batchItems(t, rng, 40)
+	want := make([][]int, len(items))
+	for i, it := range items {
+		var err error
+		want[i], err = it.Selector.Select(it.Joint, it.K, it.Pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 3, 0} {
+		b := &BatchSelector{Workers: workers}
+		results := b.SelectBatch(items)
+		if len(results) != len(items) {
+			t.Fatalf("workers=%d: %d results for %d items", workers, len(results), len(items))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, r.Err)
+			}
+			if !reflect.DeepEqual(r.Tasks, want[i]) {
+				t.Fatalf("workers=%d item %d (%s k=%d pc=%v): batched %v != sequential %v",
+					workers, i, items[i].Selector.Name(), items[i].K, items[i].Pc,
+					r.Tasks, want[i])
+			}
+		}
+	}
+}
+
+// TestBatchSelectorConcurrent: many goroutines submitting overlapping
+// batches (shared joints, shared selectors) stay bit-identical — the
+// -race proof that batching introduces no shared mutable state.
+func TestBatchSelectorConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	items := batchItems(t, rng, 12)
+	want := make([][]int, len(items))
+	for i, it := range items {
+		var err error
+		want[i], err = it.Selector.Select(it.Joint, it.K, it.Pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewBatchSelector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for i, r := range b.SelectBatch(items) {
+					if r.Err != nil {
+						t.Errorf("item %d: %v", i, r.Err)
+						return
+					}
+					if !reflect.DeepEqual(r.Tasks, want[i]) {
+						t.Errorf("item %d: %v != %v", i, r.Tasks, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatchSelectorErrors: per-item failures (bad pc, missing selector or
+// joint) land in their own result slot without disturbing neighbours.
+func TestBatchSelectorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	j := randomSparseJoint(t, rng, 6, 20)
+	b := NewBatchSelector()
+	items := []BatchItem{
+		{Selector: NewGreedy(), Joint: j, K: 2, Pc: 0.8},
+		{Selector: NewGreedy(), Joint: j, K: 2, Pc: 0.3}, // invalid accuracy
+		{Selector: nil, Joint: j, K: 2, Pc: 0.8},         // missing selector
+		{Selector: NewGreedy(), Joint: nil, K: 2, Pc: 0.8},
+		{Selector: NewGreedyPrunePre(), Joint: j, K: 3, Pc: 0.8},
+	}
+	results := b.SelectBatch(items)
+	if results[0].Err != nil || results[4].Err != nil {
+		t.Fatalf("healthy items failed: %v, %v", results[0].Err, results[4].Err)
+	}
+	if !errors.Is(results[1].Err, ErrBadAccuracy) {
+		t.Errorf("bad pc: err = %v", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, ErrNilBatchItem) || !errors.Is(results[3].Err, ErrNilBatchItem) {
+		t.Errorf("nil item errs = %v, %v", results[2].Err, results[3].Err)
+	}
+	if got := b.SelectBatch(nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestChannelPlanValues: the plan's cached values are bitwise what the
+// unbatched path computes inline — the property the bit-identity of
+// selectPlan rests on.
+func TestChannelPlanValues(t *testing.T) {
+	for _, pc := range []float64{0.5, 0.62, 0.8, 0.97, 1} {
+		p := newChannelPlan(pc, 4)
+		if got, want := p.noiseFloor(pc), (*ChannelPlan)(nil).noiseFloor(pc); got != want {
+			t.Errorf("pc=%v: plan floor %v != inline %v", pc, got, want)
+		}
+		for _, n := range []int{1, 7, 12} {
+			got := p.distWeights(n, pc)
+			want := bscWeights(n, pc)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pc=%v n=%d: plan weights differ from inline", pc, n)
+			}
+			// Memoized: the same slice comes back.
+			if again := p.distWeights(n, pc); &again[0] != &got[0] {
+				t.Errorf("pc=%v n=%d: weights not memoized", pc, n)
+			}
+		}
+	}
+}
+
+// float32Band is the entropy noise the float32 stages may introduce: the
+// admissibility band for argmax decisions. Empirically the divergence sits
+// around 1e-6 bits; the band is two orders looser so the test fails on a
+// real precision bug, not on noise.
+const float32Band = 1e-4
+
+// TestFloat32StageAccuracy: float32 stage entropies stay within the band
+// of the float64 reference oracle over randomized joints, at every depth
+// of a simulated selection.
+func TestFloat32StageAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(8)
+		j := randomSparseJoint(t, rng, n, 1+rng.Intn(1<<uint(min(n, 9))))
+		pc := []float64{0.5, 0.7, 0.9, 1}[rng.Intn(4)]
+		c := newPatternCache(j, pc, true)
+		var selected []int
+		inSet := make([]bool, n)
+		for depth := 0; depth < min(n, 5); depth++ {
+			for f := 0; f < n; f++ {
+				if inSet[f] {
+					continue
+				}
+				got := c.entropyWith(f)
+				want, err := taskEntropyRef(j, append(append([]int(nil), selected...), f), pc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > float32Band {
+					t.Fatalf("depth=%d f=%d pc=%v: f32 %v vs oracle %v (|Δ|=%.2g)",
+						depth, f, pc, got, want, math.Abs(got-want))
+				}
+			}
+			f := rng.Intn(n)
+			for inSet[f] {
+				f = rng.Intn(n)
+			}
+			c.pick(f)
+			selected = append(selected, f)
+			inSet[f] = true
+		}
+		c.release()
+	}
+}
+
+// TestFloat32ArgmaxStability: the property that decides whether float32
+// stages are admissible for selection ordering. At every depth of a greedy
+// walk over randomized joints, whenever the float64 evaluation separates
+// the best candidate from the runner-up by more than the float32 noise
+// band, the float32 evaluation must rank the same candidate first.
+// Within-band near-ties may flip — by definition of the band, either
+// choice loses at most float32Band bits of entropy, which is why the
+// variant ships flag-gated rather than default-on.
+func TestFloat32ArgmaxStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	checked, flips := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(9)
+		j := randomSparseJoint(t, rng, n, 1+rng.Intn(1<<uint(min(n, 10))))
+		pc := []float64{0.55, 0.7, 0.85, 0.95}[rng.Intn(4)]
+		c64 := newPatternCache(j, pc, false)
+		c32 := newPatternCache(j, pc, true)
+		inSet := make([]bool, n)
+		for depth := 0; depth < min(n, 5); depth++ {
+			best64, second64 := -1, math.Inf(-1)
+			var best64H float64 = math.Inf(-1)
+			best32 := -1
+			best32H := math.Inf(-1)
+			for f := 0; f < n; f++ {
+				if inSet[f] {
+					continue
+				}
+				h64 := c64.entropyWith(f)
+				h32 := c32.entropyWith(f)
+				if h64 > best64H {
+					second64 = best64H
+					best64H, best64 = h64, f
+				} else if h64 > second64 {
+					second64 = h64
+				}
+				if h32 > best32H {
+					best32H, best32 = h32, f
+				}
+			}
+			if best64 < 0 {
+				break
+			}
+			margin := best64H - second64
+			if margin > float32Band {
+				checked++
+				if best32 != best64 {
+					t.Fatalf("trial=%d depth=%d pc=%v: f32 argmax %d != f64 argmax %d with margin %.3g",
+						trial, depth, pc, best32, best64, margin)
+				}
+			} else if best32 != best64 {
+				flips++ // near-tie: either choice is within the band
+			}
+			// Advance both caches along the float64 choice so the walk
+			// stays comparable.
+			c64.pick(best64)
+			c32.pick(best64)
+			inSet[best64] = true
+		}
+		c64.release()
+		c32.release()
+	}
+	if checked == 0 {
+		t.Fatal("property test never saw a clear margin; widen the workload")
+	}
+	t.Logf("argmax checked on %d clear margins, %d near-tie flips tolerated", checked, flips)
+}
+
+// TestFloat32SelectionQuality: full flag-gated selections lose at most the
+// noise band of exact (float64-measured) entropy versus the float64
+// selection — near-tie flips may change the set, never its quality.
+func TestFloat32SelectionQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	sel64 := NewGreedy()
+	sel32 := &GreedySelector{Options: GreedyOptions{Float32: true}}
+	if sel32.Name() != "Approx+F32" {
+		t.Fatalf("Name() = %q", sel32.Name())
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(9)
+		j := randomSparseJoint(t, rng, n, 1+rng.Intn(1<<uint(min(n, 9))))
+		k := 1 + rng.Intn(min(n, 5))
+		pc := []float64{0.6, 0.8, 0.95}[rng.Intn(3)]
+		got32, err := sel32.Select(j, k, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got64, err := sel64.Select(j, k, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(got32, got64) {
+			continue
+		}
+		h32, err := TaskEntropy(j, got32, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h64, err := TaskEntropy(j, got64, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One flipped near-tie per depth can each cost at most the band.
+		if h64-h32 > float32Band*float64(k) {
+			t.Fatalf("trial %d: f32 selection %v loses %.3g bits vs %v",
+				trial, got32, h64-h32, got64)
+		}
+	}
+}
+
+// TestButterfly32MatchesButterfly64: the float32 stage kernel agrees with
+// the float64 butterfly (and hence the reference oracle, see
+// TestButterflyMatchesReference) within float32 precision, including the
+// cache-blocked split on vectors larger than one block.
+func TestButterfly32MatchesButterfly64(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, k := range []int{1, 3, 8, 13, 14} { // 13, 14 exceed butterflyBlockBits
+		d64 := make([]float64, 1<<uint(k))
+		d32 := make([]float32, 1<<uint(k))
+		for i := range d64 {
+			v := rng.Float64()
+			d64[i] = v
+			d32[i] = float32(v)
+		}
+		pc := 0.5 + rng.Float64()/2
+		bscButterfly(d64, k, pc)
+		bscButterfly32(d32, k, float32(pc))
+		for i := range d64 {
+			if math.Abs(float64(d32[i])-d64[i]) > 1e-3 {
+				t.Fatalf("k=%d i=%d: f32 %v vs f64 %v", k, i, d32[i], d64[i])
+			}
+		}
+	}
+}
+
+// TestBlockedButterflyBitIdentical: the cache-blocked butterfly is the
+// same arithmetic as the naive stage-by-stage sweep, bit for bit, above
+// and below the block size.
+func TestBlockedButterflyBitIdentical(t *testing.T) {
+	naive := func(dense []float64, k int, pc float64) {
+		qc := 1 - pc
+		for b := 0; b < k; b++ {
+			step := 1 << uint(b)
+			for base := 0; base < len(dense); base += step << 1 {
+				for i := base; i < base+step; i++ {
+					lo, hi := dense[i], dense[i+step]
+					dense[i] = pc*lo + qc*hi
+					dense[i+step] = qc*lo + pc*hi
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(103))
+	for _, k := range []int{0, 1, 5, 11, 12, 13, 15} {
+		a := make([]float64, 1<<uint(k))
+		b := make([]float64, len(a))
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = a[i]
+		}
+		pc := 0.5 + rng.Float64()/2
+		bscButterfly(a, k, pc)
+		naive(b, k, pc)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("k=%d: blocked and naive butterflies diverge at %d: %v != %v",
+					k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestBatchSelectorSharedJoint ensures items sharing one immutable joint
+// (the common case: one session selected twice concurrently) are safe and
+// identical.
+func TestBatchSelectorSharedJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	j := randomSparseJoint(t, rng, 10, 200)
+	sel := NewGreedyPrunePre()
+	items := make([]BatchItem, 6)
+	for i := range items {
+		items[i] = BatchItem{Selector: sel, Joint: j, K: 3, Pc: 0.8}
+	}
+	want, err := sel.Select(j, 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range NewBatchSelector().SelectBatch(items) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if !reflect.DeepEqual(r.Tasks, want) {
+			t.Fatalf("item %d: %v != %v", i, r.Tasks, want)
+		}
+	}
+}

@@ -450,11 +450,11 @@ func TestPartitionRefinement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		part := newPartition(j.SupportSize())
 		s := getScratch()
+		part := newPartition(j.SupportSize(), s)
 		var tasks []int
 		for _, f := range rng.Perm(n)[:3] {
-			viaIncremental := pre.entropyAfter(s, part, f)
+			viaIncremental := pre.entropyAfter(s, &part, f)
 			tasks = append(tasks, f)
 			viaDirect, err := pre.TaskEntropy(tasks)
 			if err != nil {
@@ -464,7 +464,7 @@ func TestPartitionRefinement(t *testing.T) {
 				t.Fatalf("incremental %v != direct %v at tasks %v",
 					viaIncremental, viaDirect, tasks)
 			}
-			part = part.refine(j.Worlds(), f)
+			part.refine(j.Worlds(), f)
 		}
 		putScratch(s)
 	}

@@ -67,14 +67,21 @@ type patMass struct {
 }
 
 // kernelScratch holds the reusable buffers of the entropy hot path: the
-// dense 2^k answer vector, the pattern/mass pairs of sort-based grouping,
-// and a flat mass buffer for entropy input. Instances are pooled so
-// concurrent selections (parallel sweeps) never share a buffer, and
-// steady-state evaluation allocates nothing.
+// dense 2^k answer vector (float64 and float32 variants), the pattern/mass
+// pairs of sort-based grouping, a flat mass buffer for entropy input, and
+// the index/offset double buffers of the preprocessing partition. Instances
+// are pooled so concurrent selections (parallel sweeps) never share a
+// buffer, and steady-state evaluation allocates nothing.
 type kernelScratch struct {
-	dense  []float64
-	pairs  []patMass
-	masses []float64
+	dense   []float64
+	dense32 []float32
+	pairs   []patMass
+	masses  []float64
+	// Partition double buffers (see partition): support indices grouped
+	// contiguously, plus the group-boundary offsets, two of each so refine
+	// can ping-pong without allocating.
+	idxA, idxB   []int
+	offsA, offsB []int
 }
 
 var kernelPool = sync.Pool{New: func() any { return new(kernelScratch) }}
@@ -83,11 +90,25 @@ func getScratch() *kernelScratch  { return kernelPool.Get().(*kernelScratch) }
 func putScratch(s *kernelScratch) { kernelPool.Put(s) }
 
 // denseZero returns a zeroed length-n view of the scratch dense buffer.
+// Capacity is rounded up to a whole number of 64-byte cache lines (8
+// float64s) so the butterfly's blocked passes always work over cache-line
+// multiples.
 func (s *kernelScratch) denseZero(n int) []float64 {
 	if cap(s.dense) < n {
-		s.dense = make([]float64, n)
+		s.dense = make([]float64, (n+7)&^7)
 	}
 	d := s.dense[:n]
+	clear(d)
+	return d
+}
+
+// denseZero32 is denseZero for the float32 stage variant (16 float32s per
+// cache line).
+func (s *kernelScratch) denseZero32(n int) []float32 {
+	if cap(s.dense32) < n {
+		s.dense32 = make([]float32, (n+15)&^15)
+	}
+	d := s.dense32[:n]
 	clear(d)
 	return d
 }
@@ -113,26 +134,107 @@ func (s *kernelScratch) massesOf(pairs []patMass) []float64 {
 	return ms
 }
 
+// butterflyBlockBits bounds the span of butterfly stages that run
+// back-to-back over one contiguous chunk of the dense vector: 2^12 float64s
+// = 32 KB, sized to stay resident in a typical L1 data cache. A stage with
+// step < blockSize only ever pairs indices inside one block, so applying
+// all such stages to a block before moving to the next performs exactly the
+// same pairwise operations in a different order — bit-identical output,
+// with one cache-resident pass instead of k full-vector sweeps on large
+// cubes (the preprocessing butterfly reaches 2^20 entries = 8 MB).
+const butterflyBlockBits = 12
+
 // bscButterfly applies the k-fold binary symmetric channel to a dense
 // pattern-mass vector in place, one bit per stage: after stage b, dense
 // holds the answer distribution over bit b's channel with the remaining
 // bits still noiseless. Each stage mixes index pairs (i, i|1<<b) with
 // weights pc/(1-pc), so the full pass costs O(k·2^k) — replacing the
 // O(|O|·2^k) per-pattern popcount loop of the reference implementation.
+// Stages below butterflyBlockBits are fused per cache-resident block.
 //
 // Invariant: pc ∈ [0.5, 1] (see bscWeights); len(dense) == 1<<k.
 func bscButterfly(dense []float64, k int, pc float64) {
 	qc := 1 - pc
-	for b := 0; b < k; b++ {
-		step := 1 << uint(b)
-		for base := 0; base < len(dense); base += step << 1 {
-			for i := base; i < base+step; i++ {
-				lo, hi := dense[i], dense[i+step]
-				dense[i] = pc*lo + qc*hi
-				dense[i+step] = qc*lo + pc*hi
+	bb := butterflyBlockBits
+	if bb > k {
+		bb = k
+	}
+	block := 1 << uint(bb)
+	for base := 0; base < len(dense); base += block {
+		for b := 0; b < bb; b++ {
+			step := 1 << uint(b)
+			for lo := base; lo < base+block; lo += step << 1 {
+				for i := lo; i < lo+step; i++ {
+					x, y := dense[i], dense[i+step]
+					dense[i] = pc*x + qc*y
+					dense[i+step] = qc*x + pc*y
+				}
 			}
 		}
 	}
+	for b := bb; b < k; b++ {
+		step := 1 << uint(b)
+		for base := 0; base < len(dense); base += step << 1 {
+			for i := base; i < base+step; i++ {
+				x, y := dense[i], dense[i+step]
+				dense[i] = pc*x + qc*y
+				dense[i+step] = qc*x + pc*y
+			}
+		}
+	}
+}
+
+// bscButterfly32 is the float32 stage variant of bscButterfly: same
+// structure, half the memory traffic (a 2^k cube occupies half as many
+// cache lines, and twice as many lanes fit a vector register). Stage
+// arithmetic in float32 perturbs entropies around the 7th decimal digit;
+// whether that is admissible for selection is an *argmax*-stability
+// question, decided by the differential tests against the float64 path and
+// the reference oracles — the variant is only reachable behind
+// GreedyOptions.Float32.
+func bscButterfly32(dense []float32, k int, pc float32) {
+	qc := 1 - pc
+	bb := butterflyBlockBits
+	if bb > k {
+		bb = k
+	}
+	block := 1 << uint(bb)
+	for base := 0; base < len(dense); base += block {
+		for b := 0; b < bb; b++ {
+			step := 1 << uint(b)
+			for lo := base; lo < base+block; lo += step << 1 {
+				for i := lo; i < lo+step; i++ {
+					x, y := dense[i], dense[i+step]
+					dense[i] = pc*x + qc*y
+					dense[i+step] = qc*x + pc*y
+				}
+			}
+		}
+	}
+	for b := bb; b < k; b++ {
+		step := 1 << uint(b)
+		for base := 0; base < len(dense); base += step << 1 {
+			for i := base; i < base+step; i++ {
+				x, y := dense[i], dense[i+step]
+				dense[i] = pc*x + qc*y
+				dense[i+step] = qc*x + pc*y
+			}
+		}
+	}
+}
+
+// entropy32 returns the Shannon entropy, in bits, of a float32 mass vector,
+// accumulating in float64 so only the channel stages — not the final sum —
+// carry reduced precision.
+func entropy32(ps []float32) float64 {
+	var h float64
+	for _, p := range ps {
+		if p > 0 {
+			pf := float64(p)
+			h -= pf * math.Log2(pf)
+		}
+	}
+	return h
 }
 
 // scatterPatterns accumulates each support world's probability at its

@@ -222,7 +222,7 @@ func TestPreprocessPairwiseBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 3, 8} {
-			got := preprocessPairwise(j, pc, workers)
+			got := preprocessPairwise(j, pc, workers, nil)
 			if !reflect.DeepEqual(got.answerP, ref.answerP) {
 				t.Fatalf("workers=%d n=%d |O|=%d: answer joint not bit-identical to reference",
 					workers, n, support)
@@ -308,7 +308,7 @@ func TestPatternCacheMatchesTaskEntropy(t *testing.T) {
 		n := 4 + rng.Intn(10)
 		j := randomSparseJoint(t, rng, n, 1+rng.Intn(1<<uint(min(n, 9))))
 		pc := []float64{0.5, 0.7, 0.9, 1}[rng.Intn(4)]
-		cache := newPatternCache(j, pc)
+		cache := newPatternCache(j, pc, false)
 		var selected []int
 		inSet := make([]bool, n)
 		for depth := 0; depth < min(n, 6); depth++ {

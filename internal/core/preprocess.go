@@ -54,12 +54,20 @@ const maxPreprocessButterflyFacts = 20
 // different distribution); each selection round preprocesses once, as the
 // paper notes.
 func Preprocess(j *dist.Joint, pc float64) (*Preprocessed, error) {
-	return preprocessWorkers(j, pc, 0)
+	return preprocessPlan(j, pc, 0, nil)
 }
 
 // preprocessWorkers is Preprocess with an explicit worker count (0 = all
 // CPUs), split out so tests can exercise the parallel path on any machine.
 func preprocessWorkers(j *dist.Joint, pc float64, workers int) (*Preprocessed, error) {
+	return preprocessPlan(j, pc, workers, nil)
+}
+
+// preprocessPlan is Preprocess with an explicit worker count (0 = all CPUs)
+// and an optional shared channel plan supplying the per-distance weight
+// tables (bit-identical to computing them inline, since they are pure
+// functions of the fact count and pc).
+func preprocessPlan(j *dist.Joint, pc float64, workers int, plan *ChannelPlan) (*Preprocessed, error) {
 	if err := checkAccuracy(pc); err != nil {
 		return nil, err
 	}
@@ -68,7 +76,7 @@ func preprocessWorkers(j *dist.Joint, pc float64, workers int) (*Preprocessed, e
 	if n <= maxPreprocessButterflyFacts && uint64(n)<<uint(n) < size*size {
 		return preprocessButterfly(j, pc), nil
 	}
-	return preprocessPairwise(j, pc, workers), nil
+	return preprocessPairwise(j, pc, workers, plan), nil
 }
 
 // preprocessButterfly computes the answer joint by scattering the support
@@ -80,12 +88,14 @@ func preprocessButterfly(j *dist.Joint, pc float64) *Preprocessed {
 	worlds := j.Worlds()
 	probs := j.Probs()
 	n := j.N()
-	dense := make([]float64, 1<<uint(n))
+	s := getScratch()
+	defer putScratch(s)
+	dense := s.denseZero(1 << uint(n)) // transient: pooled, not allocated
 	for i, w := range worlds {
 		dense[w] = probs[i] // support worlds are distinct
 	}
 	bscButterfly(dense, n, pc)
-	a := make([]float64, len(worlds))
+	a := make([]float64, len(worlds)) // escapes into the Preprocessed
 	var total float64
 	for r, w := range worlds {
 		a[r] = dense[w]
@@ -97,11 +107,13 @@ func preprocessButterfly(j *dist.Joint, pc float64) *Preprocessed {
 // preprocessPairwise is the direct O(|O|²) computation, row-partitioned
 // across the bounded worker pool. Each row is an independent local
 // accumulation in ascending index order, so any worker count produces
-// bit-identical output.
-func preprocessPairwise(j *dist.Joint, pc float64, workers int) *Preprocessed {
+// bit-identical output. A shared plan supplies the per-distance weight
+// table so a batch computes it once per (fact count, pc) instead of once
+// per member.
+func preprocessPairwise(j *dist.Joint, pc float64, workers int, plan *ChannelPlan) *Preprocessed {
 	worlds := j.Worlds()
 	probs := j.Probs()
-	weights := bscWeights(j.N(), pc)
+	weights := plan.distWeights(j.N(), pc)
 	a := make([]float64, len(worlds))
 	w := parallel.Workers(workers, len(worlds))
 	parallel.Blocks(w, len(worlds), func(lo, hi int) {
@@ -179,42 +191,77 @@ func (p *Preprocessed) marginalize(s *kernelScratch, tasks []int) []float64 {
 // the already-selected tasks. Refining by one more fact splits each group in
 // two with a single linear scan, the "separate each part ... into two new
 // parts" step of Algorithm 2.
+//
+// The layout is flat and cache-contiguous: all support indices live in one
+// []int, grouped as contiguous runs delimited by offs (group g is
+// idx[offs[g]:offs[g+1]]) — replacing the per-refine [][]int of appends
+// that dominated the selection path's allocations. idx/offs and their
+// spares are borrowed from the selection's pooled kernel scratch, so
+// refinement allocates nothing in the steady state.
 type partition struct {
-	groups [][]int // support indices, grouped by pattern on selected tasks
+	idx       []int // support indices, grouped contiguously
+	offs      []int // group boundaries; len = groups+1, offs[0] = 0
+	spare     []int // double buffer for idx
+	offsSpare []int // double buffer for offs
 }
 
 // newPartition returns the trivial partition with all support indices in
-// one group ("initially, answer set has one part as a whole").
-func newPartition(size int) *partition {
-	all := make([]int, size)
-	for i := range all {
-		all[i] = i
+// one group ("initially, answer set has one part as a whole"), backed by
+// the scratch's partition buffers. offs can grow to at most size+1 entries,
+// so both offset buffers are sized once and never reallocate.
+func newPartition(size int, s *kernelScratch) partition {
+	if cap(s.idxA) < size {
+		s.idxA = make([]int, size)
 	}
-	return &partition{groups: [][]int{all}}
+	if cap(s.idxB) < size {
+		s.idxB = make([]int, size)
+	}
+	if cap(s.offsA) < size+1 {
+		s.offsA = make([]int, 0, size+1)
+	}
+	if cap(s.offsB) < size+1 {
+		s.offsB = make([]int, 0, size+1)
+	}
+	idx := s.idxA[:size]
+	for i := range idx {
+		idx[i] = i
+	}
+	return partition{
+		idx:       idx,
+		offs:      append(s.offsA[:0], 0, size),
+		spare:     s.idxB[:0],
+		offsSpare: s.offsB[:0],
+	}
 }
 
 // refine splits every group by whether the world at each support index
-// judges fact f true, returning a new partition and leaving the receiver
-// unchanged.
-func (pt *partition) refine(worlds []dist.World, f int) *partition {
-	next := make([][]int, 0, 2*len(pt.groups))
-	for _, g := range pt.groups {
-		var yes, no []int
-		for _, idx := range g {
-			if worlds[idx].Has(f) {
-				yes = append(yes, idx)
-			} else {
-				no = append(no, idx)
+// judges fact f true, in place: the split runs are written to the spare
+// buffers (no-half first, then yes-half, preserving index order within each
+// half, exactly as the former slice-of-slices layout did) and the buffers
+// are swapped.
+func (pt *partition) refine(worlds []dist.World, f int) {
+	next := pt.spare[:0]
+	noffs := append(pt.offsSpare[:0], 0)
+	for g := 0; g+1 < len(pt.offs); g++ {
+		run := pt.idx[pt.offs[g]:pt.offs[g+1]]
+		for _, idx := range run {
+			if !worlds[idx].Has(f) {
+				next = append(next, idx)
 			}
 		}
-		if len(no) > 0 {
-			next = append(next, no)
+		split := len(next)
+		for _, idx := range run {
+			if worlds[idx].Has(f) {
+				next = append(next, idx)
+			}
 		}
-		if len(yes) > 0 {
-			next = append(next, yes)
+		if split > noffs[len(noffs)-1] && split < len(next) {
+			noffs = append(noffs, split) // both halves non-empty
 		}
+		noffs = append(noffs, len(next))
 	}
-	return &partition{groups: next}
+	pt.idx, pt.spare = next, pt.idx
+	pt.offs, pt.offsSpare = noffs, pt.offs
 }
 
 // entropyAfter returns the Algorithm-2 entropy of the partition refined by
@@ -227,9 +274,9 @@ func (pt *partition) refine(worlds []dist.World, f int) *partition {
 func (p *Preprocessed) entropyAfter(s *kernelScratch, pt *partition, f int) float64 {
 	worlds := p.joint.Worlds()
 	masses := s.masses[:0]
-	for _, g := range pt.groups {
+	for g := 0; g+1 < len(pt.offs); g++ {
 		var yes, no float64
-		for _, idx := range g {
+		for _, idx := range pt.idx[pt.offs[g]:pt.offs[g+1]] {
 			if worlds[idx].Has(f) {
 				yes += p.answerP[idx]
 			} else {

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
+
+	"crowdfusion/internal/info"
 )
 
 // The crowd model of Definition 2: every answer is independently correct
@@ -23,13 +26,22 @@ var ErrImpossibleAnswers = errors.New("dist: answer set has probability zero")
 // channelWeights returns w[d] = pc^(k-d) * (1-pc)^d for d = 0..k, the
 // per-Hamming-distance likelihoods of Equation 2.
 func channelWeights(k int, pc float64) []float64 {
-	w := make([]float64, k+1)
+	return fillChannelWeights(make([]float64, k+1), pc)
+}
+
+// fillChannelWeights is channelWeights into a caller-provided slice of
+// length k+1, so hot paths can reuse pooled scratch.
+func fillChannelWeights(w []float64, pc float64) []float64 {
+	k := len(w) - 1
 	w[0] = 1
 	for i := 0; i < k; i++ {
 		w[0] *= pc
 	}
 	if pc == 0 {
 		// Degenerate: only the all-wrong answer vector is possible.
+		for d := 1; d <= k; d++ {
+			w[d] = 0
+		}
 		if k > 0 {
 			w[k] = 1
 		}
@@ -40,6 +52,110 @@ func channelWeights(k int, pc float64) []float64 {
 		w[d] = w[d-1] * ratio
 	}
 	return w
+}
+
+// condScratch holds the transient buffers of one conditioning call: the
+// unnormalized posterior masses and the Hamming-distance weight table.
+// Both are consumed before the posterior is returned, so they recycle
+// through a pool and the steady-state Bayesian update allocates only the
+// posterior's own storage.
+type condScratch struct {
+	ps []float64
+	w  []float64
+}
+
+var condPool = sync.Pool{New: func() any { return new(condScratch) }}
+
+// masses returns a zero-length-irrelevant slice of n uninitialized
+// floats backed by the scratch.
+func (s *condScratch) masses(n int) []float64 {
+	if cap(s.ps) < n {
+		s.ps = make([]float64, n)
+	}
+	return s.ps[:n]
+}
+
+// weights returns the Equation 2 weight table for (k, pc) backed by the
+// scratch.
+func (s *condScratch) weights(k int, pc float64) []float64 {
+	if cap(s.w) < k+1 {
+		s.w = make([]float64, k+1)
+	}
+	return fillChannelWeights(s.w[:k+1], pc)
+}
+
+// jointSlabSize is how many Joint headers one slab allocation vends.
+// Posteriors are produced once per merge and typically retired within a
+// few rounds, so amortizing the header allocation 64-ways is nearly free;
+// the tradeoff is that one live posterior pins its sibling headers
+// (~64 × ~100 B) until all are dead, which is negligible next to the
+// probability slices each posterior owns.
+const jointSlabSize = 64
+
+var jointSlab struct {
+	mu   sync.Mutex
+	free []Joint
+}
+
+// newJointFromSlab vends a zeroed *Joint from the batch slab.
+func newJointFromSlab() *Joint {
+	jointSlab.mu.Lock()
+	if len(jointSlab.free) == 0 {
+		jointSlab.free = make([]Joint, jointSlabSize)
+	}
+	j := &jointSlab.free[0]
+	jointSlab.free = jointSlab.free[1:]
+	jointSlab.mu.Unlock()
+	return j
+}
+
+// finishConditioned builds the posterior for likelihood-weighted masses
+// ps parallel to the receiver's support. It replicates finish's exact
+// arithmetic — normalize each mass by the total in ascending support
+// order, accumulate marginals by bit-scan, entropy over the normalized
+// probabilities — so posteriors are bit-identical to the allocating path.
+//
+// In the common case no mass is exactly zero (impossible for accuracies
+// strictly inside (0, 1)), and the posterior then
+//   - shares the receiver's worlds slice (both are immutable),
+//   - packs probabilities and marginals into one allocation, and
+//   - draws its Joint header from the batch slab,
+//
+// for one steady-state allocation per conditioning instead of four. When
+// the evidence zeroes out part of the support, it falls back to the
+// compacting finish on fresh copies. ps is scratch: consumed either way.
+func (j *Joint) finishConditioned(ps []float64) (*Joint, error) {
+	zero := false
+	for _, p := range ps {
+		if p == 0 {
+			zero = true
+			break
+		}
+	}
+	if zero {
+		ws := make([]World, len(j.worlds))
+		copy(ws, j.worlds)
+		return finish(j.n, ws, append([]float64(nil), ps...))
+	}
+	total := info.Sum(ps)
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, ErrZeroMass
+	}
+	m := len(ps)
+	buf := make([]float64, m+j.n)
+	probs := buf[:m:m]
+	marginals := buf[m:]
+	post := newJointFromSlab()
+	*post = Joint{n: j.n, worlds: j.worlds, probs: probs, marginals: marginals}
+	for i, p := range ps {
+		p /= total
+		probs[i] = p
+		for mm := uint64(j.worlds[i]); mm != 0; mm &= mm - 1 {
+			marginals[bits.TrailingZeros64(mm)] += p
+		}
+	}
+	post.entropy = info.Entropy(probs)
+	return post, nil
 }
 
 // checkEvidence validates a (tasks, answers, pc) evidence triple against
@@ -100,9 +216,11 @@ func (j *Joint) AnswerSetProb(tasks []int, answers []bool, pc float64) (float64,
 //	P(o | e) = P(e | o) * P(o) / P(e).
 //
 // The support is unchanged except for worlds the evidence rules out
-// entirely (possible only at pc = 0 or 1), which are dropped. The
-// receiver is not modified. Conditioning on no tasks returns a copy of
-// the receiver. ErrImpossibleAnswers is returned when P(e) = 0.
+// entirely (possible only at pc = 0 or 1), which are dropped; when none
+// are dropped the posterior shares the receiver's worlds slice (Joints
+// are immutable, so sharing is safe). The receiver is not modified.
+// Conditioning on no tasks returns a copy of the receiver.
+// ErrImpossibleAnswers is returned when P(e) = 0.
 func (j *Joint) Condition(tasks []int, answers []bool, pc float64) (*Joint, error) {
 	if err := j.checkEvidence(tasks, answers, pc); err != nil {
 		return nil, err
@@ -111,16 +229,16 @@ func (j *Joint) Condition(tasks []int, answers []bool, pc float64) (*Joint, erro
 	if k == 0 {
 		return j.Clone(), nil
 	}
-	weights := channelWeights(k, pc)
+	s := condPool.Get().(*condScratch)
+	weights := s.weights(k, pc)
 	ans := answerPattern(answers)
-	ws := make([]World, len(j.worlds))
-	ps := make([]float64, len(j.worlds))
+	ps := s.masses(len(j.worlds))
 	for i, w := range j.worlds {
 		d := bits.OnesCount64(w.Pattern(tasks) ^ ans)
-		ws[i] = w
 		ps[i] = j.probs[i] * weights[d]
 	}
-	post, err := finish(j.n, ws, ps)
+	post, err := j.finishConditioned(ps)
+	condPool.Put(s)
 	if err != nil {
 		return nil, ErrImpossibleAnswers
 	}
@@ -195,8 +313,8 @@ func (j *Joint) ConditionWeighted(tasks []int, answers []bool, sens, spec []floa
 		return j.Condition(tasks, answers, c)
 	}
 	ans := answerPattern(answers)
-	ws := make([]World, len(j.worlds))
-	ps := make([]float64, len(j.worlds))
+	s := condPool.Get().(*condScratch)
+	ps := s.masses(len(j.worlds))
 	for i, w := range j.worlds {
 		pat := w.Pattern(tasks)
 		like := 1.0
@@ -215,10 +333,10 @@ func (j *Joint) ConditionWeighted(tasks []int, answers []bool, sens, spec []floa
 				like *= 1 - spec[b]
 			}
 		}
-		ws[i] = w
 		ps[i] = j.probs[i] * like
 	}
-	post, err := finish(j.n, ws, ps)
+	post, err := j.finishConditioned(ps)
+	condPool.Put(s)
 	if err != nil {
 		return nil, ErrImpossibleAnswers
 	}

@@ -251,15 +251,35 @@ func (j *Joint) FactEntropy(facts []int) (float64, error) {
 	if len(facts) == 0 {
 		return 0, nil
 	}
-	masses := make(map[uint64]float64, len(j.worlds))
+	// Group worlds by judgment pattern with a sort instead of a map: one
+	// allocation, cache-friendly, and a deterministic summation order (map
+	// iteration order would reorder the entropy accumulation run to run).
+	type patMass struct {
+		pat  uint64
+		mass float64
+	}
+	pairs := make([]patMass, len(j.worlds))
 	for i, w := range j.worlds {
-		masses[w.Pattern(facts)] += j.probs[i]
+		pairs[i] = patMass{pat: w.Pattern(facts), mass: j.probs[i]}
 	}
-	flat := make([]float64, 0, len(masses))
-	for _, m := range masses {
-		flat = append(flat, m)
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].pat < pairs[b].pat })
+	var sum, comp float64
+	for i := 0; i < len(pairs); {
+		mass := pairs[i].mass
+		for i++; i < len(pairs) && pairs[i].pat == pairs[i-1].pat; i++ {
+			mass += pairs[i].mass
+		}
+		// Kahan-compensated -sum p log2 p, matching info.Entropy.
+		term := -info.PLogP(mass)
+		y := term - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
 	}
-	return info.Entropy(flat), nil
+	if sum < 0 {
+		sum = 0
+	}
+	return sum, nil
 }
 
 // Validate re-checks the construction invariants: a sorted, duplicate-free

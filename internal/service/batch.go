@@ -1,0 +1,110 @@
+package service
+
+import (
+	"sync"
+
+	"crowdfusion/internal/core"
+)
+
+// selectBatcher coalesces concurrent greedy sweeps from different sessions
+// into core.BatchSelector calls, so a burst of POST …/select requests pays
+// the per-(pc, k) channel setup once and the per-session sweeps fan out
+// over the parallel pool together instead of contending for it separately.
+//
+// The protocol is leader-promotion, not a background worker: the first
+// arrival becomes the dispatcher and runs the batch on its own goroutine
+// (so the server's drain guarantee covers the compute); jobs arriving
+// while a batch runs queue up, and when the batch finishes the dispatcher
+// promotes the oldest waiter to dispatch the accumulated queue. Under
+// light load every batch has width 1 and the path is the plain
+// single-session sweep — bit-identical by the BatchSelector contract.
+type selectBatcher struct {
+	bs *core.BatchSelector
+
+	// onBatch, when set, observes each dispatched batch's width (the
+	// metrics hook). Called off-lock, once per kernel invocation.
+	onBatch func(width int)
+
+	mu      sync.Mutex
+	pending []*selectJob
+	running bool
+}
+
+// selectJob is one queued sweep. Exactly one of the channels fires: result
+// when a dispatcher ran the job inside its batch, lead when the job is
+// promoted to dispatch the next batch itself.
+type selectJob struct {
+	item   core.BatchItem
+	result chan core.BatchResult // buffered 1: dispatcher never blocks
+	lead   chan struct{}
+}
+
+func newSelectBatcher(onBatch func(width int)) *selectBatcher {
+	return &selectBatcher{bs: core.NewBatchSelector(), onBatch: onBatch}
+}
+
+// do runs one sweep through the batcher and blocks until its result is
+// available. Safe for concurrent use; every call runs on the caller's own
+// goroutine (as a dispatcher or a waiter), never on a detached one.
+func (b *selectBatcher) do(item core.BatchItem) core.BatchResult {
+	j := &selectJob{
+		item:   item,
+		result: make(chan core.BatchResult, 1),
+		lead:   make(chan struct{}),
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, j)
+	if b.running {
+		b.mu.Unlock()
+		select {
+		case r := <-j.result:
+			return r
+		case <-j.lead:
+			// Promoted: the previous dispatcher handed this job the queue.
+		}
+	} else {
+		b.running = true
+		b.mu.Unlock()
+	}
+	return b.dispatch(j)
+}
+
+// dispatch runs the accumulated queue (which always contains j: it was
+// enqueued before j became dispatcher and only dispatchers dequeue),
+// delivers every other job's result, and either promotes the oldest job
+// that arrived mid-batch or marks the batcher idle.
+func (b *selectBatcher) dispatch(j *selectJob) core.BatchResult {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+
+	items := make([]core.BatchItem, len(batch))
+	for i, job := range batch {
+		items[i] = job.item
+	}
+	if b.onBatch != nil {
+		b.onBatch(len(batch))
+	}
+	results := b.bs.SelectBatch(items)
+
+	var mine core.BatchResult
+	for i, job := range batch {
+		if job == j {
+			mine = results[i]
+			continue
+		}
+		job.result <- results[i]
+	}
+
+	b.mu.Lock()
+	if len(b.pending) > 0 {
+		next := b.pending[0]
+		b.mu.Unlock()
+		close(next.lead)
+	} else {
+		b.running = false
+		b.mu.Unlock()
+	}
+	return mine
+}

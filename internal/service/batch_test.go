@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdfusion/internal/core"
+	"crowdfusion/internal/dist"
+)
+
+// batchBenchSessions builds n standalone sessions over distinct product
+// priors, mixing pc and k so the batcher has several channel-plan groups.
+func batchTestSessions(t *testing.T, n int) []*Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	pcs := []float64{0.7, 0.8, 0.9}
+	ks := []int{2, 3, 4}
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		m := make([]float64, 10)
+		for f := range m {
+			m[f] = 0.2 + 0.6*rng.Float64()
+		}
+		j, err := dist.Independent(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = newSession(fmt.Sprintf("s%d", i), j, core.NewGreedyPrunePre(),
+			"Approx+Prune+Pre", pcs[i%len(pcs)], ks[i%len(ks)], 1<<30, time.Unix(0, 0))
+	}
+	return sessions
+}
+
+// TestCoalescedSelectBitIdentical proves the server's batched select path
+// returns, for every session, exactly the batch the session's own selector
+// computes sequentially — the differential contract that lets the
+// coalescer replace the inline sweep. Run under -race this also exercises
+// the leader-promotion protocol with real concurrency.
+func TestCoalescedSelectBitIdentical(t *testing.T) {
+	svc := NewServer(Config{})
+	defer svc.Close()
+
+	sessions := batchTestSessions(t, 12)
+	want := make([][]int, len(sessions))
+	for i, s := range sessions {
+		tasks, err := s.selector.Select(s.Posterior(), s.k, s.pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = tasks
+	}
+
+	for rep := 0; rep < 3; rep++ {
+		for _, s := range sessions {
+			s.mu.Lock()
+			s.sel = nil // defeat the cache so every rep recomputes
+			s.mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		got := make([][]int, len(sessions))
+		errs := make([]error, len(sessions))
+		for i, s := range sessions {
+			wg.Add(1)
+			go func(i int, s *Session) {
+				defer wg.Done()
+				resp, _, err := svc.coalescedSelect(context.Background(), s, 0)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				got[i] = resp.Tasks
+			}(i, s)
+		}
+		wg.Wait()
+		for i := range sessions {
+			if errs[i] != nil {
+				t.Fatalf("rep %d session %d: %v", rep, i, errs[i])
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("rep %d session %d: batched select %v != sequential %v",
+					rep, i, got[i], want[i])
+			}
+		}
+	}
+
+	if n := svc.metrics.BatchedSelects.Load(); n != int64(3*len(sessions)) {
+		t.Fatalf("BatchedSelects = %d, want %d", n, 3*len(sessions))
+	}
+}
+
+// TestCoalescedSelectSameSession checks concurrent selects against ONE
+// session: every caller gets the same batch at the same version, whether
+// it computed the sweep itself or was served the cache a concurrent
+// request committed.
+func TestCoalescedSelectSameSession(t *testing.T) {
+	svc := NewServer(Config{})
+	defer svc.Close()
+
+	s := batchTestSessions(t, 1)[0]
+	want, err := s.selector.Select(s.Posterior(), s.k, s.pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	resps := make([]*SelectResponse, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, err := svc.coalescedSelect(context.Background(), s, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i, resp := range resps {
+		if resp == nil {
+			t.Fatalf("caller %d: no response", i)
+		}
+		if !reflect.DeepEqual(resp.Tasks, want) || resp.Version != 0 {
+			t.Fatalf("caller %d: got %v at v%d, want %v at v0", i, resp.Tasks, resp.Version, want)
+		}
+	}
+}
+
+// TestSelectBatcherDispatch hammers the batcher directly: every job's
+// result must match a direct sequential Select on the same inputs, and the
+// observed batch widths must account for every job exactly once.
+func TestSelectBatcherDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sel := core.NewGreedyPrunePre()
+	type job struct {
+		item core.BatchItem
+		want []int
+	}
+	jobs := make([]job, 32)
+	for i := range jobs {
+		m := make([]float64, 9)
+		for f := range m {
+			m[f] = 0.25 + 0.5*rng.Float64()
+		}
+		j, err := dist.Independent(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := []float64{0.75, 0.85}[i%2]
+		k := 2 + i%3
+		want, err := sel.Select(j, k, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{item: core.BatchItem{Selector: sel, Joint: j, K: k, Pc: pc}, want: want}
+	}
+
+	var widthMu sync.Mutex
+	totalWidth := 0
+	b := newSelectBatcher(func(w int) {
+		widthMu.Lock()
+		totalWidth += w
+		widthMu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := b.do(jobs[i].item)
+			if r.Err != nil {
+				t.Errorf("job %d: %v", i, r.Err)
+				return
+			}
+			if !reflect.DeepEqual(r.Tasks, jobs[i].want) {
+				t.Errorf("job %d: got %v, want %v", i, r.Tasks, jobs[i].want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if totalWidth != len(jobs) {
+		t.Fatalf("batch widths sum to %d, want %d (every job in exactly one batch)", totalWidth, len(jobs))
+	}
+}

@@ -113,6 +113,24 @@ func BenchmarkServiceSelectHTTP(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceMerge measures the scalar conditioning path — the
+// fixed-pc Bayesian update every merge on a fixed-model session pays —
+// against the same 4096-world posterior the selection benchmarks use.
+// Workers are nil, so this is exactly conditionLocked's fast path.
+func BenchmarkServiceMerge(b *testing.B) {
+	s := newSession("bench", benchJoint(b), core.NewGreedyPrunePre(),
+		"Approx+Prune+Pre", 0.8, 3, 1<<30, time.Unix(0, 0))
+	tasks := []int{0, 2, 4, 6, 8, 10}
+	answers := []bool{true, false, true, true, false, true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.conditionLocked(tasks, answers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWeightedMerge measures the weighted conditioning path — the
 // per-judgment channel build plus the heterogeneous-likelihood kernel —
 // against the same 4096-world posterior the selection benchmarks use.

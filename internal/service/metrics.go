@@ -136,6 +136,43 @@ func (h *histogram) write(w io.Writer, name, help string) error {
 	return err
 }
 
+// widthBuckets are the fixed bounds of the batch-width histogram: exact
+// low counts (1–4, where width 1 means no coalescing happened) then
+// coarser steps up to the compute-slot ceiling any realistic burst hits.
+var widthBuckets = [...]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// countHistogram is a fixed-bucket histogram over small integer counts —
+// the batch-width companion of the duration histogram above, with the
+// same lock-free observe and cumulative render.
+type countHistogram struct {
+	counts [len(widthBuckets) + 1]atomic.Int64
+	sum    atomic.Int64
+}
+
+// observe records one count.
+func (h *countHistogram) observe(v int) {
+	i := sort.SearchFloat64s(widthBuckets[:], float64(v))
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v))
+}
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *countHistogram) write(w io.Writer, name, help string) error {
+	var cum int64
+	var b []byte
+	b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, le := range widthBuckets {
+		cum += h.counts[i].Load()
+		b = fmt.Appendf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(widthBuckets)].Load()
+	b = fmt.Appendf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	b = fmt.Appendf(b, "%s_sum %d\n", name, h.sum.Load())
+	b = fmt.Appendf(b, "%s_count %d\n", name, cum)
+	_, err := w.Write(b)
+	return err
+}
+
 // Metrics aggregates the service's operational counters. All fields are
 // safe for concurrent update; the /metrics endpoint renders a snapshot in
 // Prometheus text exposition format.
@@ -160,10 +197,16 @@ type Metrics struct {
 	FencedWritesRefused atomic.Int64
 	SelectsServed       atomic.Int64
 	SelectCacheHits     atomic.Int64
-	MergesApplied       atomic.Int64
-	MergeReplays        atomic.Int64
-	PartialAnswers      atomic.Int64 // partial judgment sets journaled (not yet committed)
-	RequestsRejected    atomic.Int64 // backpressure 503s
+	// BatchedSelects counts greedy sweeps that went through the
+	// cross-session batcher (every member of every dispatched batch,
+	// including width-1 batches under light load). SelectBatchWidth is the
+	// per-dispatch width distribution: mass above le="1" is coalescing
+	// actually happening.
+	BatchedSelects   atomic.Int64
+	MergesApplied    atomic.Int64
+	MergeReplays     atomic.Int64
+	PartialAnswers   atomic.Int64 // partial judgment sets journaled (not yet committed)
+	RequestsRejected atomic.Int64 // backpressure 503s
 
 	// Worker-model traffic. WorkerRefits counts worker-accuracy
 	// re-estimations (one per commit on an em/dawid-skene session with
@@ -207,6 +250,10 @@ type Metrics struct {
 	// Dawid–Skene over the session's full observation log), observed
 	// inside the merge critical section — its tail is merge latency.
 	RefitDuration histogram
+
+	// SelectBatchWidth is the width of each batch the cross-session
+	// select coalescer dispatched.
+	SelectBatchWidth countHistogram
 }
 
 // WritePrometheus renders the snapshot. sessionsLive, leasesHeld, and
@@ -237,6 +284,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld, workers
 		counter("crowdfusion_store_errors_total", "Session store operations that failed.", m.StoreErrors.Load()) +
 		counter("crowdfusion_selects_served_total", "Select batches served (including cache hits).", m.SelectsServed.Load()) +
 		counter("crowdfusion_select_cache_hits_total", "Selects served from the posterior-version cache.", m.SelectCacheHits.Load()) +
+		counter("crowdfusion_batched_selects_total", "Greedy sweeps routed through the cross-session select batcher.", m.BatchedSelects.Load()) +
 		counter("crowdfusion_merges_applied_total", "Answer sets merged into posteriors.", m.MergesApplied.Load()) +
 		counter("crowdfusion_merge_replays_total", "Idempotent replays of already-applied answer sets.", m.MergeReplays.Load()) +
 		counter("crowdfusion_partial_answers_total", "Partial judgment sets journaled against pending batches.", m.PartialAnswers.Load()) +
@@ -265,6 +313,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessionsLive, leasesHeld, workers
 		if err := h.h.write(w, h.name, h.help); err != nil {
 			return err
 		}
+	}
+	if err := m.SelectBatchWidth.write(w, "crowdfusion_select_batch_width",
+		"Width of each batch the cross-session select coalescer dispatched."); err != nil {
+		return err
 	}
 	sums := ""
 	for _, lt := range []struct {

@@ -121,6 +121,14 @@ type Session struct {
 	// fixed sessions, which journal no observation).
 	pendWorkers map[int]string
 
+	// sensBuf/specBuf are the reusable per-judgment channel buffers for
+	// weighted conditioning: the conditioning kernel consumes them before
+	// returning, so they recycle across merges and the weighted path stops
+	// allocating its channel vectors per call. Guarded by mu like all
+	// session scratch.
+	sensBuf []float64
+	specBuf []float64
+
 	// replaying suppresses observation accumulation inside Merge during
 	// record replay: restoreSession re-seeds observations straight from
 	// the record (exact journal order and metadata) before replaying each
@@ -353,33 +361,28 @@ func (s *Session) Info(now time.Time, withRounds bool) SessionInfo {
 	return s.infoLocked(withRounds)
 }
 
-// Select returns the next task batch against the current posterior. kOverride
-// > 0 replaces the session's per-round k for this batch. The batch size is
-// clamped to the remaining budget; an empty batch (Done=true) means the
-// budget is spent or nothing uncertain remains.
-//
-// The selection is cached keyed on (posterior version, effective k):
-// repeating the call without an intervening merge returns the identical
-// batch with Cached=true instead of re-running the greedy sweep.
-func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (resp *SelectResponse, cached bool, err error) {
-	if s.tracer != nil {
-		var sp *trace.Span
-		ctx, sp = s.tracer.Start(ctx, "session.select")
-		sp.SetAttr("session", s.id)
-		defer func() {
-			if resp != nil {
-				sp.SetAttr("version", resp.Version)
-				sp.SetAttr("tasks", len(resp.Tasks))
-			}
-			sp.SetAttr("cached", cached)
-			sp.SetError(err)
-			sp.End()
-		}()
-	}
+// selectIntent is the frozen input of one greedy sweep, captured under the
+// session mutex by selectPrepare and consumed outside it: the posterior is
+// immutable, so the sweep itself needs no lock — which is what lets the
+// server coalesce sweeps from different sessions into one batched kernel
+// invocation.
+type selectIntent struct {
+	joint    *dist.Joint
+	selector core.Selector
+	k        int
+	pc       float64
+	version  int
+}
+
+// selectPrepare is the under-lock front half of a select: fast paths
+// (pinned pending batch, done latch, cache hit) return a response
+// directly; otherwise it freezes the sweep inputs into a selectIntent for
+// the caller to compute against and hand back to selectComplete.
+func (s *Session) selectPrepare(now time.Time, kOverride int) (resp *SelectResponse, cached bool, intent selectIntent, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.retired {
-		return nil, false, errSessionRetired
+		return nil, false, intent, errSessionRetired
 	}
 	s.touch(now)
 
@@ -388,13 +391,13 @@ func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (res
 		// IS the outstanding selection. It stays pinned (even across a k
 		// override) until the ledger commits — swapping batches mid-answer
 		// would orphan journaled judgments.
-		cached := SelectResponse{
+		pinned := SelectResponse{
 			Tasks:       append([]int(nil), s.pendBatch...),
 			TaskEntropy: s.pendTaskH,
 			Version:     s.version,
 			Cached:      true,
 		}
-		return &cached, true, nil
+		return &pinned, true, intent, nil
 	}
 
 	k := s.k
@@ -408,18 +411,47 @@ func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (res
 		k = n
 	}
 	if k <= 0 || s.done {
-		return &SelectResponse{Tasks: []int{}, Version: s.version, Done: true}, false, nil
+		return &SelectResponse{Tasks: []int{}, Version: s.version, Done: true}, false, intent, nil
 	}
 	if s.sel != nil && s.selVersion == s.version && s.selK == k {
-		cached := *s.sel
-		cached.Cached = true
-		return &cached, true, nil
+		hit := *s.sel
+		hit.Cached = true
+		return &hit, true, intent, nil
+	}
+	return nil, false, selectIntent{
+		joint:    s.posterior,
+		selector: s.selector,
+		k:        k,
+		pc:       s.pc,
+		version:  s.version,
+	}, nil
+}
+
+// selectComplete is the under-lock back half: it re-validates the intent
+// against the current state and commits the sweep's result. stale means
+// the posterior moved (or a partial sequence started) while the sweep ran
+// off-lock — the result is discarded and the caller re-prepares. When a
+// concurrent request already cached an identical selection for the same
+// (version, k), that cache is served instead (the sweep is deterministic,
+// so the results are interchangeable).
+func (s *Session) selectComplete(ctx context.Context, now time.Time, intent selectIntent, tasks []int, selErr error) (resp *SelectResponse, cached, stale bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return nil, false, false, errSessionRetired
+	}
+	if selErr != nil {
+		return nil, false, false, fmt.Errorf("service: selection: %w", selErr)
+	}
+	if s.version != intent.version || s.pendBatch != nil || s.done {
+		return nil, false, true, nil
+	}
+	if s.sel != nil && s.selVersion == s.version && s.selK == intent.k {
+		hit := *s.sel
+		hit.Cached = true
+		return &hit, true, false, nil
 	}
 
-	tasks, err := s.selector.Select(s.posterior, k, s.pc)
-	if err != nil {
-		return nil, false, fmt.Errorf("service: selection: %w", err)
-	}
 	resp = &SelectResponse{Tasks: tasks, Version: s.version}
 	if len(tasks) == 0 {
 		// Theorem 2: no remaining task nets positive utility. Latch so
@@ -437,19 +469,61 @@ func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (res
 	} else {
 		h, err := core.TaskEntropy(s.posterior, tasks, s.pc)
 		if err != nil {
-			return nil, false, err
+			return nil, false, false, err
 		}
 		resp.TaskEntropy = h
 	}
 	s.sel = resp
 	s.selVersion = s.version
-	s.selK = k
+	s.selK = intent.k
 	if len(tasks) > 0 {
 		s.emitLocked(ctx, EventSelect, func(ev *SessionEvent) {
 			ev.Tasks = append([]int(nil), tasks...)
 		})
 	}
-	return resp, false, nil
+	return resp, false, false, nil
+}
+
+// Select returns the next task batch against the current posterior. kOverride
+// > 0 replaces the session's per-round k for this batch. The batch size is
+// clamped to the remaining budget; an empty batch (Done=true) means the
+// budget is spent or nothing uncertain remains.
+//
+// The selection is cached keyed on (posterior version, effective k):
+// repeating the call without an intervening merge returns the identical
+// batch with Cached=true instead of re-running the greedy sweep.
+//
+// The greedy sweep itself runs outside the session mutex against the
+// immutable posterior the intent froze; a merge landing mid-sweep moves
+// the version and the result is discarded and recomputed, so a committed
+// selection always matches its response's Version.
+func (s *Session) Select(ctx context.Context, now time.Time, kOverride int) (resp *SelectResponse, cached bool, err error) {
+	if s.tracer != nil {
+		var sp *trace.Span
+		ctx, sp = s.tracer.Start(ctx, "session.select")
+		sp.SetAttr("session", s.id)
+		defer func() {
+			if resp != nil {
+				sp.SetAttr("version", resp.Version)
+				sp.SetAttr("tasks", len(resp.Tasks))
+			}
+			sp.SetAttr("cached", cached)
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+	for {
+		resp, cached, intent, err := s.selectPrepare(now, kOverride)
+		if resp != nil || err != nil {
+			return resp, cached, err
+		}
+		tasks, selErr := intent.selector.Select(intent.joint, intent.k, intent.pc)
+		done, hit, stale, err := s.selectComplete(ctx, now, intent, tasks, selErr)
+		if stale {
+			continue
+		}
+		return done, hit, err
+	}
 }
 
 // persistError maps a persist failure for the caller: a fenced write
@@ -723,11 +797,17 @@ func (s *Session) conditionLocked(tasks []int, answers []bool, workers []string)
 	if s.workerModel == WorkerModelFixed || s.refits == 0 || workers == nil {
 		return core.MergeAnswers(s.posterior, tasks, answers, s.pc)
 	}
-	sens := make([]float64, len(tasks))
-	spec := make([]float64, len(tasks))
-	for i, w := range workers {
-		sens[i], spec[i] = s.workerChannelLocked(w)
+	// The conditioning kernel reads the channel vectors before returning
+	// and the posterior retains no reference to them, so the session-owned
+	// buffers recycle across merges.
+	sens := s.sensBuf[:0]
+	spec := s.specBuf[:0]
+	for _, w := range workers {
+		sn, sp := s.workerChannelLocked(w)
+		sens = append(sens, sn)
+		spec = append(spec, sp)
 	}
+	s.sensBuf, s.specBuf = sens, spec
 	if s.onWeightedMerge != nil {
 		s.onWeightedMerge()
 	}
